@@ -1,0 +1,34 @@
+"""Benchmark harness configuration.
+
+Each ``test_bench_*`` module regenerates one of the paper's tables or
+figures (plus ablation benches for design decisions).  Rendered tables are
+written to ``benchmarks/results/*.txt`` so a benchmark run leaves a durable
+record that can be diffed against the paper and against EXPERIMENTS.md.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Write a rendered table to benchmarks/results/<name>.txt (and stdout)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def experiment_scale():
+    """Full experiment scale shared by the accuracy benches."""
+    from repro.experiments import ExperimentScale
+
+    return ExperimentScale.default()

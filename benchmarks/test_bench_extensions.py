@@ -1,0 +1,229 @@
+"""Benches for the extension subsystems:
+
+- command-stream trace vs analytic scheduler (timing-model cross-validation)
+- energy breakdown per inference + the weight-width payoff
+- PTQ vs QAT accuracy (what the paper's fine-tuning step buys)
+"""
+
+import pytest
+
+from repro.accel import (
+    AcceleratorConfig,
+    EnergyParams,
+    Scheduler,
+    build_encoder_workload,
+    compare_weight_widths,
+    estimate_energy,
+    replay_workload,
+)
+from repro.bert import BertConfig
+from repro.experiments import render_table
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_encoder_workload(BertConfig.base(), seq_len=128)
+
+
+class TestTraceCrossValidation:
+    def test_bench_trace_vs_analytic(self, workload, record_table, benchmark):
+        rows = []
+        for name, config in (
+            ("ZCU102 (8,16)", AcceleratorConfig.zcu102_n8_m16()),
+            ("ZCU102 (16,8)", AcceleratorConfig.zcu102_n16_m8()),
+            ("ZCU111 (16,16)", AcceleratorConfig.zcu111_n16_m16()),
+        ):
+            analytic = Scheduler(config).schedule(workload).total_cycles
+            trace = replay_workload(workload, config)
+            rows.append(
+                [
+                    name,
+                    analytic,
+                    trace.total_cycles,
+                    trace.total_cycles / analytic,
+                    trace.pe_utilization,
+                ]
+            )
+        record_table(
+            "extension_trace_validation",
+            render_table(
+                ["design", "analytic cycles", "trace cycles", "ratio", "PE util"],
+                rows,
+                title="Timing-model cross-validation (analytic vs event-driven)",
+                precision=3,
+            ),
+        )
+        assert all(0.9 <= row[3] <= 1.1 for row in rows)
+        benchmark.pedantic(
+            lambda: replay_workload(workload, AcceleratorConfig.zcu102_n8_m16()),
+            rounds=1,
+            iterations=1,
+        )
+
+
+class TestEnergyBreakdown:
+    def test_bench_energy_breakdown(self, workload, record_table, benchmark):
+        breakdown = benchmark(
+            estimate_energy, workload, AcceleratorConfig.zcu102_n8_m16()
+        )
+        rows = [
+            [name, value, 100.0 * value / breakdown.dynamic_uj]
+            for name, value in sorted(
+                breakdown.components_uj.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        record_table(
+            "extension_energy_breakdown",
+            render_table(
+                ["component", "energy (uJ)", "% of dynamic"],
+                rows,
+                title="Dynamic energy per inference (ZCU102, w4/a8)",
+            ),
+        )
+        assert breakdown.dynamic_uj > 0
+
+    def test_bench_weight_width_energy(self, workload, record_table):
+        energies = compare_weight_widths(workload, AcceleratorConfig())
+        rows = [[bits, energy, energies[32] / energy] for bits, energy in energies.items()]
+        record_table(
+            "extension_energy_vs_weight_bits",
+            render_table(
+                ["weight bits", "dynamic energy (uJ)", "saving vs fp32"],
+                rows,
+                title="Energy vs weight storage width",
+            ),
+        )
+        assert energies[4] < energies[32] / 2
+
+
+class TestPerChannelAblation:
+    def test_bench_per_channel_vs_per_tensor(self, experiment_scale, record_table):
+        """Granularity ablation: per-tensor (clip / no-clip) vs per-channel."""
+        from dataclasses import replace
+
+        from repro.experiments.common import pretrain_task, qat_accuracy
+        from repro.quant import QuantConfig
+
+        pretrained = pretrain_task("sst2", experiment_scale)
+        rows = []
+        for bits in (4, 2):
+            schemes = {
+                "per-tensor noclip": QuantConfig.figure3(bits, clip=False),
+                "per-tensor clip": QuantConfig.figure3(bits, clip=True),
+                "per-channel": replace(
+                    QuantConfig.figure3(bits, clip=False), per_channel_weights=True
+                ),
+            }
+            accuracies = {
+                name: qat_accuracy(pretrained, config, experiment_scale)
+                for name, config in schemes.items()
+            }
+            rows.append([f"w{bits}"] + [accuracies[k] for k in schemes])
+        record_table(
+            "extension_per_channel",
+            render_table(
+                ["bits", "per-tensor noclip", "per-tensor clip", "per-channel"],
+                rows,
+                title="Weight-scale granularity ablation (SST-2-like, float "
+                f"{pretrained.float_accuracy:.2f})",
+            ),
+        )
+        # At 2 bits, per-channel should rescue accuracy at least as well as
+        # the trained clip (both fight the same outlier problem).
+        w2 = rows[-1]
+        assert w2[3] >= w2[1] - 1.0
+
+
+class TestSqnrAnalysis:
+    def test_bench_sqnr_vs_bits(self, record_table, rng=None):
+        """SQNR vs bitwidth on real trained weights: the ~6 dB/bit law."""
+        import numpy as np
+
+        from repro.experiments.common import pretrain_task
+        from repro.quant.analysis import tensor_sqnr
+
+        pretrained = pretrain_task("sst2", None)
+        weight = pretrained.model.bert.encoder.layers[0].attention.self_attention.query.weight.data
+        rows = []
+        for bits in (2, 3, 4, 6, 8):
+            rows.append([bits, tensor_sqnr(weight, bits)])
+        record_table(
+            "extension_sqnr_vs_bits",
+            render_table(
+                ["weight bits", "SQNR (dB)"],
+                rows,
+                title="Weight SQNR vs bitwidth (trained query projection)",
+            ),
+        )
+        sqnrs = [row[1] for row in rows]
+        assert all(a < b for a, b in zip(sqnrs, sqnrs[1:]))
+
+    def test_bench_granularity_sqnr(self, experiment_scale, record_table):
+        """Per-layer SQNR: clip vs minmax vs per-channel on a trained model."""
+        import numpy as np
+
+        from repro.experiments.common import pretrain_task
+        from repro.quant import QuantConfig, quantize_model
+        from repro.quant.analysis import weight_sqnr_report
+
+        pretrained = pretrain_task("sst2", experiment_scale)
+        quant = quantize_model(
+            pretrained.model, QuantConfig.fq_bert(), rng=np.random.default_rng(0)
+        )
+        rows = [
+            [
+                row["layer"].split(".")[-1] + f"@{row['layer'].split('.')[2]}"
+                if row["layer"].count(".") > 2 else row["layer"],
+                row["sqnr_clip_db"],
+                row["sqnr_minmax_db"],
+                row["sqnr_per_channel_db"],
+            ]
+            for row in weight_sqnr_report(quant)
+        ]
+        record_table(
+            "extension_sqnr_granularity",
+            render_table(
+                ["layer", "clip dB", "minmax dB", "per-channel dB"],
+                rows,
+                title="Per-layer weight SQNR at 4 bits",
+            ),
+        )
+        assert rows
+
+
+class TestPtqVsQat:
+    def test_bench_ptq_vs_qat(self, experiment_scale, record_table):
+        """What QAT buys over calibration-only PTQ, per bitwidth."""
+        import numpy as np
+
+        from repro.experiments.common import pretrain_task
+        from repro.quant import QuantConfig, evaluate, post_training_quantize
+        from repro.experiments.common import qat_accuracy
+
+        pretrained = pretrain_task("sst2", experiment_scale)
+        rows = []
+        for bits in (8, 4, 2):
+            qconfig = QuantConfig.fq_bert(weight_bits=bits)
+            pretrained.model.load_state_dict(pretrained.float_state)
+            ptq_model = post_training_quantize(
+                pretrained.model, qconfig, pretrained.train_data,
+                rng=np.random.default_rng(0),
+            )
+            ptq = evaluate(ptq_model, pretrained.dev_data)
+            qat = qat_accuracy(pretrained, qconfig, experiment_scale)
+            rows.append([f"w{bits}/a8", ptq, qat, qat - ptq])
+        record_table(
+            "extension_ptq_vs_qat",
+            render_table(
+                ["config", "PTQ acc", "QAT acc", "QAT gain"],
+                rows,
+                title="PTQ vs QAT (SST-2-like, float baseline "
+                f"{pretrained.float_accuracy:.2f})",
+            ),
+        )
+        # At w2, fine-tuning must recover meaningfully more than calibration.
+        w2 = rows[-1]
+        assert w2[3] > -1.0
+        # At w8, both are close to float (nothing to recover).
+        w8 = rows[0]
+        assert abs(w8[1] - w8[2]) < 5.0

@@ -1,0 +1,61 @@
+"""Bench: regenerate Figure 3 (accuracy vs weight bitwidth, clip vs no-clip).
+
+Paper shape: accuracy degrades gracefully at 8/6/4 bits, collapses at 2
+bits, and the tuned clip thresholds clearly beat no-clipping at 2 bits
+(SST-2: 83.26 vs 77.64; MNLI: 71.9 vs 48.58).
+"""
+
+import pytest
+
+from repro.experiments import run_figure3
+
+
+@pytest.fixture(scope="module")
+def figure3(experiment_scale):
+    return run_figure3(scale=experiment_scale)
+
+
+def test_bench_figure3(benchmark, experiment_scale, record_table):
+    result = benchmark.pedantic(
+        lambda: run_figure3(scale=experiment_scale), rounds=1, iterations=1
+    )
+    from repro.experiments import figure3_chart
+
+    record_table("figure3", result.render())
+    record_table(
+        "figure3_chart",
+        figure3_chart(result, "sst2") + "\n\n" + figure3_chart(result, "mnli"),
+    )
+    assert len(result.accuracy) == 2 * 5 * 2
+
+
+@pytest.mark.parametrize("task", ["sst2", "mnli"])
+def test_figure3_graceful_until_4_bits(figure3, task):
+    """8/6/4-bit weights stay within a few points of float."""
+    anchor = figure3.accuracy[(task, 32, True)]
+    for bits in (8, 6, 4):
+        for clip in (True, False):
+            assert figure3.accuracy[(task, bits, clip)] > anchor - 5.0, (bits, clip)
+
+
+@pytest.mark.parametrize("task", ["sst2", "mnli"])
+def test_figure3_cliff_at_2_bits(figure3, task):
+    """The 2-bit point drops dramatically relative to 4-bit."""
+    at4 = figure3.accuracy[(task, 4, False)]
+    at2 = figure3.accuracy[(task, 2, False)]
+    assert at4 - at2 > 5.0
+
+
+def test_figure3_clip_helps_at_2_bits(figure3):
+    """The paper's headline for clipping: clear win at the lowest bitwidth."""
+    for task in ("sst2", "mnli"):
+        clip = figure3.accuracy[(task, 2, True)]
+        no_clip = figure3.accuracy[(task, 2, False)]
+        assert clip > no_clip, task
+
+
+def test_figure3_mnli_harder_than_sst2(figure3):
+    """The harder task loses more at every low bitwidth (paper Table I/Fig 3)."""
+    sst2_drop = figure3.accuracy[("sst2", 32, True)] - figure3.accuracy[("sst2", 2, True)]
+    mnli_drop = figure3.accuracy[("mnli", 32, True)] - figure3.accuracy[("mnli", 2, True)]
+    assert mnli_drop > sst2_drop

@@ -1,0 +1,103 @@
+"""Micro-benchmarks of the hot kernels (pytest-benchmark timing runs).
+
+These quantify the simulation substrate itself: integer matmul + requant
+(the Eq. 5 kernel), the LUT softmax, the fixed-point LN, fake-quant QAT
+forward, and a BIM batch evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel import Bim
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+from repro.quant import FixedPointMultiplier, quantized_softmax, saturate
+from repro.quant.integer_model import IntegerLayerNorm, LN_FRAC_BITS
+from repro.quant.fixedpoint import LN_PARAM_FORMAT
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_bench_integer_matmul_requant(benchmark, rng):
+    """Eq. 5: x_I @ W_I^T + b_I, then fixed-point requantization."""
+    x = rng.integers(-127, 128, size=(128, 768))
+    w = rng.integers(-7, 8, size=(768, 768))
+    b = rng.integers(-1000, 1000, size=768)
+    requant = FixedPointMultiplier.from_float(0.004)
+
+    def kernel():
+        acc = x @ w.T + b
+        return saturate(requant.apply(acc), 8)
+
+    out = benchmark(kernel)
+    assert out.shape == (128, 768)
+
+
+def test_bench_quantized_softmax(benchmark, rng):
+    codes = rng.integers(-127, 128, size=(12, 128, 128))
+    out, _ = benchmark(quantized_softmax, codes, 25.0)
+    assert out.shape == codes.shape
+
+
+def test_bench_integer_layernorm(benchmark, rng):
+    hidden = 768
+    ln = IntegerLayerNorm(
+        gamma_codes=LN_PARAM_FORMAT.to_fixed(rng.uniform(0.5, 2, hidden)),
+        beta_codes=LN_PARAM_FORMAT.to_fixed(rng.uniform(-0.5, 0.5, hidden)),
+        align_a=FixedPointMultiplier.from_float(2.0 ** LN_FRAC_BITS / 20.0),
+        align_b=FixedPointMultiplier.from_float(2.0 ** LN_FRAC_BITS / 25.0),
+        out_requant=FixedPointMultiplier.from_float(
+            16.0 / 2.0 ** (LN_FRAC_BITS + LN_PARAM_FORMAT.frac_bits)
+        ),
+        out_scale=16.0,
+        eps_fx=int(1e-5 * 2 ** (2 * LN_FRAC_BITS)),
+    )
+    a = rng.integers(-127, 128, size=(128, hidden))
+    b = rng.integers(-127, 128, size=(128, hidden))
+    out = benchmark(ln.forward, a, b)
+    assert out.shape == (128, hidden)
+
+
+def test_bench_fake_quantize_forward(benchmark, rng):
+    x = Tensor(rng.standard_normal((128, 768)).astype(np.float32), requires_grad=True)
+    out = benchmark(F.fake_quantize, x, 32.0, -127, 127)
+    assert out.shape == (128, 768)
+
+
+def test_bench_bim_batch_8x4(benchmark, rng):
+    bim = Bim(16)
+    a = rng.integers(-127, 128, size=(4096, 16))
+    w = rng.integers(-7, 8, size=(4096, 16))
+    out = benchmark(bim.dot_8x4_batch, a, w)
+    assert out.shape == (4096,)
+
+
+def test_bench_bim_batch_8x8(benchmark, rng):
+    bim = Bim(16)
+    a = rng.integers(-127, 128, size=(4096, 8))
+    w = rng.integers(-127, 128, size=(4096, 8))
+    out = benchmark(bim.dot_8x8_batch, a, w)
+    assert out.shape == (4096,)
+
+
+def test_bench_qat_training_step(benchmark, rng):
+    """One QAT forward+backward on a tiny quantized BERT."""
+    from repro.bert import BertConfig
+    from repro.quant import QuantBertForSequenceClassification, QuantConfig
+
+    config = BertConfig.tiny(vocab_size=64, max_position_embeddings=16)
+    model = QuantBertForSequenceClassification(config, QuantConfig.fq_bert(), rng=rng)
+    ids = rng.integers(0, 64, size=(8, 16))
+    labels = np.array([0, 1] * 4)
+
+    def step():
+        model.zero_grad()
+        loss = model.loss(ids, labels)
+        loss.backward()
+        return float(loss.data)
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)

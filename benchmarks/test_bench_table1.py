@@ -1,0 +1,43 @@
+"""Bench: regenerate Table I (FQ-BERT vs float accuracy + compression).
+
+Paper: BERT 32/32 -> 92.32 / 84.19 / 83.97; FQ-BERT 4/8 -> 91.51 / 81.11 /
+80.36; 7.94x compression.  Expected shape here: sub-1%-drop on the easy
+SST-2-like task, larger drop on the MNLI-like tasks, ~7.94x compression.
+"""
+
+import pytest
+
+from repro.experiments import run_table1
+
+
+@pytest.fixture(scope="module")
+def table1(experiment_scale):
+    return run_table1(experiment_scale)
+
+
+def test_bench_table1(benchmark, experiment_scale, record_table):
+    result = benchmark.pedantic(
+        lambda: run_table1(experiment_scale), rounds=1, iterations=1
+    )
+    record_table("table1", result.render())
+    assert result.compression == pytest.approx(7.94, rel=0.01)
+
+
+def test_table1_sst2_drop_below_2_points(table1):
+    """Paper: 0.81% drop on SST-2 — 'negligible performance loss'."""
+    assert table1.drop("sst2") < 2.0
+
+
+def test_table1_mnli_drops_exceed_sst2(table1):
+    """Paper: MNLI (-3.08) and MNLI-m (-3.61) lose more than SST-2 (-0.81)."""
+    assert table1.drop("mnli") >= table1.drop("sst2") - 0.5
+    assert table1.drop("mnli-mm") >= table1.drop("sst2") - 0.5
+
+    assert max(table1.drop("mnli"), table1.drop("mnli-mm")) > table1.drop("sst2")
+
+
+def test_table1_all_tasks_learned(table1):
+    """Quantized accuracy stays far above chance on every task."""
+    assert table1.quant_accuracy["sst2"] > 85.0
+    assert table1.quant_accuracy["mnli"] > 60.0
+    assert table1.quant_accuracy["mnli-mm"] > 55.0

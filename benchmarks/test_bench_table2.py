@@ -1,0 +1,40 @@
+"""Bench: regenerate Table II (cumulative quantization ablation on SST-2).
+
+Paper rows: 92.32 / 91.63 / 91.28 / 91.86 / 91.51 — quantizing w/a costs the
+most; the remaining parts (scales, softmax, LN) cost little, and softmax
+quantization can even *recover* accuracy.  Expected shape here: the float
+row is the highest and all quantized rows stay within a few points of it.
+"""
+
+import pytest
+
+from repro.experiments import run_table2
+
+
+@pytest.fixture(scope="module")
+def table2(experiment_scale):
+    return run_table2(scale=experiment_scale)
+
+
+def test_bench_table2(benchmark, experiment_scale, record_table):
+    result = benchmark.pedantic(
+        lambda: run_table2(scale=experiment_scale), rounds=1, iterations=1
+    )
+    record_table("table2", result.render())
+    assert len(result.accuracies) == 5
+
+
+def test_table2_float_is_best_or_near_best(table2):
+    float_accuracy = table2.accuracies[0]
+    assert float_accuracy >= max(table2.accuracies[1:]) - 1.0
+
+
+def test_table2_quantized_rows_within_5_points(table2):
+    """Full quantization costs little on SST-2 (paper: 0.81%)."""
+    float_accuracy = table2.accuracies[0]
+    for row_accuracy in table2.accuracies[1:]:
+        assert row_accuracy > float_accuracy - 5.0
+
+
+def test_table2_fully_quantized_still_learned(table2):
+    assert table2.accuracies[-1] > 85.0

@@ -1,0 +1,55 @@
+"""Bench: regenerate Table III (resources + latency per (N, M) design point).
+
+Paper rows (12 PUs): ZCU102 (8,16) 838/1751/124433/123157 @ 43.89 ms;
+ZCU102 (16,8) 877/1671/151010/154192 @ 45.35 ms; ZCU111 (16,16) 679*/3287/
+201469/189724 @ 23.79 ms.  DSP/FF/LUT are calibration-exact; latency within
+15%; BRAM within 10% (ZCU111 splits into BRAM + URAM per the footnote).
+"""
+
+import pytest
+
+from repro.accel import AcceleratorConfig, AcceleratorSimulator, ZCU102
+from repro.bert import BertConfig
+from repro.experiments import PAPER_TABLE3, run_table3
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return run_table3()
+
+
+def test_bench_table3(benchmark, record_table):
+    result = benchmark(run_table3)
+    record_table("table3", result.render())
+    assert len(result.reports) == 3
+
+
+def test_table3_dsp_matches_paper_exactly(table3):
+    for key, report in table3.reports.items():
+        assert report.resources.dsp48 == pytest.approx(PAPER_TABLE3[key]["dsp"], abs=1), key
+
+
+def test_table3_ff_lut_match_paper(table3):
+    for key, report in table3.reports.items():
+        assert report.resources.ff == pytest.approx(PAPER_TABLE3[key]["ff"], rel=0.001), key
+        assert report.resources.lut == pytest.approx(PAPER_TABLE3[key]["lut"], rel=0.001), key
+
+
+def test_table3_latency_within_15_percent(table3):
+    for key, report in table3.reports.items():
+        assert report.latency_ms == pytest.approx(
+            PAPER_TABLE3[key]["latency_ms"], rel=0.15
+        ), key
+
+
+def test_table3_zcu111_doubles_performance(table3):
+    zcu102 = table3.reports[("ZCU102", 8, 16)].latency_ms
+    zcu111 = table3.reports[("ZCU111", 16, 16)].latency_ms
+    assert 1.5 < zcu102 / zcu111 < 2.0
+
+
+def test_bench_single_simulation_speed(benchmark):
+    """Micro-bench: one full design-point evaluation (should be fast)."""
+    simulator = AcceleratorSimulator(AcceleratorConfig.zcu102_n8_m16(), ZCU102)
+    report = benchmark(simulator.simulate, BertConfig.base(), 128)
+    assert report.latency_ms > 0

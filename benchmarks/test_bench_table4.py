@@ -1,0 +1,50 @@
+"""Bench: regenerate Table IV (CPU / GPU / ZCU102 / ZCU111 comparison).
+
+Paper: latency 145.06 / 27.84 / 43.89 / 23.79 ms; power 65 / 143 / 9.8 /
+13.2 W; fps/W 0.11 / 0.25 / 2.32 / 3.18.  Headline: 28.91x over CPU and
+12.72x over GPU in energy efficiency; 6.10x / 1.17x in latency.
+"""
+
+import pytest
+
+from repro.experiments import PAPER_TABLE4, run_table4
+
+
+@pytest.fixture(scope="module")
+def table4():
+    return run_table4()
+
+
+def test_bench_table4(benchmark, record_table):
+    result = benchmark(run_table4)
+    record_table("table4", result.render())
+    assert set(result.platforms) == set(PAPER_TABLE4)
+
+
+def test_table4_latencies_near_paper(table4):
+    for name, row in table4.platforms.items():
+        assert row["latency_ms"] == pytest.approx(
+            PAPER_TABLE4[name]["latency_ms"], rel=0.15
+        ), name
+
+
+def test_table4_power_near_paper(table4):
+    for name, row in table4.platforms.items():
+        assert row["power_watts"] == pytest.approx(
+            PAPER_TABLE4[name]["power_watts"], rel=0.05
+        ), name
+
+
+def test_table4_energy_efficiency_headline(table4):
+    """FPGA wins by ~29x (CPU) and ~13x (GPU) in fps/W."""
+    assert table4.speedup("CPU") == pytest.approx(28.91, rel=0.35)
+    assert table4.speedup("GPU") == pytest.approx(12.72, rel=0.35)
+
+
+def test_table4_latency_headline(table4):
+    """Best FPGA beats CPU ~6.1x and GPU ~1.17x in latency."""
+    cpu = table4.platforms["CPU"]["latency_ms"]
+    gpu = table4.platforms["GPU"]["latency_ms"]
+    best = table4.platforms["ZCU111"]["latency_ms"]
+    assert cpu / best == pytest.approx(6.10, rel=0.25)
+    assert gpu / best == pytest.approx(1.17, rel=0.25)

@@ -1,0 +1,123 @@
+"""Deploy FQ-BERT onto the simulated FPGA accelerator, end to end.
+
+The full hardware story of the paper:
+
+1. train + QAT-quantize a model (as in quickstart),
+2. freeze to the integer engine,
+3. **verify the accelerator datapath bit-for-bit** against the integer
+   engine (PE array in 8x4 and 8x8 BIM modes, LUT softmax core, 3-stage
+   fixed-point LN core) — the golden-model check a real RTL flow runs,
+4. report latency / resources / power of the deployment on ZCU102 and
+   ZCU111, plus the CPU/GPU comparison for the same workload.
+
+Run:  python examples/accelerator_deployment.py
+"""
+
+import numpy as np
+
+from repro.accel import (
+    AcceleratorConfig,
+    AcceleratorSimulator,
+    CPU_I7_8700,
+    GPU_K80,
+    ZCU102,
+    ZCU111,
+    build_encoder_workload,
+)
+from repro.baselines import simulate_baseline
+from repro.bert import BertConfig, BertForSequenceClassification
+from repro.data import encode_task, make_sst2_like
+from repro.experiments import render_table
+from repro.quant import QuantConfig, convert_to_integer, quantize_model, train_classifier
+
+
+def train_small_fq_bert():
+    """A quick FQ-BERT for the functional verification step."""
+    task = make_sst2_like(num_train=256, num_dev=128, seed=3)
+    train, dev, tokenizer = encode_task(task, max_length=16)
+    config = BertConfig.tiny(
+        vocab_size=len(tokenizer.vocab), num_labels=2, max_position_embeddings=16
+    )
+    model = BertForSequenceClassification(config, rng=np.random.default_rng(0))
+    train_classifier(model, train, dev, epochs=3, lr=1.5e-3, seed=0)
+    quant = quantize_model(model, QuantConfig.fq_bert(), rng=np.random.default_rng(1))
+    train_classifier(quant, train, dev, epochs=1, lr=2e-4, seed=1, keep_best=False)
+    quant.eval()
+    return quant, dev
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # functional verification: accelerator datapath == integer engine
+    # ------------------------------------------------------------------
+    print("training a small FQ-BERT for datapath verification ...")
+    quant_model, dev = train_small_fq_bert()
+    integer_model = convert_to_integer(quant_model)
+
+    simulator = AcceleratorSimulator(
+        AcceleratorConfig(num_pus=4, num_pes=4, num_multipliers=8), ZCU102
+    )
+    batch = dev.full_batch()
+    ids, mask = batch.input_ids[:4], batch.attention_mask[:4]
+    hw_logits = simulator.run_functional(integer_model, ids, mask)
+    sw_logits = integer_model.forward(ids, mask)
+    exact = np.array_equal(hw_logits, sw_logits)
+    print(f"  accelerator datapath bit-exact with integer engine: {exact}")
+    if not exact:
+        raise SystemExit("datapath mismatch — deployment aborted")
+
+    # ------------------------------------------------------------------
+    # performance evaluation at BERT-base scale (Tables III/IV)
+    # ------------------------------------------------------------------
+    model = BertConfig.base()
+    workload = build_encoder_workload(model, seq_len=128)
+
+    rows = []
+    for name, device in (("CPU i7-8700", CPU_I7_8700), ("GPU K80", GPU_K80)):
+        report = simulate_baseline(workload, device)
+        rows.append([name, report.latency_ms, report.power_watts, report.fps_per_watt])
+
+    for name, device, config in (
+        ("FPGA ZCU102 (8,16)", ZCU102, AcceleratorConfig.zcu102_n8_m16()),
+        ("FPGA ZCU111 (16,16)", ZCU111, AcceleratorConfig.zcu111_n16_m16()),
+    ):
+        report = AcceleratorSimulator(config, device).simulate(model, seq_len=128)
+        rows.append([name, report.latency_ms, report.power_watts, report.fps_per_watt])
+
+    print()
+    print(
+        render_table(
+            ["platform", "latency(ms)", "power(W)", "fps/W"],
+            rows,
+            title="BERT-base (batch 1, seq 128) deployment comparison",
+        )
+    )
+
+    best = max(rows, key=lambda row: row[3])
+    cpu = rows[0]
+    print(
+        f"\nbest platform: {best[0]} — "
+        f"{cpu[1] / best[1]:.2f}x faster and {best[3] / cpu[3]:.1f}x more "
+        f"energy-efficient than the CPU baseline"
+    )
+
+    # ------------------------------------------------------------------
+    # per-stage cycle breakdown for the chosen design (one encoder layer)
+    # ------------------------------------------------------------------
+    report = AcceleratorSimulator(AcceleratorConfig.zcu102_n8_m16(), ZCU102).simulate(
+        model, seq_len=128
+    )
+    breakdown = report.schedule.breakdown()
+    total = sum(breakdown.values())
+    print()
+    print(
+        render_table(
+            ["stage", "cycles/layer", "% of layer"],
+            [[name, cycles, 100.0 * cycles / total] for name, cycles in breakdown.items()],
+            title="ZCU102 (8,16): per-stage cycles of one encoder layer",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

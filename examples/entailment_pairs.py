@@ -1,0 +1,98 @@
+"""Sentence-pair entailment (the MNLI-like task) under full quantization.
+
+Demonstrates the harder of the paper's two tasks: 3-way entailment over
+premise/hypothesis pairs, including the matched vs mismatched dev sets
+(MNLI-m vs MNLI-mm).  Shows the paper's observation that the harder task
+loses more accuracy under quantization, and lets you query the quantized
+model with your own pairs.
+
+Run:  python examples/entailment_pairs.py
+"""
+
+import numpy as np
+
+from repro.bert import BertConfig, BertForSequenceClassification
+from repro.data import accuracy, build_tokenizer, encode_task, make_mnli_like
+from repro.quant import (
+    QuantConfig,
+    convert_to_integer,
+    evaluate,
+    quantize_model,
+    train_classifier,
+)
+
+LABELS = ("entailment", "neutral", "contradiction")
+
+
+def main() -> None:
+    # One tokenizer over the union vocabulary so matched and mismatched dev
+    # sets share the embedding table (as in real MNLI).
+    tokenizer = build_tokenizer()
+    matched = make_mnli_like(1536, 384, matched=True, seed=7)
+    mismatched = make_mnli_like(64, 384, matched=False, seed=8)
+
+    train, dev_matched, _ = encode_task(matched, tokenizer=tokenizer, max_length=40)
+    _, dev_mismatched, _ = encode_task(mismatched, tokenizer=tokenizer, max_length=40)
+
+    config = BertConfig(
+        vocab_size=len(tokenizer.vocab),
+        hidden_size=16,
+        num_hidden_layers=2,
+        num_attention_heads=4,
+        intermediate_size=32,
+        max_position_embeddings=40,
+        hidden_dropout_prob=0.0,
+        attention_dropout_prob=0.0,
+        num_labels=3,
+    )
+    model = BertForSequenceClassification(config, rng=np.random.default_rng(0))
+
+    print("training float BERT on the entailment task (this takes ~30s) ...")
+    train_classifier(model, train, dev_matched, epochs=24, lr=1.5e-3, seed=7)
+    float_matched = evaluate(model, dev_matched)
+    float_mismatched = evaluate(model, dev_mismatched)
+    print(f"  float:   matched {float_matched:.2f}%   mismatched {float_mismatched:.2f}%")
+
+    print("QAT fine-tuning FQ-BERT (w4/a8) ...")
+    quant = quantize_model(model, QuantConfig.fq_bert(), rng=np.random.default_rng(1))
+    train_classifier(quant, train, dev_matched, epochs=1, lr=2e-4, seed=8, keep_best=False)
+    quant_matched = evaluate(quant, dev_matched)
+    quant_mismatched = evaluate(quant, dev_mismatched)
+    print(f"  FQ-BERT: matched {quant_matched:.2f}%   mismatched {quant_mismatched:.2f}%")
+    print(
+        f"  quantization drop: matched {float_matched - quant_matched:+.2f}, "
+        f"mismatched {float_mismatched - quant_mismatched:+.2f} "
+        "(the paper sees a larger drop on MNLI than on SST-2)"
+    )
+
+    # ------------------------------------------------------------------
+    # integer-only inference on hand-written pairs
+    # ------------------------------------------------------------------
+    quant.eval()
+    integer = convert_to_integer(quant)
+    # Every training pair carries a "while <distractor>" clause, so the
+    # queries keep that shape to stay in-distribution.
+    pairs = [
+        (
+            "every engineer works in the city while some cat sleeps at home",
+            "some engineer works in the city while all dog plays on the hill",
+        ),
+        (
+            "every engineer works in the city while some cat sleeps at home",
+            "some engineer never works in the city while all dog plays on the hill",
+        ),
+        (
+            "every engineer works in the city while some cat sleeps at home",
+            "some engineer reads at the market while all dog plays on the hill",
+        ),
+    ]
+    print("\ninteger-only engine on hand-written pairs:")
+    for premise, hypothesis in pairs:
+        ids, mask, segments = tokenizer.encode(premise, hypothesis, max_length=40)
+        prediction = integer.predict(ids[None], mask[None], segments[None])[0]
+        print(f"  '{premise}' / '{hypothesis}'")
+        print(f"    -> {LABELS[prediction]}")
+
+
+if __name__ == "__main__":
+    main()

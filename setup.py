@@ -1,0 +1,8 @@
+"""Setup shim for environments whose pip lacks the wheel package.
+
+``pip install -e .`` with modern pyproject metadata requires the ``wheel``
+module; this shim lets ``python setup.py develop`` work as a fallback.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""FQ-BERT reproduction: fully quantized BERT + FPGA accelerator simulator.
+
+Reproduction of Liu, Li & Cheng, "Hardware Acceleration of Fully Quantized
+BERT for Efficient Natural Language Processing" (DATE 2021).
+
+Subpackages:
+
+- :mod:`repro.autograd` — numpy autograd engine (training substrate)
+- :mod:`repro.bert` — BERT encoder implementation
+- :mod:`repro.data` — synthetic GLUE-like tasks (SST-2-like, MNLI-like)
+- :mod:`repro.quant` — the FQ-BERT quantization flow (the paper's Sec. II)
+- :mod:`repro.accel` — the accelerator simulator (the paper's Sec. III)
+- :mod:`repro.baselines` — CPU/GPU roofline baselines (Table IV)
+- :mod:`repro.experiments` — drivers regenerating every table and figure
+"""
+
+__version__ = "1.0.0"

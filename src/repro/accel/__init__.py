@@ -1,0 +1,124 @@
+"""FPGA accelerator simulator for FQ-BERT (the paper's Section III).
+
+Components:
+
+- :mod:`bim` — Bit-split Inner-product Module (Figure 4), bit-exact
+- :mod:`pe` — PE / PU array functional models
+- :mod:`cores` — softmax core (LUT) and LN core (3-stage SIMD)
+- :mod:`buffers` — on-chip buffer inventory + BRAM estimation
+- :mod:`memory` — AXI4 off-chip transfer model
+- :mod:`workload` — the Figure 5 operator stream
+- :mod:`scheduler` — cycle-level dataflow scheduling
+- :mod:`resources` — Table III-calibrated resource model
+- :mod:`devices` — FPGA/CPU/GPU device catalog
+- :mod:`simulator` — everything combined: latency, resources, power
+"""
+
+from .bim import Bim, BimMode, BimType, split_nibbles
+from .buffers import OnChipBuffer, bram_report, build_buffer_set, total_bram18k
+from .config import AcceleratorConfig
+from .cores import LnCore, SoftmaxCore, make_ln_core
+from .devices import (
+    COMPUTE_DEVICES,
+    CPU_I7_8700,
+    FPGA_DEVICES,
+    GPU_K80,
+    ZCU102,
+    ZCU111,
+    ComputeDevice,
+    FpgaDevice,
+)
+from .lowering import (
+    BufferAllocator,
+    Instruction,
+    InstructionKind,
+    LoweringError,
+    Program,
+    Region,
+    lower_layer,
+    lowering_report,
+)
+from .rtl import ProcessingUnitRTL, analytic_matvec_cycles
+from .verification import Check, VerificationReport, verify_stack
+from .energy import EnergyBreakdown, EnergyParams, compare_weight_widths, estimate_energy
+from .memory import AxiModel
+from .trace import (
+    Command,
+    CommandKind,
+    CommandStreamGenerator,
+    TraceExecutor,
+    TraceStats,
+    replay_workload,
+)
+from .pe import ProcessingElement, ProcessingUnit, QuantizationModule, make_pu, reference_matvec
+from .resources import ResourceEstimate, estimate_bram, estimate_dsp, estimate_ff, estimate_lut, estimate_resources
+from .scheduler import ScheduleResult, Scheduler, StageTiming
+from .simulator import AcceleratorSimulator, SimulationReport
+from .workload import EncoderWorkload, Op, OpKind, build_encoder_workload
+
+__all__ = [
+    "Bim",
+    "BimMode",
+    "BimType",
+    "split_nibbles",
+    "ProcessingElement",
+    "ProcessingUnit",
+    "QuantizationModule",
+    "make_pu",
+    "reference_matvec",
+    "SoftmaxCore",
+    "LnCore",
+    "make_ln_core",
+    "OnChipBuffer",
+    "build_buffer_set",
+    "total_bram18k",
+    "bram_report",
+    "AxiModel",
+    "EnergyParams",
+    "EnergyBreakdown",
+    "estimate_energy",
+    "compare_weight_widths",
+    "Command",
+    "CommandKind",
+    "CommandStreamGenerator",
+    "TraceExecutor",
+    "TraceStats",
+    "replay_workload",
+    "BufferAllocator",
+    "Region",
+    "Instruction",
+    "InstructionKind",
+    "Program",
+    "LoweringError",
+    "lower_layer",
+    "lowering_report",
+    "ProcessingUnitRTL",
+    "analytic_matvec_cycles",
+    "verify_stack",
+    "VerificationReport",
+    "Check",
+    "AcceleratorConfig",
+    "EncoderWorkload",
+    "Op",
+    "OpKind",
+    "build_encoder_workload",
+    "Scheduler",
+    "ScheduleResult",
+    "StageTiming",
+    "ResourceEstimate",
+    "estimate_resources",
+    "estimate_dsp",
+    "estimate_ff",
+    "estimate_lut",
+    "estimate_bram",
+    "FpgaDevice",
+    "ComputeDevice",
+    "ZCU102",
+    "ZCU111",
+    "CPU_I7_8700",
+    "GPU_K80",
+    "FPGA_DEVICES",
+    "COMPUTE_DEVICES",
+    "AcceleratorSimulator",
+    "SimulationReport",
+]

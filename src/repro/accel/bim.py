@@ -1,0 +1,237 @@
+"""Bit-split Inner-product Module (BIM) — Figure 4 of the paper.
+
+The accelerator must serve two multiplication shapes with one datapath:
+
+- 8-bit × 4-bit for activation-weight products (``X·W_Q``, FFN matmuls, ...)
+- 8-bit × 8-bit for activation-activation products (``Q·Kᵀ``, ``Attn·V``)
+
+Each BIM contains ``M = 2^m`` 8b×4b multipliers, two adder trees, and
+shift-add logic.  In 8/4 mode every multiplier carries an independent
+product, so the BIM computes an M-element dot product per cycle.  In 8/8
+mode each 8-bit weight is split into a signed high nibble and an unsigned
+low nibble; a *pair* of multipliers computes the two partial products and
+the shift-add logic recombines them as ``(a·w_hi << 4) + a·w_lo``, so the
+BIM computes an (M/2)-element dot product per cycle.
+
+Two shift placements exist (Figure 4):
+
+- **Type A** shifts once at the adder-tree output: all high-nibble products
+  are routed into one tree, all low-nibble products into the other, and the
+  high tree's sum is shifted before the final add.  One shifter total, but
+  the operands must be *rearranged* so that hi/lo products land in the
+  right tree — the paper notes this saves resources at the cost of an input
+  permutation (the "Format Change" blocks in Figure 2).
+- **Type B** shifts every pair's high product before summation: M/2
+  shifters, natural operand order.
+
+Both types are bit-exact equals; this module models both and exposes their
+differing resource costs.  The functional model asserts the bit-width
+invariants a hardware implementation relies on (product widths, adder-tree
+growth), so the tests double as a datapath verification suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+import numpy as np
+
+
+class BimType(Enum):
+    """Shift-add placement variant (Figure 4)."""
+
+    TYPE_A = "A"  # shift at adder-tree output; needs input rearrangement
+    TYPE_B = "B"  # shift per multiplier pair; natural operand order
+
+
+class BimMode(Enum):
+    """Multiplication shape served by the BIM in a given cycle."""
+
+    MODE_8x4 = "8x4"
+    MODE_8x8 = "8x8"
+
+
+def _check_range(values: np.ndarray, bits: int, signed: bool, what: str) -> None:
+    values = np.asarray(values)
+    if signed:
+        low, high = -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+    else:
+        low, high = 0, 2 ** bits - 1
+    if values.size and (values.min() < low or values.max() > high):
+        raise ValueError(
+            f"{what} out of {bits}-bit {'signed' if signed else 'unsigned'} range "
+            f"[{low}, {high}]: got [{values.min()}, {values.max()}]"
+        )
+
+
+def split_nibbles(weights: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Split signed 8-bit weights into (signed high, unsigned low) nibbles.
+
+    ``w = w_hi * 16 + w_lo`` with ``w_hi`` in [-8, 7] and ``w_lo`` in [0, 15]
+    — the two's-complement split the BIM's 8/8 mode uses.  The high nibble is
+    the arithmetic right shift, the low nibble the raw bottom 4 bits.
+    """
+    weights = np.asarray(weights, dtype=np.int64)
+    _check_range(weights, 8, signed=True, what="8x8-mode weights")
+    w_hi = weights >> 4          # arithmetic shift: signed high nibble
+    w_lo = weights & 0xF         # unsigned low nibble
+    assert np.array_equal(w_hi * 16 + w_lo, weights)
+    return w_hi, w_lo
+
+
+@dataclass(frozen=True)
+class Bim:
+    """Functional + resource model of one BIM instance."""
+
+    num_multipliers: int  # M = 2^m
+    bim_type: BimType = BimType.TYPE_A
+
+    def __post_init__(self):
+        m = self.num_multipliers
+        if m < 2 or (m & (m - 1)) != 0:
+            raise ValueError(f"M must be a power of two >= 2, got {m}")
+
+    @property
+    def lanes_8x4(self) -> int:
+        """Dot-product length per cycle in 8/4 mode."""
+        return self.num_multipliers
+
+    @property
+    def lanes_8x8(self) -> int:
+        """Dot-product length per cycle in 8/8 mode."""
+        return self.num_multipliers // 2
+
+    # ------------------------------------------------------------------
+    # functional model
+    # ------------------------------------------------------------------
+    def dot_8x4(
+        self,
+        activations: np.ndarray,
+        weights: np.ndarray,
+        act_signed: bool = True,
+    ) -> int:
+        """One 8/4-mode cycle: M-element dot product.
+
+        The per-multiplier sign signal lets unsigned activations (softmax
+        outputs) share the same hardware; weights are always signed 4-bit.
+        """
+        activations = np.asarray(activations, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        if activations.shape != (self.num_multipliers,) or weights.shape != (
+            self.num_multipliers,
+        ):
+            raise ValueError(
+                f"8x4 mode needs exactly M={self.num_multipliers} lane inputs, "
+                f"got {activations.shape} and {weights.shape}"
+            )
+        _check_range(activations, 8, signed=act_signed, what="activations")
+        _check_range(weights, 4, signed=True, what="4-bit weights")
+        products = activations * weights
+        # 8b x 4b products fit in 12 bits signed (or 13 for unsigned acts).
+        _check_range(products, 13, signed=True, what="8x4 products")
+        return int(self._sum_tree(products))
+
+    def dot_8x8(
+        self,
+        activations: np.ndarray,
+        weights: np.ndarray,
+        act_signed: bool = True,
+    ) -> int:
+        """One 8/8-mode cycle: (M/2)-element dot product via nibble split."""
+        activations = np.asarray(activations, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        lanes = self.lanes_8x8
+        if activations.shape != (lanes,) or weights.shape != (lanes,):
+            raise ValueError(
+                f"8x8 mode needs exactly M/2={lanes} lane inputs, "
+                f"got {activations.shape} and {weights.shape}"
+            )
+        _check_range(activations, 8, signed=act_signed, what="activations")
+        w_hi, w_lo = split_nibbles(weights)
+
+        hi_products = activations * w_hi  # signed 4-bit operand
+        lo_products = activations * w_lo  # unsigned 4-bit operand
+        _check_range(hi_products, 13, signed=True, what="high-nibble products")
+        _check_range(lo_products, 13, signed=True, what="low-nibble products")
+
+        if self.bim_type is BimType.TYPE_A:
+            # Rearranged inputs: one tree sums all hi products, the other all
+            # lo products; a single shifter applies << 4 to the hi tree's sum.
+            hi_sum = self._sum_tree(hi_products)
+            lo_sum = self._sum_tree(lo_products)
+            return int((hi_sum << 4) + lo_sum)
+        # Type B: each pair recombines first (one shifter per pair), then the
+        # adder tree sums the per-pair 8x8 products.
+        pair_products = (hi_products << 4) + lo_products
+        return int(self._sum_tree(pair_products))
+
+    @staticmethod
+    def _sum_tree(products: np.ndarray) -> int:
+        """Balanced binary adder tree (associativity is exact for ints)."""
+        level = [int(p) for p in products]
+        while len(level) > 1:
+            if len(level) % 2:
+                level.append(0)
+            level = [level[i] + level[i + 1] for i in range(0, len(level), 2)]
+        return level[0]
+
+    # ------------------------------------------------------------------
+    # vectorized helpers used by the PE/PU functional simulation
+    # ------------------------------------------------------------------
+    def dot_8x4_batch(self, activations: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Vectorized 8/4 dot products over the last axis (length M each)."""
+        activations = np.asarray(activations, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        if activations.shape[-1] != self.num_multipliers:
+            raise ValueError("last axis must equal M")
+        return (activations * weights).sum(axis=-1)
+
+    def dot_8x8_batch(self, activations: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Vectorized 8/8 dot products over the last axis (length M/2 each)."""
+        activations = np.asarray(activations, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        if activations.shape[-1] != self.lanes_8x8:
+            raise ValueError("last axis must equal M/2")
+        w_hi = weights >> 4
+        w_lo = weights & 0xF
+        hi = (activations * w_hi).sum(axis=-1)
+        lo = (activations * w_lo).sum(axis=-1)
+        return (hi << 4) + lo
+
+    # ------------------------------------------------------------------
+    # resource model
+    # ------------------------------------------------------------------
+    def psum_bits(self, mode: BimMode, act_signed: bool = True) -> int:
+        """Bit width of the BIM output partial sum (for buffer sizing)."""
+        product_bits = 12 if act_signed else 13
+        if mode is BimMode.MODE_8x4:
+            growth = int(np.log2(self.num_multipliers))
+            return product_bits + growth
+        growth = int(np.log2(max(2, self.lanes_8x8)))
+        return product_bits + 4 + growth  # << 4 recombination adds 4 bits
+
+    def shifter_count(self) -> int:
+        """Number of shift units — the resource difference of Figure 4."""
+        if self.bim_type is BimType.TYPE_A:
+            return 1
+        return self.lanes_8x8
+
+    def lut_cost(self) -> int:
+        """Estimated LUTs for the shift-add/select logic (excl. multipliers).
+
+        A 16-bit-ish barrel segment plus the recombine adder costs roughly
+        48 LUTs per shifter; Type A additionally pays an input-rearrangement
+        mux of about 8 LUTs per lane.  These constants feed the Type A vs
+        Type B ablation bench; absolute values are order-of-magnitude HLS
+        estimates.
+        """
+        shifter_luts = 48 * self.shifter_count()
+        rearrange_luts = 8 * self.num_multipliers if self.bim_type is BimType.TYPE_A else 0
+        tree_luts = 16 * (self.num_multipliers - 1)  # adder tree
+        return shifter_luts + rearrange_luts + tree_luts
+
+    def dsp_cost(self) -> int:
+        """One DSP48 per 8b x 4b multiplier (the Table III calibration)."""
+        return self.num_multipliers

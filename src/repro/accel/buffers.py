@@ -1,0 +1,127 @@
+"""On-chip buffer inventory and BRAM estimation (Figure 2's buffer set).
+
+Each buffer is sized from the model shape and accelerator configuration;
+BRAM18K usage follows the standard Xilinx mapping (one BRAM18K holds 18 Kib,
+split into banks wide enough for the port).  The weight and psum buffers are
+double-buffered, doubling their block count — the trade that buys transfer/
+compute overlap (Sec. III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..bert.config import BertConfig
+from .config import AcceleratorConfig
+
+BRAM18K_BITS = 18 * 1024
+
+
+@dataclass(frozen=True)
+class OnChipBuffer:
+    """One named buffer: capacity, port width, and banking."""
+
+    name: str
+    depth: int            # addressable entries
+    width_bits: int       # port width per entry
+    double_buffered: bool = False
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.depth * self.width_bits
+
+    def bram18k(self) -> int:
+        """BRAM18K blocks: capacity-based banks, at least one per 36b of port.
+
+        A BRAM18K port is at most 36 bits wide, so wide ports force
+        parallel banks even when capacity alone would not.
+        """
+        if self.depth == 0:
+            return 0
+        width_banks = int(np.ceil(self.width_bits / 36))
+        capacity_banks = int(np.ceil(self.capacity_bits / BRAM18K_BITS))
+        banks = max(width_banks, capacity_banks)
+        return banks * (2 if self.double_buffered else 1)
+
+
+def build_buffer_set(
+    accel: AcceleratorConfig,
+    model: BertConfig,
+    seq_len: int = 128,
+    weight_bits: int = 4,
+    act_bits: int = 8,
+) -> List[OnChipBuffer]:
+    """Instantiate the Figure 2 buffers for a model/accelerator pair."""
+    hidden = model.hidden_size
+    inter = model.intermediate_size
+    heads = model.num_attention_heads
+    head_dim = model.head_dim
+
+    # Weight tile: one pass worth of rows for every PE, double buffered so
+    # the next tile streams in during compute.  The largest contraction is
+    # FFN2's (K = intermediate size).
+    tile_rows = accel.total_pes
+    max_k = max(hidden, inter)
+    weight_buffer = OnChipBuffer(
+        "weight_buf",
+        depth=tile_rows * max_k,
+        width_bits=weight_bits,
+        double_buffered=accel.double_buffer_weights,
+    )
+
+    # Input/output buffers hold a full activation matrix (seq x hidden).
+    io_depth = seq_len * max(hidden, inter)
+    input_buffer = OnChipBuffer("input_buf", depth=io_depth, width_bits=act_bits)
+    output_buffer = OnChipBuffer("output_buf", depth=io_depth, width_bits=act_bits)
+
+    # Intermediate buffer: Q, K, V (seq x hidden each) + attention matrix
+    # (heads x seq x seq), all 8-bit codes.
+    qkv_depth = 3 * seq_len * hidden
+    attn_depth = heads * seq_len * seq_len
+    intermediate_buffer = OnChipBuffer(
+        "intermediate_buf", depth=qkv_depth + attn_depth, width_bits=act_bits
+    )
+
+    # Psum buffer: one 32-bit accumulator per PE, double buffered so the
+    # quantization module drains one half while the PEs fill the other.
+    psum_buffer = OnChipBuffer(
+        "psum_buf",
+        depth=accel.total_pes,
+        width_bits=32,
+        double_buffered=accel.double_buffer_psum,
+    )
+
+    # Parameter buffer: scaling factors, biases, LN parameters, softmax LUT.
+    num_tensors_per_layer = 10
+    scale_depth = model.num_hidden_layers * num_tensors_per_layer
+    bias_depth = 4 * hidden + inter + hidden  # largest layer's biases, int32
+    ln_depth = 2 * 2 * hidden                 # two LN blocks' gamma/beta
+    lut_depth = 256
+    parameter_buffer = OnChipBuffer(
+        "param_buf",
+        depth=scale_depth + bias_depth + ln_depth + lut_depth,
+        width_bits=32,
+    )
+
+    _ = head_dim  # head_dim folds into qkv_depth; named for clarity
+    return [
+        weight_buffer,
+        input_buffer,
+        output_buffer,
+        intermediate_buffer,
+        psum_buffer,
+        parameter_buffer,
+    ]
+
+
+def total_bram18k(buffers: List[OnChipBuffer]) -> int:
+    return sum(buffer.bram18k() for buffer in buffers)
+
+
+def bram_report(buffers: List[OnChipBuffer]) -> Dict[str, int]:
+    report = {buffer.name: buffer.bram18k() for buffer in buffers}
+    report["total"] = total_bram18k(buffers)
+    return report

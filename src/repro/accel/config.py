@@ -1,0 +1,73 @@
+"""Accelerator configuration (the (N, M) design points of Table III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .bim import BimType
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Parameters of one accelerator instance.
+
+    ``num_pus`` is H (12 in the paper, matching BERT-base's 12 attention
+    heads so attention ops map one head per PU), ``num_pes`` is N, and
+    ``num_multipliers`` is M — the knobs examined in Table III.
+    """
+
+    num_pus: int = 12               # H
+    num_pes: int = 8                # N
+    num_multipliers: int = 16       # M (8b x 4b multipliers per BIM)
+    bim_type: BimType = BimType.TYPE_A
+    frequency_mhz: float = 214.0
+    axi_bytes_per_cycle: int = 16   # 128-bit AXI4 @ accelerator clock
+    double_buffer_weights: bool = True
+    double_buffer_psum: bool = True
+    pe_pipeline_fill: int = 4       # refill cycles per weight-row pass
+    quant_pipeline_depth: int = 4   # quantization module latency (Sec. III-B)
+    softmax_simd: int = 16          # softmax core lanes
+    softmax_pipeline_depth: int = 8
+    ln_simd: int = 16               # LN core SIMD width
+    ln_pipeline_depth: int = 6
+    stage_sync_cycles: int = 32     # controller sync at each Fig. 5 stage edge
+
+    def __post_init__(self):
+        if self.num_pus < 1 or self.num_pes < 1:
+            raise ValueError("num_pus and num_pes must be >= 1")
+        m = self.num_multipliers
+        if m < 2 or (m & (m - 1)) != 0:
+            raise ValueError(f"M must be a power of two >= 2, got {m}")
+        if self.axi_bytes_per_cycle < 1:
+            raise ValueError("axi_bytes_per_cycle must be >= 1")
+
+    @property
+    def total_multipliers(self) -> int:
+        """H * N * M — the headline compute capacity."""
+        return self.num_pus * self.num_pes * self.num_multipliers
+
+    @property
+    def total_pes(self) -> int:
+        return self.num_pus * self.num_pes
+
+    def with_(self, **kwargs) -> "AcceleratorConfig":
+        """Functional update helper for sweeps."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # the paper's named design points
+    # ------------------------------------------------------------------
+    @classmethod
+    def zcu102_n8_m16(cls) -> "AcceleratorConfig":
+        """Table III row (8, 16) on ZCU102."""
+        return cls(num_pes=8, num_multipliers=16)
+
+    @classmethod
+    def zcu102_n16_m8(cls) -> "AcceleratorConfig":
+        """Table III row (16, 8) on ZCU102."""
+        return cls(num_pes=16, num_multipliers=8)
+
+    @classmethod
+    def zcu111_n16_m16(cls) -> "AcceleratorConfig":
+        """Table III row (16, 16) on ZCU111 (double the multipliers)."""
+        return cls(num_pes=16, num_multipliers=16)

@@ -1,0 +1,116 @@
+"""Device catalog: FPGA parts and baseline CPU/GPU characteristics.
+
+FPGA capacities are the ZCU102/ZCU111 rows of Table III.  CPU/GPU entries
+carry the published peak characteristics of the paper's baseline parts
+(Intel Core i7-8700, NVIDIA Tesla K80) used by the roofline models in
+:mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """An FPGA part: resource capacity and board-level power coefficients."""
+
+    name: str
+    bram18k: int
+    dsp48: int
+    ff: int
+    lut: int
+    uram: int = 0  # URAM288 blocks (ZCU111 only)
+    # Board power model: P = static_watts + dsp_milliwatts * DSP_used / 1000
+    # Calibrated against Table IV (ZCU102 9.8 W at 1751 DSP, ZCU111 13.2 W at
+    # 3287 DSP -> ~2.21 mW/DSP at 214 MHz + 5.93 W static/board).
+    static_watts: float = 5.93
+    dsp_milliwatts: float = 2.2135
+
+    def fits(self, bram18k: int, dsp48: int, ff: int, lut: int) -> bool:
+        """Whether a design's resource usage fits this device."""
+        return (
+            bram18k <= self.bram18k
+            and dsp48 <= self.dsp48
+            and ff <= self.ff
+            and lut <= self.lut
+        )
+
+    def power(self, dsp_used: int) -> float:
+        """Board power in watts for a design using ``dsp_used`` DSPs."""
+        return self.static_watts + self.dsp_milliwatts * dsp_used / 1000.0
+
+
+ZCU102 = FpgaDevice(
+    name="ZCU102",
+    bram18k=1824,
+    dsp48=2520,
+    ff=548160,
+    lut=274080,
+    uram=0,
+)
+
+ZCU111 = FpgaDevice(
+    name="ZCU111",
+    bram18k=2160,
+    dsp48=4272,
+    ff=850560,
+    lut=425280,
+    uram=80,
+)
+
+FPGA_DEVICES: Dict[str, FpgaDevice] = {device.name: device for device in (ZCU102, ZCU111)}
+
+
+@dataclass(frozen=True)
+class ComputeDevice:
+    """A CPU/GPU baseline part for the roofline latency model."""
+
+    name: str
+    peak_gflops: float        # fp32 peak
+    memory_bandwidth_gbs: float
+    power_watts: float        # the power figure the paper reports (Table IV)
+    compute_efficiency: float  # achieved/peak compute for batch-1 transformer
+    bandwidth_efficiency: float
+    per_op_overhead_us: float  # framework/kernel-launch overhead per operator
+
+    def effective_gflops(self) -> float:
+        return self.peak_gflops * self.compute_efficiency
+
+    def effective_bandwidth_gbs(self) -> float:
+        return self.memory_bandwidth_gbs * self.bandwidth_efficiency
+
+
+# Intel Core i7-8700: 6 cores x 3.2 GHz base (AVX2, 2x256-bit FMA) ->
+# ~614 GFLOPS fp32 peak; dual-channel DDR4-2666 -> 41.6 GB/s.  Efficiency
+# calibrated so that BERT-base (batch 1, seq 128) lands near the paper's
+# 145.06 ms — about 25% of peak, typical of PyTorch CPU inference.
+CPU_I7_8700 = ComputeDevice(
+    name="Intel Core i7-8700",
+    peak_gflops=614.4,
+    memory_bandwidth_gbs=41.6,
+    power_watts=65.0,
+    compute_efficiency=0.25,
+    bandwidth_efficiency=0.60,
+    per_op_overhead_us=20.0,
+)
+
+# NVIDIA Tesla K80 (single GK210 as used with CUDA device 0): 2.8 TFLOPS
+# fp32 boost, 240 GB/s.  Batch-1 inference keeps the GPU badly underutilized;
+# ~30% compute efficiency plus ~10 us launch overhead per kernel reproduces
+# the paper's 27.84 ms.
+GPU_K80 = ComputeDevice(
+    name="NVIDIA K80",
+    peak_gflops=2800.0,
+    memory_bandwidth_gbs=240.0,
+    power_watts=143.0,
+    compute_efficiency=0.30,
+    bandwidth_efficiency=0.55,
+    per_op_overhead_us=10.0,
+)
+
+COMPUTE_DEVICES: Dict[str, ComputeDevice] = {
+    "cpu": CPU_I7_8700,
+    "gpu": GPU_K80,
+}

@@ -1,0 +1,122 @@
+"""Bottom-up energy model: where the joules go per inference.
+
+The board-level power numbers of Table IV come from the calibrated device
+model (:mod:`repro.accel.devices`).  This module complements them with an
+*event-based* energy breakdown in the style of Horowitz's ISSCC'14 survey
+numbers (scaled to a 16 nm FPGA fabric): energy per MAC at each operand
+width, per on-chip buffer access, and per off-chip DRAM byte.  It exposes
+which architectural choices actually save energy — 4-bit weights cut both
+MAC and DRAM energy, the LUT softmax removes exp() entirely, and weight
+compression shrinks the dominant DRAM term by 8x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .config import AcceleratorConfig
+from .workload import EncoderWorkload, OpKind
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energies in picojoules.
+
+    Defaults are Horowitz-style 45 nm numbers scaled by ~0.4 for a modern
+    FPGA node, with the LUT-fabric overhead folded in (FPGA logic costs
+    ~10x ASIC): an 8b x 4b MAC lands around 0.3 pJ of dynamic energy, an
+    8b x 8b one around 0.5 pJ; SRAM (BRAM) accesses a few pJ per byte;
+    DRAM ~160 pJ per byte.  Absolute values carry large error bars — the
+    *ratios* (DRAM >> SRAM >> MAC) are what drive the conclusions.
+    """
+
+    mac_8x4_pj: float = 0.3
+    mac_8x8_pj: float = 0.5
+    # Per-byte BRAM energy assuming wide-row reads amortized across the PE
+    # array's lanes (a raw single-byte access would cost ~5x more).
+    sram_byte_pj: float = 0.5
+    dram_byte_pj: float = 160.0
+    special_op_pj: float = 1.2   # softmax/LN per-element (LUT + SIMD ALU)
+    static_watts: float = 5.93   # board static power (device model)
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-component energy of one inference, in microjoules."""
+
+    components_uj: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def dynamic_uj(self) -> float:
+        return sum(self.components_uj.values())
+
+    def total_uj(self, latency_ms: float, params: EnergyParams) -> float:
+        """Dynamic + static energy given the inference latency.
+
+        watts * milliseconds = millijoules; * 1000 -> microjoules.
+        """
+        return self.dynamic_uj + params.static_watts * latency_ms * 1e3
+
+    def dominant_component(self) -> str:
+        return max(self.components_uj, key=self.components_uj.get)
+
+
+def estimate_energy(
+    workload: EncoderWorkload,
+    config: AcceleratorConfig,
+    params: EnergyParams = EnergyParams(),
+    weight_bits: int = 4,
+) -> EnergyBreakdown:
+    """Event-count energy estimate of one inference."""
+    breakdown = EnergyBreakdown()
+    pj = breakdown.components_uj  # accumulate in pJ, convert at the end
+
+    macs_w = workload.total_macs(OpKind.MATMUL_W)
+    macs_a = workload.total_macs(OpKind.MATMUL_A)
+    pj["mac_8x4"] = macs_w * params.mac_8x4_pj
+    pj["mac_8x8"] = macs_a * params.mac_8x8_pj
+
+    # Off-chip: every weight byte crosses DRAM once per inference (weights
+    # are streamed, not cached across layers).  The workload carries 4-bit
+    # weights; rescale to the storage width under evaluation.
+    dram_bytes = workload.total_weight_bytes() * weight_bits / 4.0
+    pj["dram_weights"] = dram_bytes * params.dram_byte_pj
+
+    # On-chip SRAM traffic: each MAC reads one activation byte and
+    # weight_bits/8 weight byte from BRAM; outputs write once.
+    act_reads = macs_w + macs_a
+    weight_reads = macs_w * weight_bits / 8.0 + macs_a  # 8x8 reads full bytes
+    pj["sram"] = (act_reads + weight_reads) * params.sram_byte_pj / 1.0
+
+    special_elems = 0
+    for op in workload.layer_ops:
+        if op.kind in (OpKind.SOFTMAX, OpKind.LAYERNORM, OpKind.GELU):
+            special_elems += op.vectors * op.out_dim
+    pj["special_cores"] = special_elems * workload.num_layers * params.special_op_pj
+
+    breakdown.components_uj = {name: value / 1e6 for name, value in pj.items()}
+    return breakdown
+
+
+def compare_weight_widths(
+    workload: EncoderWorkload,
+    config: AcceleratorConfig,
+    params: EnergyParams = EnergyParams(),
+) -> Dict[int, float]:
+    """Dynamic energy (uJ) at different weight storage widths.
+
+    Shows the algorithm/hardware co-design payoff: 4-bit weights cut the
+    dominant DRAM term 8x relative to fp32 streaming.
+    """
+    energies = {}
+    for bits in (32, 8, 4, 2):
+        scaled = EnergyBreakdown()
+        base = estimate_energy(workload, config, params, weight_bits=bits)
+        scaled.components_uj = dict(base.components_uj)
+        # DRAM term scales with the storage width.
+        scaled.components_uj["dram_weights"] = (
+            workload.total_weight_bytes() * (bits / 4.0) * params.dram_byte_pj / 1e6
+        )
+        energies[bits] = scaled.dynamic_uj
+    return energies

@@ -1,0 +1,39 @@
+"""Off-chip memory (AXI4) transfer model.
+
+Weights live in off-chip DDR and stream to the FPGA over AXI4 (Sec. III-A).
+The model is bandwidth + per-burst overhead: a transfer of ``nbytes`` takes
+``ceil(nbytes / bytes_per_cycle)`` data beats plus a fixed address/handshake
+overhead per burst.  The scheduler overlaps these cycles with compute when
+the weight buffer is double-buffered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AxiModel:
+    """AXI4 read-channel timing model."""
+
+    bytes_per_cycle: int = 16       # 128-bit data bus at the core clock
+    burst_bytes: int = 4096         # max burst length before re-arbitration
+    burst_overhead_cycles: int = 8  # address phase + handshake per burst
+
+    def transfer_cycles(self, nbytes: float) -> int:
+        """Cycles to move ``nbytes`` from DDR into an on-chip buffer."""
+        if nbytes <= 0:
+            return 0
+        data_cycles = int(np.ceil(nbytes / self.bytes_per_cycle))
+        bursts = int(np.ceil(nbytes / self.burst_bytes))
+        return data_cycles + bursts * self.burst_overhead_cycles
+
+    def effective_bandwidth(self, nbytes: float, frequency_mhz: float) -> float:
+        """Achieved GB/s for a transfer of ``nbytes`` at the given clock."""
+        cycles = self.transfer_cycles(nbytes)
+        if cycles == 0:
+            return 0.0
+        seconds = cycles / (frequency_mhz * 1e6)
+        return nbytes / seconds / 1e9

@@ -1,0 +1,213 @@
+"""Command-stream model of the accelerator controller (Figure 2, 'Controller').
+
+The analytic scheduler (:mod:`repro.accel.scheduler`) computes closed-form
+cycle counts.  This module is the *other* half of a credible performance
+methodology: it expands the Figure 5 dataflow into an explicit command
+stream — ``LOAD_TILE`` / ``COMPUTE_PASS`` / ``DRAIN_PSUM`` / special-core
+commands — and replays it on a small event-driven engine with two resources
+(the AXI read channel and the PE array) and a double-buffer dependency rule.
+
+Because the two models are built independently from the same architecture
+description, their agreement (checked in the tests within a few percent) is
+evidence that neither has a bookkeeping bug — the simulation-level analogue
+of RTL-vs-model co-verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from .config import AcceleratorConfig
+from .memory import AxiModel
+from .workload import EncoderWorkload, Op, OpKind
+
+
+class CommandKind(Enum):
+    """Controller command opcodes."""
+
+    LOAD_TILE = "load_tile"        # DDR -> weight buffer (AXI resource)
+    COMPUTE_PASS = "compute_pass"  # one pass of all PEs (PE-array resource)
+    DRAIN_PSUM = "drain_psum"      # quantization module drains a PU's psums
+    SOFTMAX_ROW = "softmax_row"    # softmax core processes one batch of rows
+    LN_TOKENS = "ln_tokens"        # LN core processes the token stream
+    SYNC = "sync"                  # stage barrier
+
+
+@dataclass(frozen=True)
+class Command:
+    """One controller command with its resource occupancy in cycles."""
+
+    kind: CommandKind
+    cycles: int
+    stage: str
+    tile: int = 0  # which weight tile a LOAD/COMPUTE refers to
+
+
+@dataclass
+class TraceStats:
+    """Outcome of replaying a command stream."""
+
+    total_cycles: int
+    busy_pe_cycles: int
+    busy_axi_cycles: int
+    commands: int
+
+    @property
+    def pe_utilization(self) -> float:
+        return self.busy_pe_cycles / self.total_cycles if self.total_cycles else 0.0
+
+
+class CommandStreamGenerator:
+    """Expand one encoder layer's ops into the controller command stream."""
+
+    def __init__(self, config: AcceleratorConfig, axi: Optional[AxiModel] = None):
+        self.config = config
+        self.axi = axi or AxiModel(bytes_per_cycle=config.axi_bytes_per_cycle)
+
+    def commands_for_op(self, op: Op) -> Iterator[Command]:
+        cfg = self.config
+        if op.kind is OpKind.MATMUL_W:
+            passes = int(np.ceil(op.out_dim / cfg.total_pes))
+            chunk = int(np.ceil(op.contract_dim / cfg.num_multipliers))
+            pass_cycles = chunk + cfg.pe_pipeline_fill
+            tile_bytes = op.weight_bytes / max(1, passes)
+            tile_cycles = self.axi.transfer_cycles(tile_bytes)
+            drain = cfg.num_pes + cfg.quant_pipeline_depth
+            for tile in range(passes):
+                yield Command(CommandKind.LOAD_TILE, tile_cycles, op.name, tile)
+                # One pass per token against the resident tile.
+                for _ in range(op.vectors):
+                    yield Command(CommandKind.COMPUTE_PASS, pass_cycles, op.name, tile)
+                    yield Command(CommandKind.DRAIN_PSUM, drain, op.name, tile)
+        elif op.kind is OpKind.MATMUL_A:
+            lanes = max(1, cfg.num_multipliers // 2)
+            rounds = int(np.ceil(op.heads / cfg.num_pus))
+            passes = int(np.ceil(op.out_dim / cfg.num_pes))
+            chunk = int(np.ceil(op.contract_dim / lanes))
+            pass_cycles = chunk + cfg.pe_pipeline_fill
+            drain = cfg.num_pes + cfg.quant_pipeline_depth
+            for _ in range(rounds * op.vectors * passes):
+                yield Command(CommandKind.COMPUTE_PASS, pass_cycles, op.name)
+                yield Command(CommandKind.DRAIN_PSUM, drain, op.name)
+        elif op.kind is OpKind.SOFTMAX:
+            row_scan = int(np.ceil(op.out_dim / cfg.softmax_simd))
+            row_cycles = 2 * row_scan + cfg.softmax_pipeline_depth
+            yield Command(CommandKind.SOFTMAX_ROW, op.vectors * row_cycles, op.name)
+        elif op.kind is OpKind.LAYERNORM:
+            token_scan = int(np.ceil(op.out_dim / cfg.ln_simd))
+            cycles = (op.vectors + 2) * token_scan + cfg.ln_pipeline_depth
+            yield Command(CommandKind.LN_TOKENS, cycles, op.name)
+        elif op.kind is OpKind.GELU:
+            return  # folded into the FFN1 drain (zero-cost LUT)
+        else:
+            raise ValueError(f"unknown op kind {op.kind}")
+        yield Command(CommandKind.SYNC, self.config.stage_sync_cycles, op.name)
+
+    def layer_stream(self, workload: EncoderWorkload) -> List[Command]:
+        commands: List[Command] = []
+        for op in workload.layer_ops:
+            commands.extend(self.commands_for_op(op))
+        return commands
+
+
+class TraceExecutor:
+    """Event-driven replay of a command stream.
+
+    Resource rules:
+
+    - ``LOAD_TILE`` occupies the AXI channel.  With weight double buffering
+      the load of tile ``t+1`` may run while tile ``t`` computes; without,
+      the load must finish before any compute against that tile starts and
+      cannot overlap compute at all.
+    - ``COMPUTE_PASS`` occupies the PE array and must wait for its tile's
+      load to have finished.
+    - ``DRAIN_PSUM`` runs on the quantization pipeline.  With psum double
+      buffering it overlaps the next pass; without it blocks the PE array.
+    - Special-core commands and ``SYNC`` serialize with the PE array (the
+      Figure 5 stages are sequential).
+    """
+
+    def __init__(self, config: AcceleratorConfig):
+        self.config = config
+
+    def run(self, commands: List[Command]) -> TraceStats:
+        cfg = self.config
+        pe_free = 0           # next cycle the PE array is free
+        axi_free = 0          # next cycle the AXI channel is free
+        drain_free = 0        # next cycle the quant pipeline is free
+        tile_ready: Dict[tuple, int] = {}  # (stage, tile) -> load finish time
+        busy_pe = 0
+        busy_axi = 0
+
+        for command in commands:
+            if command.kind is CommandKind.LOAD_TILE:
+                key = (command.stage, command.tile)
+                if cfg.double_buffer_weights:
+                    start = axi_free
+                else:
+                    # Single buffer: the previous tile's compute must fully
+                    # finish before its buffer can be overwritten.
+                    start = max(axi_free, pe_free)
+                finish = start + command.cycles
+                axi_free = finish
+                tile_ready[key] = finish
+                if not cfg.double_buffer_weights:
+                    # Compute cannot proceed during the exclusive load.
+                    pe_free = max(pe_free, finish)
+                busy_axi += command.cycles
+
+            elif command.kind is CommandKind.COMPUTE_PASS:
+                key = (command.stage, command.tile)
+                start = max(pe_free, tile_ready.get(key, 0), drain_free_blocking(cfg, drain_free, pe_free))
+                finish = start + command.cycles
+                pe_free = finish
+                busy_pe += command.cycles
+
+            elif command.kind is CommandKind.DRAIN_PSUM:
+                if cfg.double_buffer_psum:
+                    # Overlaps the next pass; occupies only the quant pipeline.
+                    drain_free = max(drain_free, pe_free) + command.cycles
+                else:
+                    # Blocks the array until drained.
+                    pe_free = max(pe_free, drain_free, pe_free) + command.cycles
+                    drain_free = pe_free
+
+            else:  # SOFTMAX_ROW / LN_TOKENS / SYNC serialize on the array
+                start = max(pe_free, drain_free)
+                pe_free = start + command.cycles
+
+        total = max(pe_free, axi_free, drain_free)
+        return TraceStats(
+            total_cycles=int(total),
+            busy_pe_cycles=int(busy_pe),
+            busy_axi_cycles=int(busy_axi),
+            commands=len(commands),
+        )
+
+
+def drain_free_blocking(cfg: AcceleratorConfig, drain_free: int, pe_free: int) -> int:
+    """With a double-buffered Psum Buf, a new pass may start as soon as the
+    *other* half is free — i.e. once the drain pipeline has caught up to the
+    previous pass.  Single-buffered handling blocks inside DRAIN_PSUM."""
+    if cfg.double_buffer_psum:
+        return drain_free - (cfg.num_pes + cfg.quant_pipeline_depth)
+    return 0
+
+
+def replay_workload(
+    workload: EncoderWorkload, config: AcceleratorConfig
+) -> TraceStats:
+    """Generate + replay the full-model command stream; returns totals."""
+    generator = CommandStreamGenerator(config)
+    layer = generator.layer_stream(workload)
+    stats = TraceExecutor(config).run(layer)
+    return TraceStats(
+        total_cycles=stats.total_cycles * workload.num_layers,
+        busy_pe_cycles=stats.busy_pe_cycles * workload.num_layers,
+        busy_axi_cycles=stats.busy_axi_cycles * workload.num_layers,
+        commands=stats.commands * workload.num_layers,
+    )

@@ -1,0 +1,186 @@
+"""Cross-model verification harness.
+
+The reproduction maintains four implementations of the FQ-BERT datapath at
+different abstraction levels:
+
+1. the QAT fake-quant model (float arithmetic on quantized grids),
+2. the integer-only engine (numpy integer kernels),
+3. the accelerator functional model (PE arrays + special-function cores),
+4. the cycle-accurate PU microarchitecture model (per-cycle RTL-style).
+
+``verify_stack`` runs one set of inputs through all four and reports the
+agreement at each boundary — the simulation-level analogue of the
+golden-model checks a tape-out flow runs between software model, RTL
+simulation, and netlist.  Returns a :class:`VerificationReport`; every
+check also carries its tolerance so the report is self-describing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..quant.integer_model import IntegerBertForSequenceClassification, convert_to_integer
+from .bim import BimMode
+from .config import AcceleratorConfig
+from .devices import ZCU102
+from .rtl import ProcessingUnitRTL, analytic_matvec_cycles
+from .simulator import AcceleratorSimulator
+
+
+@dataclass
+class Check:
+    """One verification check's outcome."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class VerificationReport:
+    """All checks of one verification run."""
+
+    checks: List[Check] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def add(self, name: str, passed: bool, detail: str) -> None:
+        self.checks.append(Check(name, bool(passed), detail))
+
+    def render(self) -> str:
+        lines = ["verification report:"]
+        for check in self.checks:
+            status = "PASS" if check.passed else "FAIL"
+            lines.append(f"  [{status}] {check.name}: {check.detail}")
+        lines.append(f"  => {'ALL CHECKS PASSED' if self.passed else 'FAILURES PRESENT'}")
+        return "\n".join(lines)
+
+
+def verify_stack(
+    quant_model,
+    input_ids: np.ndarray,
+    attention_mask: Optional[np.ndarray] = None,
+    token_type_ids: Optional[np.ndarray] = None,
+    accel_config: Optional[AcceleratorConfig] = None,
+    prediction_agreement: float = 0.9,
+    logit_tolerance: float = 0.3,
+) -> VerificationReport:
+    """Run the full verification chain on a trained FQ-BERT.
+
+    Parameters mirror the model's forward; ``accel_config`` defaults to a
+    small array (functional results are configuration-independent — that
+    itself is one of the checks).
+    """
+    report = VerificationReport()
+    quant_model.eval()
+    engine = convert_to_integer(quant_model)
+
+    # 1. QAT fake-quant vs integer engine.
+    qat_predictions = quant_model.predict(input_ids, attention_mask, token_type_ids)
+    from ..autograd import no_grad
+
+    with no_grad():
+        qat_logits = quant_model(input_ids, attention_mask, token_type_ids).data
+    engine_predictions = engine.predict(input_ids, attention_mask, token_type_ids)
+    engine_logits = engine.forward(input_ids, attention_mask, token_type_ids)
+    agreement = float((qat_predictions == engine_predictions).mean())
+    report.add(
+        "qat_vs_integer_predictions",
+        agreement >= prediction_agreement,
+        f"agreement {agreement:.3f} (threshold {prediction_agreement})",
+    )
+    max_logit_diff = float(np.abs(qat_logits - engine_logits).max())
+    report.add(
+        "qat_vs_integer_logits",
+        max_logit_diff <= logit_tolerance,
+        f"max |logit diff| {max_logit_diff:.4f} (tolerance {logit_tolerance})",
+    )
+
+    # 2. Integer engine vs accelerator functional datapath (bit-exact).
+    config = accel_config or AcceleratorConfig(num_pus=2, num_pes=4, num_multipliers=8)
+    simulator = AcceleratorSimulator(config, ZCU102)
+    hw_logits = simulator.run_functional(
+        engine, input_ids, attention_mask, token_type_ids
+    )
+    exact = bool(np.array_equal(hw_logits, engine_logits))
+    report.add(
+        "integer_vs_pe_array",
+        exact,
+        "bit-exact" if exact else
+        f"max diff {np.abs(hw_logits - engine_logits).max():.4g}",
+    )
+
+    # 3. Configuration independence of the functional result.
+    other = AcceleratorSimulator(
+        AcceleratorConfig(num_pus=3, num_pes=8, num_multipliers=16), ZCU102
+    )
+    hw_logits_2 = other.run_functional(engine, input_ids, attention_mask, token_type_ids)
+    independent = bool(np.array_equal(hw_logits, hw_logits_2))
+    report.add(
+        "functional_config_independence",
+        independent,
+        "identical across (N, M) configurations" if independent else "differs",
+    )
+
+    # 4. One weight matmul through the cycle-accurate PU model.
+    report.checks.extend(_verify_rtl_linear(engine, config).checks)
+    return report
+
+
+def _verify_rtl_linear(
+    engine: IntegerBertForSequenceClassification, config: AcceleratorConfig
+) -> VerificationReport:
+    """Run the first layer's query projection through the RTL-level PU."""
+    report = VerificationReport()
+    if not engine.layers:
+        report.add("rtl_linear", False, "engine has no layers")
+        return report
+    linear = engine.layers[0].attention.query
+    from .bim import Bim
+
+    rng = np.random.default_rng(0)
+    x_codes = rng.integers(-127, 128, size=linear.weight_codes.shape[1])
+    from ..quant.fixedpoint import FixedPointMultiplier
+
+    if not isinstance(linear.requant, FixedPointMultiplier):
+        report.add("rtl_linear", True, "skipped (per-channel requant)")
+        return report
+    pu = ProcessingUnitRTL(
+        num_pes=config.num_pes,
+        bim=Bim(config.num_multipliers, config.bim_type),
+        requant=linear.requant,
+        pipeline_fill=config.pe_pipeline_fill,
+        quant_depth=config.quant_pipeline_depth,
+        double_buffer_psum=config.double_buffer_psum,
+    )
+    rtl_out = pu.run_matvec(linear.weight_codes, x_codes, bias=linear.bias_codes)
+    ref_out = linear.forward(x_codes[None])[0]
+    exact = bool(np.array_equal(rtl_out, ref_out))
+    report.add(
+        "rtl_vs_integer_linear",
+        exact,
+        "bit-exact" if exact else "mismatch",
+    )
+    expected_cycles = analytic_matvec_cycles(
+        linear.weight_codes.shape[0],
+        linear.weight_codes.shape[1],
+        config.num_pes,
+        Bim(config.num_multipliers, config.bim_type),
+        mode=BimMode.MODE_8x4,
+        pipeline_fill=config.pe_pipeline_fill,
+        quant_depth=config.quant_pipeline_depth,
+        double_buffer_psum=config.double_buffer_psum,
+    )
+    report.add(
+        "rtl_cycle_law",
+        pu.cycle == expected_cycles,
+        f"measured {pu.cycle} == closed-form {expected_cycles}"
+        if pu.cycle == expected_cycles
+        else f"measured {pu.cycle} != closed-form {expected_cycles}",
+    )
+    return report

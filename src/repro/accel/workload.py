@@ -1,0 +1,142 @@
+"""Workload description: the operator stream of one BERT inference.
+
+The scheduler (Figure 5 dataflow) and the CPU/GPU baselines both consume
+this representation, so every latency number in Tables III/IV is computed
+from the *same* operator inventory, derived analytically from a
+:class:`repro.bert.BertConfig` and a sequence length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+from ..bert.config import BertConfig
+
+
+class OpKind(Enum):
+    """Operator classes the accelerator distinguishes."""
+
+    MATMUL_W = "matmul_weight"   # activation x weight, 8b x 4b on the PEs
+    MATMUL_A = "matmul_act"      # activation x activation, 8b x 8b (BIM fused)
+    SOFTMAX = "softmax"          # softmax core
+    LAYERNORM = "layernorm"      # LN core (Add&LN)
+    GELU = "gelu"                # elementwise LUT, overlapped with writeback
+
+
+@dataclass(frozen=True)
+class Op:
+    """One operator instance within an encoder layer.
+
+    For matmuls the hardware executes ``vectors`` independent matrix-vector
+    products of shape ``(out_dim, contract_dim)``, replicated over ``heads``
+    attention heads (1 for weight matmuls, which see the full hidden dim).
+    """
+
+    name: str
+    kind: OpKind
+    vectors: int = 0        # number of input vectors (tokens / rows)
+    out_dim: int = 0        # outputs per vector
+    contract_dim: int = 0   # dot-product length K
+    heads: int = 1
+    weight_bits: int = 4    # storage width of streamed weights (MATMUL_W)
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulates of this op (0 for non-matmul kinds)."""
+        if self.kind in (OpKind.MATMUL_W, OpKind.MATMUL_A):
+            return self.vectors * self.out_dim * self.contract_dim * self.heads
+        return 0
+
+    @property
+    def weight_bytes(self) -> float:
+        """Off-chip weight traffic of this op at its storage width."""
+        if self.kind is not OpKind.MATMUL_W:
+            return 0.0
+        return self.out_dim * self.contract_dim * self.weight_bits / 8.0
+
+
+@dataclass(frozen=True)
+class EncoderWorkload:
+    """The per-layer op stream plus the layer count."""
+
+    config: BertConfig
+    seq_len: int
+    layer_ops: List[Op]
+    num_layers: int
+    batch_size: int = 1
+
+    # ------------------------------------------------------------------
+    # aggregate statistics (used by baselines and reports)
+    # ------------------------------------------------------------------
+    def total_macs(self, kind: OpKind = None) -> int:
+        total = 0
+        for op in self.layer_ops:
+            if kind is None or op.kind is kind:
+                total += op.macs
+        return total * self.num_layers
+
+    def total_flops(self) -> float:
+        """2 x MACs over the whole encoder (ignoring cheap elementwise ops)."""
+        return 2.0 * self.total_macs()
+
+    def total_weight_bytes(self) -> float:
+        """Per-inference off-chip weight traffic at quantized width."""
+        return sum(op.weight_bytes for op in self.layer_ops) * self.num_layers
+
+    def total_weight_bytes_fp32(self) -> float:
+        """Weight traffic if weights were fp32 (the CPU/GPU baselines)."""
+        total = 0.0
+        for op in self.layer_ops:
+            if op.kind is OpKind.MATMUL_W:
+                total += op.out_dim * op.contract_dim * 4.0
+        return total * self.num_layers
+
+
+def build_encoder_workload(
+    config: BertConfig,
+    seq_len: int = 128,
+    weight_bits: int = 4,
+    batch_size: int = 1,
+) -> EncoderWorkload:
+    """Derive the Figure 5 op stream for one encoder layer.
+
+    Stage order matches the paper's dataflow: ``X·W_Q``, ``X·W_K``, ``X·W_V``,
+    ``Q·Kᵀ``, softmax, ``Attn·V``, ``O_A·W_s``, Add&LN, FFN1 (+GELU), FFN2,
+    Add&LN.
+
+    ``batch_size > 1`` multiplies every op's vector count while the weight
+    traffic stays fixed — a resident weight tile serves the whole batch, so
+    batching amortizes the off-chip stream (the paper evaluates batch 1
+    latency; the batch-scaling bench quantifies the throughput headroom).
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    hidden = config.hidden_size
+    inter = config.intermediate_size
+    heads = config.num_attention_heads
+    head_dim = config.head_dim
+    tokens = seq_len * batch_size
+
+    ops = [
+        Op("X*W_Q", OpKind.MATMUL_W, tokens, hidden, hidden, weight_bits=weight_bits),
+        Op("X*W_K", OpKind.MATMUL_W, tokens, hidden, hidden, weight_bits=weight_bits),
+        Op("X*W_V", OpKind.MATMUL_W, tokens, hidden, hidden, weight_bits=weight_bits),
+        Op("Q*K^T", OpKind.MATMUL_A, tokens, seq_len, head_dim, heads=heads),
+        Op("softmax", OpKind.SOFTMAX, vectors=heads * tokens, out_dim=seq_len),
+        Op("Attn*V", OpKind.MATMUL_A, tokens, head_dim, seq_len, heads=heads),
+        Op("O_A*W_s", OpKind.MATMUL_W, tokens, hidden, hidden, weight_bits=weight_bits),
+        Op("Add&LN_1", OpKind.LAYERNORM, vectors=tokens, out_dim=hidden),
+        Op("FFN1", OpKind.MATMUL_W, tokens, inter, hidden, weight_bits=weight_bits),
+        Op("GELU", OpKind.GELU, vectors=tokens, out_dim=inter),
+        Op("FFN2", OpKind.MATMUL_W, tokens, hidden, inter, weight_bits=weight_bits),
+        Op("Add&LN_2", OpKind.LAYERNORM, vectors=tokens, out_dim=hidden),
+    ]
+    return EncoderWorkload(
+        config=config,
+        seq_len=seq_len,
+        layer_ops=ops,
+        num_layers=config.num_hidden_layers,
+        batch_size=batch_size,
+    )

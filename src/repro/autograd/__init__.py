@@ -1,0 +1,23 @@
+"""A minimal numpy autograd engine (substrate for the FQ-BERT reproduction).
+
+Public surface:
+
+- :class:`Tensor` — numpy-backed tensor with reverse-mode autodiff
+- :mod:`repro.autograd.functional` — NN primitives (softmax, gelu, ...)
+- :mod:`repro.autograd.nn` — module system and standard layers
+- :mod:`repro.autograd.optim` — SGD/Adam/AdamW and LR schedules
+"""
+
+from . import functional
+from . import optim
+from .tensor import Tensor, concatenate, no_grad, stack, where
+
+__all__ = [
+    "Tensor",
+    "concatenate",
+    "stack",
+    "where",
+    "no_grad",
+    "functional",
+    "optim",
+]

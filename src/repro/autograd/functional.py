@@ -1,0 +1,201 @@
+"""Differentiable neural-network primitives built on :mod:`repro.autograd.tensor`.
+
+These are the building blocks the BERT implementation and the QAT flow use:
+activations, normalization, attention-flavoured softmax, losses, dropout,
+embedding lookup, and the straight-through-estimator (STE) ops that make
+fake quantization trainable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled
+
+_SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    out_data = np.maximum(x.data, 0.0)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * (x.data > 0))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation, as used by BERT).
+
+    ``gelu(x) = 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))``
+    """
+    x3 = x * x * x
+    inner = (x + x3 * 0.044715) * _SQRT_2_OVER_PI
+    return x * (inner.tanh() + 1.0) * 0.5
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Numerically stable logistic sigmoid."""
+    out_data = np.where(
+        x.data >= 0,
+        1.0 / (1.0 + np.exp(-np.abs(x.data))),
+        np.exp(-np.abs(x.data)) / (1.0 + np.exp(-np.abs(x.data))),
+    ).astype(x.data.dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * out_data * (1.0 - out_data))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` with the max-subtraction stabilisation.
+
+    The max-subtraction here is the same invariance the paper's hardware
+    softmax core exploits: subtracting the row max bounds exp() outputs to
+    (0, 1], which is what makes a 256-entry lookup table sufficient.
+    """
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (grad - dot))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis`` (stable form)."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    softmax_data = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad - softmax_data * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (batch, classes) and int labels."""
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D (batch, classes), got {logits.shape}")
+    log_probs = log_softmax(logits, axis=-1)
+    batch = logits.shape[0]
+    picked = log_probs[np.arange(batch), labels]
+    return -picked.mean()
+
+
+def dropout(x: Tensor, p: float, training: bool) -> Tensor:
+    """Inverted dropout; identity when ``training`` is False or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (np.random.random(x.shape) < keep).astype(x.data.dtype) / keep
+    return x * Tensor(mask)
+
+
+def layer_norm(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Layer normalization over the last dimension.
+
+    Matches the LN blocks after attention and FFN in BERT.  The accelerator
+    maps this to the 3-stage SIMD LN core; numerically both compute
+    ``weight * (x - mean) / sqrt(var + eps) + bias``.
+    """
+    mu = x.mean(axis=-1, keepdims=True)
+    centered = x - mu
+    variance = (centered * centered).mean(axis=-1, keepdims=True)
+    inv_std = (variance + eps) ** -0.5
+    return centered * inv_std * weight + bias
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Row lookup ``weight[indices]`` with sparse gradient accumulation."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = weight.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(weight.data)
+        np.add.at(full, indices, grad)
+        weight._accumulate(full)
+
+    return Tensor._make(out_data, (weight,), backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` (PyTorch weight layout)."""
+    out = x.matmul(weight.transpose())
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+# ----------------------------------------------------------------------
+# Straight-through estimator ops (the hooks QAT needs)
+# ----------------------------------------------------------------------
+
+def ste_round(x: Tensor) -> Tensor:
+    """Round-to-nearest-even whose gradient is the identity.
+
+    Rounding has zero gradient almost everywhere; the straight-through
+    estimator pretends it is the identity so that fake-quantized weights
+    still receive useful gradients during QAT.  ``np.rint`` implements the
+    round-half-to-even convention, matching the ⌊·⌉ operator in Eq. 1.
+    """
+    out_data = np.rint(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def ste_floor(x: Tensor) -> Tensor:
+    """Floor with identity gradient (used by fixed-point truncation tests)."""
+    out_data = np.floor(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def fake_quantize(x: Tensor, scale, qmin: int, qmax: int) -> Tensor:
+    """Simulated quantization ``clamp(round(x * scale), qmin, qmax) / scale``.
+
+    Combines STE rounding with a hard integer-range clamp.  Gradients pass
+    through where the quantized code lies strictly inside the representable
+    range and are cut where the value saturates — the standard QAT rule that
+    lets clipped values stop contributing noise.
+
+    ``scale`` may be a scalar (per-tensor) or an array broadcastable to
+    ``x`` (per-channel weight quantization).
+    """
+    scale = np.asarray(scale, dtype=np.float64)
+    if np.any(scale <= 0):
+        raise ValueError("scale must be positive")
+    if scale.ndim == 0:
+        scale = float(scale)
+    scaled = x.data * scale
+    codes = np.clip(np.rint(scaled), qmin, qmax)
+    out_data = (codes / scale).astype(x.data.dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        mask = ((scaled >= qmin - 0.5) & (scaled <= qmax + 0.5)).astype(x.data.dtype)
+        x._accumulate(grad * mask)
+
+    if not is_grad_enabled() or not x.requires_grad:
+        return Tensor(out_data)
+    return Tensor._make(out_data, (x,), backward)

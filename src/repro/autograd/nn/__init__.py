@@ -1,0 +1,18 @@
+"""Module system and standard layers for the autograd engine."""
+
+from .layers import GELU, Dropout, Embedding, LayerNorm, Linear, ReLU, Tanh
+from .module import Module, ModuleList, Parameter, Sequential
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "GELU",
+    "ReLU",
+    "Tanh",
+]

@@ -1,0 +1,132 @@
+"""Standard layers: Linear, Embedding, LayerNorm, Dropout, activations."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from ..tensor import Tensor
+from .module import Module, Parameter
+
+
+def _kaiming_uniform(fan_in: int, shape, rng: np.random.Generator) -> np.ndarray:
+    bound = float(np.sqrt(1.0 / fan_in))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` with PyTorch-style weight layout.
+
+    ``weight`` has shape ``(out_features, in_features)`` so that quantization
+    code (per-tensor weight scales, bias folding) matches the conventions in
+    the paper's PyTorch implementation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(_kaiming_uniform(in_features, (out_features, in_features), rng))
+        if bias:
+            self.bias = Parameter(np.zeros(out_features, dtype=np.float32))
+        else:
+            self.bias = None  # type: ignore[assignment]
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features})"
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            rng.normal(0.0, 0.02, size=(num_embeddings, embedding_dim)).astype(np.float32)
+        )
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"[{indices.min()}, {indices.max()}]"
+            )
+        return F.embedding(self.weight, indices)
+
+    def __repr__(self) -> str:
+        return f"Embedding(num={self.num_embeddings}, dim={self.embedding_dim})"
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension with affine parameters."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_shape, dtype=np.float32))
+        self.bias = Parameter(np.zeros(normalized_shape, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.normalized_shape})"
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float = 0.1):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class GELU(Module):
+    """GELU activation module (tanh approximation)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+class ReLU(Module):
+    """ReLU activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class Tanh(Module):
+    """Tanh activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()

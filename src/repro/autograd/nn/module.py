@@ -1,0 +1,210 @@
+"""Minimal module system: parameter registration, training mode, state dicts.
+
+The interface intentionally mirrors ``torch.nn.Module`` so the BERT and QAT
+code reads like the PyTorch flow the paper used.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; those are discovered automatically for ``parameters()``,
+    ``state_dict()`` and mode switching.
+    """
+
+    def __init__(self):
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self._buffers: Dict[str, np.ndarray] = {}
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # attribute-based registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+            self.__dict__.pop(name, None)
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+            self.__dict__.pop(name, None)
+        else:
+            object.__setattr__(self, name, value)
+
+    def __getattr__(self, name: str):
+        parameters = self.__dict__.get("_parameters", {})
+        if name in parameters:
+            return parameters[name]
+        modules = self.__dict__.get("_modules", {})
+        if name in modules:
+            return modules[name]
+        buffers = self.__dict__.get("_buffers", {})
+        if name in buffers:
+            return buffers[name]
+        raise AttributeError(f"{type(self).__name__} has no attribute {name!r}")
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state saved in ``state_dict`` (e.g. EMA stats)."""
+        self._buffers[name] = np.asarray(value)
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        if name not in self._buffers:
+            raise KeyError(f"no buffer named {name!r}")
+        self._buffers[name] = np.asarray(value)
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix + name + ".")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix + name + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, buf in self._buffers.items():
+            yield prefix + name, buf
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix + name + ".")
+
+    # ------------------------------------------------------------------
+    # modes / grads
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        for name, buf in self.named_buffers():
+            state[name] = np.asarray(buf).copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own_params = dict(self.named_parameters())
+        own_buffers = dict(self.named_buffers())
+        for name, value in state.items():
+            if name in own_params:
+                param = own_params[name]
+                if param.data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: {param.data.shape} vs {value.shape}"
+                    )
+                param.data = value.astype(param.data.dtype).copy()
+            elif name in own_buffers:
+                self._set_buffer_by_path(name, value)
+            else:
+                raise KeyError(f"unexpected key in state_dict: {name!r}")
+
+    def _set_buffer_by_path(self, path: str, value: np.ndarray) -> None:
+        parts = path.split(".")
+        module: Module = self
+        for part in parts[:-1]:
+            module = module._modules[part]
+        module._buffers[parts[-1]] = np.asarray(value).copy()
+
+    # ------------------------------------------------------------------
+    # call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(p.size for p in self.parameters())
+
+
+class ModuleList(Module):
+    """Hold submodules in a list, registering each for traversal."""
+
+    def __init__(self, modules: Optional[List[Module]] = None):
+        super().__init__()
+        self._list: List[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        index = len(self._list)
+        self._list.append(module)
+        self._modules[str(index)] = module
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._list)
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._list[index]
+
+
+class Sequential(Module):
+    """Apply submodules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._list: List[Module] = []
+        for index, module in enumerate(modules):
+            self._list.append(module)
+            self._modules[str(index)] = module
+
+    def forward(self, x):
+        for module in self._list:
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._list)
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._list[index]

@@ -1,0 +1,15 @@
+"""Baselines: CPU/GPU roofline models and partial-quantization schemes."""
+
+from .partial_quant import QuantSchemeComparison, compare_schemes, q8bert_config, qbert_mixed_config
+from .roofline import BaselineReport, OpTime, simulate_baseline, time_operator
+
+__all__ = [
+    "BaselineReport",
+    "OpTime",
+    "simulate_baseline",
+    "time_operator",
+    "q8bert_config",
+    "qbert_mixed_config",
+    "QuantSchemeComparison",
+    "compare_schemes",
+]

@@ -1,0 +1,78 @@
+"""Partial-quantization baselines in the style of Q8BERT / Q-BERT.
+
+The paper positions FQ-BERT against prior work that quantizes *only part*
+of the network: Q8BERT (8-bit weights+activations for matmuls, float
+softmax/LN/scales) and Q-BERT (mixed-precision weights, float everything
+else).  These configurations are expressible in our :class:`QuantConfig`,
+so the baselines here are thin, named presets plus their storage accounting
+— used by the comparison example and the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bert.config import BertConfig
+from ..quant.model_size import compression_ratio
+from ..quant.qat import QuantConfig
+
+
+def q8bert_config() -> QuantConfig:
+    """Q8BERT-style: 8/8 matmul quantization only, everything else float."""
+    return QuantConfig(
+        weight_bits=8,
+        act_bits=8,
+        quantize_scales=False,
+        quantize_softmax=False,
+        quantize_layernorm=False,
+        quantize_embeddings=True,
+        use_clip=False,
+    )
+
+
+def qbert_mixed_config(weight_bits: int = 4) -> QuantConfig:
+    """Q-BERT-style: low-bit weights, 8-bit activations, float special parts."""
+    return QuantConfig(
+        weight_bits=weight_bits,
+        act_bits=8,
+        quantize_scales=False,
+        quantize_softmax=False,
+        quantize_layernorm=False,
+        quantize_embeddings=True,
+        use_clip=True,
+    )
+
+
+@dataclass(frozen=True)
+class QuantSchemeComparison:
+    """Compression/deployability comparison row for one scheme."""
+
+    name: str
+    qconfig: QuantConfig
+    compression: float
+    integer_only: bool  # whether the scheme admits an integer-only datapath
+
+
+def compare_schemes(model: BertConfig) -> list:
+    """FQ-BERT vs the partial-quantization baselines on storage/deployability.
+
+    ``integer_only`` is the paper's core argument: only a *fully* quantized
+    model lets the accelerator keep every intermediate in integer buffers;
+    partial schemes bounce through float for softmax/LN/scale arithmetic.
+    """
+    schemes = [
+        ("FQ-BERT (4/8)", QuantConfig.fq_bert(), True),
+        ("Q8BERT-style (8/8)", q8bert_config(), False),
+        ("Q-BERT-style (4/8 mixed)", qbert_mixed_config(), False),
+    ]
+    rows = []
+    for name, qconfig, integer_only in schemes:
+        rows.append(
+            QuantSchemeComparison(
+                name=name,
+                qconfig=qconfig,
+                compression=compression_ratio(model, qconfig),
+                integer_only=integer_only,
+            )
+        )
+    return rows

@@ -1,0 +1,104 @@
+"""CPU/GPU baseline latency models (the comparison rows of Table IV).
+
+The paper measures PyTorch BERT-base (batch 1, seq 128, fp32) on an Intel
+i7-8700 and an NVIDIA K80.  Neither part is available here, so we model
+them with a per-operator roofline: each operator's time is the maximum of
+its compute time (FLOPs over effective FLOP/s) and its memory time (bytes
+over effective bandwidth), plus a per-operator framework overhead.  The
+efficiency constants live in :mod:`repro.accel.devices` and are calibrated
+so BERT-base lands near the paper's measurements; the *model* (batch-1
+inference is launch/bandwidth-inefficient on big parallel parts) is what
+produces the shape of the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..accel.devices import ComputeDevice
+from ..accel.workload import EncoderWorkload, Op, OpKind
+
+
+@dataclass(frozen=True)
+class OpTime:
+    """Roofline decomposition for one operator."""
+
+    name: str
+    compute_ms: float
+    memory_ms: float
+    overhead_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return max(self.compute_ms, self.memory_ms) + self.overhead_ms
+
+
+@dataclass
+class BaselineReport:
+    """Latency/power/fps-per-watt of one baseline device (a Table IV column)."""
+
+    device: ComputeDevice
+    op_times: List[OpTime]
+    num_layers: int
+
+    @property
+    def latency_ms(self) -> float:
+        return sum(op.total_ms for op in self.op_times) * self.num_layers
+
+    @property
+    def throughput_fps(self) -> float:
+        return 1000.0 / self.latency_ms
+
+    @property
+    def power_watts(self) -> float:
+        return self.device.power_watts
+
+    @property
+    def fps_per_watt(self) -> float:
+        return self.throughput_fps / self.power_watts
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "latency_ms": self.latency_ms,
+            "power_watts": self.power_watts,
+            "fps_per_watt": self.fps_per_watt,
+        }
+
+
+def _op_bytes_fp32(op: Op, seq_len: int) -> float:
+    """fp32 memory traffic of one operator (weights + in/out activations)."""
+    if op.kind is OpKind.MATMUL_W:
+        weights = op.out_dim * op.contract_dim * 4.0
+        acts = op.vectors * (op.contract_dim + op.out_dim) * 4.0
+        return weights + acts
+    if op.kind is OpKind.MATMUL_A:
+        return op.heads * op.vectors * (2 * op.contract_dim + op.out_dim) * 4.0
+    if op.kind in (OpKind.SOFTMAX, OpKind.GELU):
+        return 2.0 * op.vectors * op.out_dim * 4.0
+    if op.kind is OpKind.LAYERNORM:
+        return 3.0 * op.vectors * op.out_dim * 4.0  # two inputs + one output
+    return 0.0
+
+
+def _op_flops(op: Op) -> float:
+    if op.kind in (OpKind.MATMUL_W, OpKind.MATMUL_A):
+        return 2.0 * op.macs
+    # Elementwise/reduction ops: ~5 flops per element (exp/rsqrt amortized).
+    return 5.0 * op.vectors * op.out_dim
+
+
+def time_operator(op: Op, device: ComputeDevice, seq_len: int) -> OpTime:
+    """Roofline time of one fp32 operator on a baseline device."""
+    flops = _op_flops(op)
+    nbytes = _op_bytes_fp32(op, seq_len)
+    compute_ms = flops / (device.effective_gflops() * 1e9) * 1e3
+    memory_ms = nbytes / (device.effective_bandwidth_gbs() * 1e9) * 1e3
+    overhead_ms = device.per_op_overhead_us / 1e3
+    return OpTime(op.name, compute_ms, memory_ms, overhead_ms)
+
+
+def simulate_baseline(workload: EncoderWorkload, device: ComputeDevice) -> BaselineReport:
+    """Full-model fp32 latency of the workload on a CPU/GPU baseline."""
+    op_times = [time_operator(op, device, workload.seq_len) for op in workload.layer_ops]
+    return BaselineReport(device=device, op_times=op_times, num_layers=workload.num_layers)

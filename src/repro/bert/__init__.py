@@ -1,0 +1,39 @@
+"""BERT implementation (encoder-only transformer, Figure 1 of the paper)."""
+
+from .attention import BertAttention, BertSelfAttention, merge_heads, split_heads
+from .config import BertConfig
+from .embeddings import BertEmbeddings
+from .encoder import BertEncoder, BertFeedForward, BertLayer
+from .io import load_checkpoint, save_checkpoint
+from .model import BertForSequenceClassification, BertModel, BertPooler
+from .tokenizer import (
+    CLS_TOKEN,
+    PAD_TOKEN,
+    SEP_TOKEN,
+    UNK_TOKEN,
+    Vocabulary,
+    WordPieceTokenizer,
+)
+
+__all__ = [
+    "BertConfig",
+    "BertEmbeddings",
+    "BertSelfAttention",
+    "BertAttention",
+    "BertFeedForward",
+    "BertLayer",
+    "BertEncoder",
+    "BertModel",
+    "BertPooler",
+    "BertForSequenceClassification",
+    "save_checkpoint",
+    "load_checkpoint",
+    "Vocabulary",
+    "WordPieceTokenizer",
+    "PAD_TOKEN",
+    "UNK_TOKEN",
+    "CLS_TOKEN",
+    "SEP_TOKEN",
+    "split_heads",
+    "merge_heads",
+]

@@ -1,0 +1,100 @@
+"""Multi-head self-attention (Figure 1, middle/right panels of the paper).
+
+The module is deliberately decomposed into the same named sub-operations the
+accelerator schedules as dataflow stages (Figure 5): the Q/K/V projections
+(``X·W_Q`` etc., 8b×4b products on hardware), the score matmul ``Q·Kᵀ``
+(8b×8b), softmax, the context matmul ``Attn·V`` (8b×8b), and the output
+projection ``O_A·W_s``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..autograd import functional as F
+from ..autograd import nn
+
+
+def split_heads(x: Tensor, num_heads: int) -> Tensor:
+    """(batch, seq, hidden) -> (batch, heads, seq, head_dim)."""
+    batch, seq, hidden = x.shape
+    if hidden % num_heads != 0:
+        raise ValueError(f"hidden size {hidden} not divisible by {num_heads} heads")
+    head_dim = hidden // num_heads
+    return x.reshape(batch, seq, num_heads, head_dim).transpose(0, 2, 1, 3)
+
+
+def merge_heads(x: Tensor) -> Tensor:
+    """(batch, heads, seq, head_dim) -> (batch, seq, hidden)."""
+    batch, heads, seq, head_dim = x.shape
+    return x.transpose(0, 2, 1, 3).reshape(batch, seq, heads * head_dim)
+
+
+class BertSelfAttention(nn.Module):
+    """Scaled dot-product multi-head self-attention."""
+
+    def __init__(self, config, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.num_heads = config.num_attention_heads
+        self.head_dim = config.head_dim
+        self.scale = 1.0 / float(np.sqrt(self.head_dim))
+
+        hidden = config.hidden_size
+        self.query = nn.Linear(hidden, hidden, rng=rng)
+        self.key = nn.Linear(hidden, hidden, rng=rng)
+        self.value = nn.Linear(hidden, hidden, rng=rng)
+        self.dropout = nn.Dropout(config.attention_dropout_prob)
+
+    def forward(
+        self,
+        hidden_states: Tensor,
+        attention_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        q = split_heads(self.query(hidden_states), self.num_heads)
+        k = split_heads(self.key(hidden_states), self.num_heads)
+        v = split_heads(self.value(hidden_states), self.num_heads)
+
+        scores = q.matmul(k.swapaxes(-1, -2)) * self.scale
+        if attention_mask is not None:
+            scores = scores + Tensor(_additive_mask(attention_mask))
+        probs = F.softmax(scores, axis=-1)
+        probs = self.dropout(probs)
+        context = probs.matmul(v)
+        return merge_heads(context)
+
+
+class BertAttention(nn.Module):
+    """Self-attention + output projection + residual Add&LN."""
+
+    def __init__(self, config, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.self_attention = BertSelfAttention(config, rng=rng)
+        self.output_dense = nn.Linear(config.hidden_size, config.hidden_size, rng=rng)
+        self.output_dropout = nn.Dropout(config.hidden_dropout_prob)
+        self.layer_norm = nn.LayerNorm(config.hidden_size, eps=config.layer_norm_eps)
+
+    def forward(
+        self,
+        hidden_states: Tensor,
+        attention_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        attention_out = self.self_attention(hidden_states, attention_mask)
+        projected = self.output_dropout(self.output_dense(attention_out))
+        return self.layer_norm(projected + hidden_states)
+
+
+def _additive_mask(attention_mask: np.ndarray) -> np.ndarray:
+    """Convert a (batch, seq) 0/1 mask to additive scores (batch, 1, 1, seq).
+
+    Masked positions receive a large negative bias so their softmax weight
+    vanishes; this matches the standard BERT mask convention.
+    """
+    mask = np.asarray(attention_mask, dtype=np.float32)
+    if mask.ndim != 2:
+        raise ValueError(f"attention_mask must be (batch, seq), got {mask.shape}")
+    return ((1.0 - mask) * -10000.0)[:, None, None, :]

@@ -1,0 +1,97 @@
+"""BERT model configuration.
+
+``BertConfig`` carries the architectural hyper-parameters of the encoder
+stack.  Two presets matter for the reproduction:
+
+- :func:`BertConfig.base` — the BERT-base shape the paper accelerates
+  (12 layers, hidden 768, 12 heads).  Used by the accelerator simulator and
+  the latency/resource experiments, where only tensor *shapes* matter.
+- :func:`BertConfig.tiny` — a small configuration that can actually be
+  trained with the numpy autograd engine for the accuracy experiments
+  (Figure 3, Tables I and II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class BertConfig:
+    """Hyper-parameters of a BERT encoder stack."""
+
+    vocab_size: int = 30522
+    hidden_size: int = 768
+    num_hidden_layers: int = 12
+    num_attention_heads: int = 12
+    intermediate_size: int = 3072
+    max_position_embeddings: int = 512
+    type_vocab_size: int = 2
+    hidden_dropout_prob: float = 0.1
+    attention_dropout_prob: float = 0.1
+    layer_norm_eps: float = 1e-5
+    num_labels: int = 2
+
+    def __post_init__(self):
+        if self.hidden_size % self.num_attention_heads != 0:
+            raise ValueError(
+                f"hidden_size ({self.hidden_size}) must be divisible by "
+                f"num_attention_heads ({self.num_attention_heads})"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_attention_heads
+
+    @classmethod
+    def base(cls, num_labels: int = 2) -> "BertConfig":
+        """BERT-base: the configuration the paper's accelerator targets."""
+        return cls(num_labels=num_labels)
+
+    @classmethod
+    def tiny(
+        cls,
+        vocab_size: int = 256,
+        num_labels: int = 2,
+        max_position_embeddings: int = 64,
+    ) -> "BertConfig":
+        """A trainable-on-CPU configuration for the accuracy experiments."""
+        return cls(
+            vocab_size=vocab_size,
+            hidden_size=64,
+            num_hidden_layers=2,
+            num_attention_heads=4,
+            intermediate_size=128,
+            max_position_embeddings=max_position_embeddings,
+            hidden_dropout_prob=0.0,
+            attention_dropout_prob=0.0,
+            num_labels=num_labels,
+        )
+
+    @classmethod
+    def small(
+        cls,
+        vocab_size: int = 1024,
+        num_labels: int = 2,
+        max_position_embeddings: int = 128,
+    ) -> "BertConfig":
+        """A mid-size configuration for integration tests."""
+        return cls(
+            vocab_size=vocab_size,
+            hidden_size=128,
+            num_hidden_layers=4,
+            num_attention_heads=4,
+            intermediate_size=512,
+            max_position_embeddings=max_position_embeddings,
+            hidden_dropout_prob=0.0,
+            attention_dropout_prob=0.0,
+            num_labels=num_labels,
+        )
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "BertConfig":
+        return cls(**data)

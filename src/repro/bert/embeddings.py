@@ -1,0 +1,60 @@
+"""BERT embedding block: token + position + segment embeddings, LN, dropout.
+
+In the paper's deployment split (Section III-A) the embedding layer runs on
+the host CPU — its compute is tiny but the tables are large — and the encoder
+stack runs on the FPGA.  The accelerator simulator mirrors that split by
+treating the output of this module as the input activation stream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..autograd import nn
+
+
+class BertEmbeddings(nn.Module):
+    """Sum of word, position, and token-type embeddings, normalized."""
+
+    def __init__(self, config, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.config = config
+        self.word_embeddings = nn.Embedding(config.vocab_size, config.hidden_size, rng=rng)
+        self.position_embeddings = nn.Embedding(
+            config.max_position_embeddings, config.hidden_size, rng=rng
+        )
+        self.token_type_embeddings = nn.Embedding(
+            config.type_vocab_size, config.hidden_size, rng=rng
+        )
+        self.layer_norm = nn.LayerNorm(config.hidden_size, eps=config.layer_norm_eps)
+        self.dropout = nn.Dropout(config.hidden_dropout_prob)
+
+    def forward(
+        self,
+        input_ids: np.ndarray,
+        token_type_ids: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        input_ids = np.asarray(input_ids)
+        if input_ids.ndim != 2:
+            raise ValueError(f"input_ids must be (batch, seq), got {input_ids.shape}")
+        batch, seq_len = input_ids.shape
+        if seq_len > self.config.max_position_embeddings:
+            raise ValueError(
+                f"sequence length {seq_len} exceeds max_position_embeddings "
+                f"{self.config.max_position_embeddings}"
+            )
+        if token_type_ids is None:
+            token_type_ids = np.zeros_like(input_ids)
+        position_ids = np.broadcast_to(np.arange(seq_len), (batch, seq_len))
+
+        embeddings = (
+            self.word_embeddings(input_ids)
+            + self.position_embeddings(position_ids)
+            + self.token_type_embeddings(token_type_ids)
+        )
+        embeddings = self.layer_norm(embeddings)
+        return self.dropout(embeddings)

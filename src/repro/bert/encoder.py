@@ -1,0 +1,78 @@
+"""BERT encoder layer and stack (Figure 1, left panel).
+
+Each layer is attention + Add&LN + two-layer FFN with GELU + Add&LN — the
+exact sequence the accelerator's Figure 5 dataflow walks through stage by
+stage (W_Q/W_K/W_V loads, QKᵀ, softmax, Attn·V, W_s, W_ffn1, W_ffn2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..autograd import functional as F
+from ..autograd import nn
+from .attention import BertAttention
+
+
+class BertFeedForward(nn.Module):
+    """Position-wise feed-forward network: FFN1 + GELU + FFN2 + Add&LN."""
+
+    def __init__(self, config, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.ffn1 = nn.Linear(config.hidden_size, config.intermediate_size, rng=rng)
+        self.ffn2 = nn.Linear(config.intermediate_size, config.hidden_size, rng=rng)
+        self.dropout = nn.Dropout(config.hidden_dropout_prob)
+        self.layer_norm = nn.LayerNorm(config.hidden_size, eps=config.layer_norm_eps)
+
+    def forward(self, hidden_states: Tensor) -> Tensor:
+        intermediate = F.gelu(self.ffn1(hidden_states))
+        projected = self.dropout(self.ffn2(intermediate))
+        return self.layer_norm(projected + hidden_states)
+
+
+class BertLayer(nn.Module):
+    """A single transformer encoder layer."""
+
+    def __init__(self, config, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.attention = BertAttention(config, rng=rng)
+        self.feed_forward = BertFeedForward(config, rng=rng)
+
+    def forward(
+        self,
+        hidden_states: Tensor,
+        attention_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        attended = self.attention(hidden_states, attention_mask)
+        return self.feed_forward(attended)
+
+
+class BertEncoder(nn.Module):
+    """Stack of ``num_hidden_layers`` encoder layers."""
+
+    def __init__(self, config, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.layers = nn.ModuleList(
+            [BertLayer(config, rng=rng) for _ in range(config.num_hidden_layers)]
+        )
+
+    def forward(
+        self,
+        hidden_states: Tensor,
+        attention_mask: Optional[np.ndarray] = None,
+        return_all: bool = False,
+    ):
+        all_states: List[Tensor] = []
+        for layer in self.layers:
+            hidden_states = layer(hidden_states, attention_mask)
+            if return_all:
+                all_states.append(hidden_states)
+        if return_all:
+            return hidden_states, all_states
+        return hidden_states

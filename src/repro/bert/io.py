@@ -1,0 +1,81 @@
+"""Checkpoint save/load: serialize any Module's state to a ``.npz`` file.
+
+Keeps the library practical: train once, reuse across example scripts and
+the CLI.  The format is one numpy array per ``state_dict`` key plus a JSON
+header carrying the model configuration, so a checkpoint is self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..autograd.nn import Module
+from .config import BertConfig
+
+PathLike = Union[str, pathlib.Path]
+
+_CONFIG_KEY = "__config_json__"
+_KIND_KEY = "__model_kind__"
+
+
+def save_checkpoint(model: Module, path: PathLike, kind: str = "bert") -> None:
+    """Write ``model.state_dict()`` plus its config to ``path`` (.npz).
+
+    ``kind`` records which constructor to use on load ("bert" for the float
+    classifier, "quant" for FQ-BERT).
+    """
+    path = pathlib.Path(path)
+    state = model.state_dict()
+    arrays = dict(state)
+    config = getattr(model, "config", None)
+    if config is None:
+        raise ValueError("model has no .config; cannot write a self-describing checkpoint")
+    payload = {"config": config.to_dict()}
+    if kind == "quant":
+        from dataclasses import asdict
+
+        payload["qconfig"] = asdict(model.qconfig)
+    arrays[_CONFIG_KEY] = np.frombuffer(
+        json.dumps(payload).encode("utf-8"), dtype=np.uint8
+    )
+    arrays[_KIND_KEY] = np.frombuffer(kind.encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+
+
+def load_checkpoint(path: PathLike) -> Tuple[Module, str]:
+    """Rebuild the model recorded at ``path``; returns (model, kind)."""
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        payload = json.loads(bytes(data[_CONFIG_KEY].tobytes()).decode("utf-8"))
+        kind = bytes(data[_KIND_KEY].tobytes()).decode("utf-8")
+        state = {
+            key: data[key]
+            for key in data.files
+            if key not in (_CONFIG_KEY, _KIND_KEY)
+        }
+
+    config = BertConfig.from_dict(payload["config"])
+    if kind == "bert":
+        from .model import BertForSequenceClassification
+
+        model: Module = BertForSequenceClassification(config)
+    elif kind == "quant":
+        from ..quant.qat import QuantConfig
+        from ..quant.qbert import QuantBertForSequenceClassification
+
+        qconfig = QuantConfig(**payload["qconfig"])
+        model = QuantBertForSequenceClassification(config, qconfig)
+    else:
+        raise ValueError(f"unknown checkpoint kind {kind!r}")
+
+    model.load_state_dict(state)
+    if kind == "quant":
+        from ..quant.training import _reload_observers
+
+        _reload_observers(model)
+    return model, kind

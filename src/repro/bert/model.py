@@ -1,0 +1,99 @@
+"""Full BERT models: encoder backbone + pooler + task (classification) head.
+
+``BertForSequenceClassification`` is the model quantized in the paper: SST-2
+is binary sentiment, MNLI is 3-way entailment.  The task layer runs on the
+host CPU in the paper's deployment, so the quantization flow keeps it in
+higher precision by default (see ``repro.quant.convert``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..autograd import functional as F
+from ..autograd import nn
+from .config import BertConfig
+from .embeddings import BertEmbeddings
+from .encoder import BertEncoder
+
+
+class BertPooler(nn.Module):
+    """Take the [CLS] position, project and tanh — BERT's sentence summary."""
+
+    def __init__(self, config, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.dense = nn.Linear(config.hidden_size, config.hidden_size, rng=rng)
+
+    def forward(self, hidden_states: Tensor) -> Tensor:
+        cls = hidden_states[:, 0, :]
+        return self.dense(cls).tanh()
+
+
+class BertModel(nn.Module):
+    """Embeddings + encoder stack + pooler."""
+
+    def __init__(self, config: BertConfig, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.config = config
+        self.embeddings = BertEmbeddings(config, rng=rng)
+        self.encoder = BertEncoder(config, rng=rng)
+        self.pooler = BertPooler(config, rng=rng)
+
+    def forward(
+        self,
+        input_ids: np.ndarray,
+        attention_mask: Optional[np.ndarray] = None,
+        token_type_ids: Optional[np.ndarray] = None,
+    ):
+        embedded = self.embeddings(input_ids, token_type_ids)
+        sequence_output = self.encoder(embedded, attention_mask)
+        pooled = self.pooler(sequence_output)
+        return sequence_output, pooled
+
+
+class BertForSequenceClassification(nn.Module):
+    """BERT with a classification head — the model FQ-BERT quantizes."""
+
+    def __init__(self, config: BertConfig, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.config = config
+        self.bert = BertModel(config, rng=rng)
+        self.dropout = nn.Dropout(config.hidden_dropout_prob)
+        self.classifier = nn.Linear(config.hidden_size, config.num_labels, rng=rng)
+
+    def forward(
+        self,
+        input_ids: np.ndarray,
+        attention_mask: Optional[np.ndarray] = None,
+        token_type_ids: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        _, pooled = self.bert(input_ids, attention_mask, token_type_ids)
+        return self.classifier(self.dropout(pooled))
+
+    def loss(
+        self,
+        input_ids: np.ndarray,
+        labels: np.ndarray,
+        attention_mask: Optional[np.ndarray] = None,
+        token_type_ids: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        logits = self.forward(input_ids, attention_mask, token_type_ids)
+        return F.cross_entropy(logits, labels)
+
+    def predict(
+        self,
+        input_ids: np.ndarray,
+        attention_mask: Optional[np.ndarray] = None,
+        token_type_ids: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Return argmax class predictions without building a tape."""
+        from ..autograd import no_grad
+
+        with no_grad():
+            logits = self.forward(input_ids, attention_mask, token_type_ids)
+        return logits.data.argmax(axis=-1)

@@ -1,0 +1,179 @@
+"""A small WordPiece-style tokenizer for the synthetic GLUE tasks.
+
+The paper fine-tunes on GLUE with the standard BERT tokenizer.  Our synthetic
+tasks use a closed vocabulary, so a greedy longest-match-first wordpiece over
+a vocabulary built from the training corpus reproduces the same interface:
+``[CLS] tokens... [SEP]`` (single sentence) or
+``[CLS] premise [SEP] hypothesis [SEP]`` (sentence pairs, as in MNLI), with
+segment ids distinguishing the pair members.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+PAD_TOKEN = "[PAD]"
+UNK_TOKEN = "[UNK]"
+CLS_TOKEN = "[CLS]"
+SEP_TOKEN = "[SEP]"
+SPECIAL_TOKENS = (PAD_TOKEN, UNK_TOKEN, CLS_TOKEN, SEP_TOKEN)
+
+
+class Vocabulary:
+    """Bidirectional token <-> id mapping with reserved special tokens."""
+
+    def __init__(self, tokens: Iterable[str] = ()):
+        self._token_to_id: Dict[str, int] = {}
+        self._id_to_token: List[str] = []
+        for token in SPECIAL_TOKENS:
+            self._add(token)
+        for token in tokens:
+            self.add(token)
+
+    def _add(self, token: str) -> int:
+        index = len(self._id_to_token)
+        self._token_to_id[token] = index
+        self._id_to_token.append(token)
+        return index
+
+    def add(self, token: str) -> int:
+        """Add ``token`` if absent; return its id."""
+        if token in self._token_to_id:
+            return self._token_to_id[token]
+        return self._add(token)
+
+    def id_of(self, token: str) -> int:
+        return self._token_to_id.get(token, self._token_to_id[UNK_TOKEN])
+
+    def token_of(self, index: int) -> str:
+        return self._id_to_token[index]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD_TOKEN]
+
+    @property
+    def cls_id(self) -> int:
+        return self._token_to_id[CLS_TOKEN]
+
+    @property
+    def sep_id(self) -> int:
+        return self._token_to_id[SEP_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK_TOKEN]
+
+    @classmethod
+    def from_corpus(cls, sentences: Iterable[str]) -> "Vocabulary":
+        """Build a vocabulary from whitespace-split words of a corpus."""
+        seen: Dict[str, None] = {}
+        for sentence in sentences:
+            for word in sentence.lower().split():
+                seen.setdefault(word, None)
+        return cls(sorted(seen))
+
+
+class WordPieceTokenizer:
+    """Greedy longest-match tokenizer with ``##`` continuation pieces."""
+
+    def __init__(self, vocab: Vocabulary, max_word_chars: int = 64):
+        self.vocab = vocab
+        self.max_word_chars = max_word_chars
+
+    def tokenize_word(self, word: str) -> List[str]:
+        """Split one word into wordpieces; fall back to [UNK] if impossible."""
+        word = word.lower()
+        if len(word) > self.max_word_chars:
+            return [UNK_TOKEN]
+        if word in self.vocab:
+            return [word]
+        pieces: List[str] = []
+        start = 0
+        while start < len(word):
+            end = len(word)
+            piece = None
+            while end > start:
+                candidate = word[start:end]
+                if start > 0:
+                    candidate = "##" + candidate
+                if candidate in self.vocab:
+                    piece = candidate
+                    break
+                end -= 1
+            if piece is None:
+                return [UNK_TOKEN]
+            pieces.append(piece)
+            start = end
+        return pieces
+
+    def tokenize(self, text: str) -> List[str]:
+        tokens: List[str] = []
+        for word in text.split():
+            tokens.extend(self.tokenize_word(word))
+        return tokens
+
+    def encode(
+        self,
+        text_a: str,
+        text_b: Optional[str] = None,
+        max_length: int = 64,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Encode one example to (input_ids, attention_mask, token_type_ids).
+
+        Truncates the token sequence(s) to fit ``max_length`` including the
+        [CLS]/[SEP] markers, then pads with [PAD].
+        """
+        tokens_a = self.tokenize(text_a)
+        tokens_b = self.tokenize(text_b) if text_b is not None else None
+
+        if tokens_b is None:
+            budget = max_length - 2
+            tokens_a = tokens_a[:budget]
+            tokens = [CLS_TOKEN] + tokens_a + [SEP_TOKEN]
+            segments = [0] * len(tokens)
+        else:
+            budget = max_length - 3
+            # Truncate the longer sequence first, the standard GLUE recipe.
+            while len(tokens_a) + len(tokens_b) > budget:
+                if len(tokens_a) >= len(tokens_b):
+                    tokens_a.pop()
+                else:
+                    tokens_b.pop()
+            tokens = [CLS_TOKEN] + tokens_a + [SEP_TOKEN] + tokens_b + [SEP_TOKEN]
+            segments = [0] * (len(tokens_a) + 2) + [1] * (len(tokens_b) + 1)
+
+        ids = [self.vocab.id_of(token) for token in tokens]
+        mask = [1] * len(ids)
+        while len(ids) < max_length:
+            ids.append(self.vocab.pad_id)
+            mask.append(0)
+            segments.append(0)
+
+        return (
+            np.array(ids, dtype=np.int64),
+            np.array(mask, dtype=np.int64),
+            np.array(segments, dtype=np.int64),
+        )
+
+    def encode_batch(
+        self,
+        pairs: Sequence[Tuple[str, Optional[str]]],
+        max_length: int = 64,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Encode a batch of (text_a, text_b-or-None) pairs."""
+        ids, masks, segments = [], [], []
+        for text_a, text_b in pairs:
+            i, m, s = self.encode(text_a, text_b, max_length)
+            ids.append(i)
+            masks.append(m)
+            segments.append(s)
+        return np.stack(ids), np.stack(masks), np.stack(segments)

@@ -1,0 +1,201 @@
+"""Command-line interface for the FQ-BERT reproduction.
+
+Subcommands::
+
+    python -m repro.cli train     --task sst2 --out model.npz
+    python -m repro.cli quantize  --checkpoint model.npz --out fq.npz [--ptq]
+    python -m repro.cli evaluate  --checkpoint fq.npz --task sst2 [--integer]
+    python -m repro.cli simulate  --device ZCU102 --pes 8 --multipliers 16
+    python -m repro.cli compare   # Table IV style platform comparison
+
+Each subcommand is a thin wrapper over the library; anything the CLI does
+can be done in a few lines of Python (see examples/).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _build_task(name: str, seed: int):
+    from .data import encode_task, make_mnli_like, make_sst2_like
+
+    if name == "sst2":
+        task = make_sst2_like(768, 384, seed=seed)
+        max_length = 24
+    elif name == "mnli":
+        task = make_mnli_like(1536, 384, matched=True, seed=seed)
+        max_length = 40
+    elif name == "mnli-mm":
+        task = make_mnli_like(1536, 384, matched=False, seed=seed)
+        max_length = 40
+    else:
+        raise SystemExit(f"unknown task {name!r} (choose sst2 / mnli / mnli-mm)")
+    train, dev, tokenizer = encode_task(task, max_length=max_length)
+    return task, train, dev, tokenizer, max_length
+
+
+def cmd_train(args) -> int:
+    from .bert import BertConfig, BertForSequenceClassification
+    from .bert.io import save_checkpoint
+    from .quant import train_classifier
+
+    task, train, dev, tokenizer, max_length = _build_task(args.task, args.seed)
+    config = BertConfig(
+        vocab_size=len(tokenizer.vocab),
+        hidden_size=args.hidden,
+        num_hidden_layers=args.layers,
+        num_attention_heads=args.heads,
+        intermediate_size=args.hidden * 2,
+        max_position_embeddings=max_length,
+        hidden_dropout_prob=0.0,
+        attention_dropout_prob=0.0,
+        num_labels=task.num_labels,
+    )
+    model = BertForSequenceClassification(config, rng=np.random.default_rng(args.seed))
+    result = train_classifier(
+        model, train, dev, epochs=args.epochs, lr=args.lr, seed=args.seed
+    )
+    print(f"dev accuracy: {result.final_accuracy:.2f}%")
+    save_checkpoint(model, args.out, kind="bert")
+    print(f"checkpoint written to {args.out}")
+    return 0
+
+
+def cmd_quantize(args) -> int:
+    from .bert.io import load_checkpoint, save_checkpoint
+    from .quant import QuantConfig, evaluate, quantize_model, train_classifier
+    from .quant.ptq import post_training_quantize
+
+    model, kind = load_checkpoint(args.checkpoint)
+    if kind != "bert":
+        raise SystemExit("quantize expects a float checkpoint (kind 'bert')")
+    _, train, dev, _, _ = _build_task(args.task, args.seed)
+    qconfig = QuantConfig.fq_bert(weight_bits=args.weight_bits, act_bits=args.act_bits)
+
+    if args.ptq:
+        quant = post_training_quantize(model, qconfig, train, rng=np.random.default_rng(1))
+        print(f"PTQ accuracy: {evaluate(quant, dev):.2f}%")
+    else:
+        quant = quantize_model(model, qconfig, rng=np.random.default_rng(1))
+        result = train_classifier(
+            quant, train, dev, epochs=args.epochs, lr=args.lr, seed=args.seed + 1,
+            keep_best=False,
+        )
+        print(f"QAT accuracy: {result.final_accuracy:.2f}%")
+    save_checkpoint(quant, args.out, kind="quant")
+    print(f"quantized checkpoint written to {args.out}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from .bert.io import load_checkpoint
+    from .data import accuracy
+    from .quant import convert_to_integer, evaluate
+
+    model, kind = load_checkpoint(args.checkpoint)
+    _, _, dev, _, _ = _build_task(args.task, args.seed)
+    if args.integer:
+        if kind != "quant":
+            raise SystemExit("--integer needs a quantized checkpoint")
+        model.eval()
+        engine = convert_to_integer(model)
+        batch = dev.full_batch()
+        preds = engine.predict(batch.input_ids, batch.attention_mask, batch.token_type_ids)
+        print(f"integer-engine accuracy: {accuracy(preds, batch.labels):.2f}%")
+    else:
+        print(f"accuracy: {evaluate(model, dev):.2f}%")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .accel import AcceleratorConfig, AcceleratorSimulator, FPGA_DEVICES
+    from .bert import BertConfig
+
+    device = FPGA_DEVICES.get(args.device)
+    if device is None:
+        raise SystemExit(f"unknown device {args.device!r}; choose {sorted(FPGA_DEVICES)}")
+    config = AcceleratorConfig(
+        num_pus=args.pus, num_pes=args.pes, num_multipliers=args.multipliers
+    )
+    report = AcceleratorSimulator(config, device).simulate(
+        BertConfig.base(), seq_len=args.seq_len
+    )
+    print(f"device: {device.name}  (H={args.pus}, N={args.pes}, M={args.multipliers})")
+    print(f"latency:   {report.latency_ms:.2f} ms")
+    print(f"power:     {report.power_watts:.2f} W")
+    print(f"fps/W:     {report.fps_per_watt:.2f}")
+    resources = report.resources
+    print(
+        f"resources: BRAM18K={resources.bram18k} DSP48={resources.dsp48} "
+        f"FF={resources.ff} LUT={resources.lut} URAM={resources.uram}"
+    )
+    print(f"fits device: {report.fits_device()}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from .experiments import run_table4
+
+    print(run_table4().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a float BERT on a synthetic task")
+    train.add_argument("--task", default="sst2")
+    train.add_argument("--out", required=True)
+    train.add_argument("--epochs", type=int, default=6)
+    train.add_argument("--lr", type=float, default=1e-3)
+    train.add_argument("--hidden", type=int, default=16)
+    train.add_argument("--layers", type=int, default=2)
+    train.add_argument("--heads", type=int, default=4)
+    train.add_argument("--seed", type=int, default=7)
+    train.set_defaults(func=cmd_train)
+
+    quantize = sub.add_parser("quantize", help="QAT or PTQ quantize a checkpoint")
+    quantize.add_argument("--checkpoint", required=True)
+    quantize.add_argument("--out", required=True)
+    quantize.add_argument("--task", default="sst2")
+    quantize.add_argument("--weight-bits", type=int, default=4)
+    quantize.add_argument("--act-bits", type=int, default=8)
+    quantize.add_argument("--epochs", type=int, default=1)
+    quantize.add_argument("--lr", type=float, default=2e-4)
+    quantize.add_argument("--ptq", action="store_true", help="calibrate only, no QAT")
+    quantize.add_argument("--seed", type=int, default=7)
+    quantize.set_defaults(func=cmd_quantize)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a checkpoint")
+    evaluate.add_argument("--checkpoint", required=True)
+    evaluate.add_argument("--task", default="sst2")
+    evaluate.add_argument("--integer", action="store_true", help="use the integer engine")
+    evaluate.add_argument("--seed", type=int, default=7)
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    simulate = sub.add_parser("simulate", help="evaluate an accelerator design point")
+    simulate.add_argument("--device", default="ZCU102")
+    simulate.add_argument("--pus", type=int, default=12)
+    simulate.add_argument("--pes", type=int, default=8)
+    simulate.add_argument("--multipliers", type=int, default=16)
+    simulate.add_argument("--seq-len", type=int, default=128)
+    simulate.set_defaults(func=cmd_simulate)
+
+    compare = sub.add_parser("compare", help="Table IV platform comparison")
+    compare.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Synthetic GLUE-like datasets (SST-2-like, MNLI-like) and batching."""
+
+from .glue import load_mnli, load_sst2, write_mnli_fixture, write_sst2_fixture
+from .dataset import Batch, EncodedDataset, accuracy, build_tokenizer, encode_task
+from .synthetic import (
+    CONTRADICTION,
+    ENTAILMENT,
+    NEUTRAL,
+    Example,
+    TaskData,
+    full_corpus_for_vocab,
+    make_mnli_like,
+    make_sst2_like,
+)
+
+__all__ = [
+    "Example",
+    "TaskData",
+    "make_sst2_like",
+    "make_mnli_like",
+    "full_corpus_for_vocab",
+    "ENTAILMENT",
+    "NEUTRAL",
+    "CONTRADICTION",
+    "Batch",
+    "EncodedDataset",
+    "encode_task",
+    "build_tokenizer",
+    "accuracy",
+    "load_sst2",
+    "load_mnli",
+    "write_sst2_fixture",
+    "write_mnli_fixture",
+]

@@ -1,0 +1,97 @@
+"""Dataset container, batching, and the encoded-batch representation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..bert.tokenizer import Vocabulary, WordPieceTokenizer
+from .synthetic import Example, TaskData, full_corpus_for_vocab
+
+
+@dataclass
+class Batch:
+    """One encoded minibatch ready for the model."""
+
+    input_ids: np.ndarray      # (batch, seq) int64
+    attention_mask: np.ndarray  # (batch, seq) int64, 1 = real token
+    token_type_ids: np.ndarray  # (batch, seq) int64 segment ids
+    labels: np.ndarray          # (batch,) int64
+
+    def __len__(self) -> int:
+        return self.input_ids.shape[0]
+
+
+class EncodedDataset:
+    """Examples encoded once up front; provides shuffled minibatch iteration."""
+
+    def __init__(
+        self,
+        examples: Sequence[Example],
+        tokenizer: WordPieceTokenizer,
+        max_length: int = 64,
+    ):
+        if not examples:
+            raise ValueError("dataset is empty")
+        pairs = [(ex.text_a, ex.text_b) for ex in examples]
+        ids, mask, segments = tokenizer.encode_batch(pairs, max_length=max_length)
+        self.input_ids = ids
+        self.attention_mask = mask
+        self.token_type_ids = segments
+        self.labels = np.array([ex.label for ex in examples], dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self.input_ids.shape[0]
+
+    def full_batch(self) -> Batch:
+        return Batch(self.input_ids, self.attention_mask, self.token_type_ids, self.labels)
+
+    def batches(
+        self,
+        batch_size: int,
+        shuffle: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Iterator[Batch]:
+        """Yield minibatches, optionally shuffled."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        order = np.arange(len(self))
+        if shuffle:
+            (rng or np.random.default_rng()).shuffle(order)
+        for start in range(0, len(order), batch_size):
+            index = order[start : start + batch_size]
+            yield Batch(
+                self.input_ids[index],
+                self.attention_mask[index],
+                self.token_type_ids[index],
+                self.labels[index],
+            )
+
+
+def build_tokenizer(extra_corpus: Sequence[str] = ()) -> WordPieceTokenizer:
+    """Tokenizer over the union vocabulary of all synthetic tasks."""
+    corpus = list(full_corpus_for_vocab()) + list(extra_corpus)
+    return WordPieceTokenizer(Vocabulary.from_corpus(corpus))
+
+
+def encode_task(
+    task: TaskData,
+    tokenizer: Optional[WordPieceTokenizer] = None,
+    max_length: int = 32,
+) -> Tuple[EncodedDataset, EncodedDataset, WordPieceTokenizer]:
+    """Encode a task's train/dev splits, building a tokenizer if needed."""
+    tokenizer = tokenizer or build_tokenizer(task.corpus())
+    train = EncodedDataset(task.train, tokenizer, max_length=max_length)
+    dev = EncodedDataset(task.dev, tokenizer, max_length=max_length)
+    return train, dev, tokenizer
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct predictions, in percent (matching the paper)."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(f"shape mismatch: {predictions.shape} vs {labels.shape}")
+    return float((predictions == labels).mean() * 100.0)

@@ -1,0 +1,309 @@
+"""Synthetic GLUE-like task generators.
+
+The paper evaluates on SST-2 (binary sentiment) and MNLI (3-way entailment,
+with matched and mismatched dev sets).  Those datasets cannot be shipped
+here, so we generate synthetic tasks with the same *interfaces* and the same
+*relative difficulty ordering*:
+
+- :func:`make_sst2_like` — single sentences whose label is carried by
+  sentiment-bearing words mixed with neutral filler; an easy, nearly
+  linearly-separable task (like SST-2, where BERT reaches 92%+).
+- :func:`make_mnli_like` — premise/hypothesis pairs whose label
+  (entailment / neutral / contradiction) depends on *relations between* the
+  two sentences (shared topic entity + quantifier/negation logic); a harder,
+  compositional task, so quantization costs more accuracy — reproducing the
+  paper's observation that the MNLI drop (≈3%) exceeds the SST-2 drop (<1%).
+  ``matched=False`` draws topic entities from held-out "genres", mirroring
+  MNLI-mismatched.
+
+Generators are fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+# ----------------------------------------------------------------------
+# word banks
+# ----------------------------------------------------------------------
+# The sentiment lexicon is *graded*: strong words carry +/-3, weak words
+# +/-1.  A sentence's label is the sign of its summed strength, and the
+# generator deliberately produces "hard" reviews whose word-count majority
+# disagrees with the strength-weighted sum (one "superb" outweighing two
+# "bland"s).  Solving those requires the model to represent word strength,
+# not just polarity — fine-grained weights that low-bitwidth quantization
+# erodes, which is what produces Figure 3's accuracy cliff below 4 bits.
+STRONG_POSITIVE_WORDS = [
+    "wonderful", "superb", "brilliant", "dazzling", "masterful", "luminous",
+    "gripping", "magnificent", "stunning",
+]
+WEAK_POSITIVE_WORDS = [
+    "decent", "pleasant", "watchable", "agreeable", "tidy", "amiable",
+    "passable", "serviceable", "adequate",
+]
+STRONG_NEGATIVE_WORDS = [
+    "dreadful", "abysmal", "unwatchable", "atrocious", "dismal", "excruciating",
+    "incoherent", "insufferable", "disastrous",
+]
+WEAK_NEGATIVE_WORDS = [
+    "bland", "uneven", "sluggish", "forgettable", "thin", "tired",
+    "choppy", "muddled", "stale",
+]
+WORD_STRENGTHS = {
+    **{word: 3 for word in STRONG_POSITIVE_WORDS},
+    **{word: 1 for word in WEAK_POSITIVE_WORDS},
+    **{word: -3 for word in STRONG_NEGATIVE_WORDS},
+    **{word: -1 for word in WEAK_NEGATIVE_WORDS},
+}
+POSITIVE_WORDS = STRONG_POSITIVE_WORDS + WEAK_POSITIVE_WORDS
+NEGATIVE_WORDS = STRONG_NEGATIVE_WORDS + WEAK_NEGATIVE_WORDS
+NEUTRAL_WORDS = [
+    "movie", "film", "plot", "scene", "story", "actor", "director",
+    "script", "the", "a", "with", "its", "about", "this", "that",
+    "ending", "dialogue", "pace", "camera", "music", "cast", "moments",
+]
+
+# MNLI-like banks: topic entities per "genre"; matched genres are used for
+# training + matched dev, mismatched genres only for the mismatched dev set.
+MATCHED_GENRE_ENTITIES = [
+    ["engineer", "pilot", "teacher", "doctor", "farmer", "lawyer"],
+    ["cat", "dog", "horse", "sparrow", "rabbit", "fox"],
+    ["train", "bus", "ferry", "tram", "truck", "bicycle"],
+]
+MISMATCHED_GENRE_ENTITIES = [
+    ["violinist", "sculptor", "novelist", "dancer", "painter", "poet"],
+    ["glacier", "volcano", "river", "canyon", "meadow", "dune"],
+]
+ACTION_WORDS = [
+    "works", "travels", "sleeps", "sings", "waits", "reads",
+    "runs", "eats", "rests", "moves", "plays", "watches",
+]
+PLACE_WORDS = [
+    "in the city", "near the park", "by the station", "at home",
+    "on the hill", "along the coast", "in the valley", "at the market",
+]
+QUANTIFIERS_ALL = ["every", "each", "all"]
+QUANTIFIERS_SOME = ["some", "a few", "several"]
+NEGATIONS = ["never", "not"]
+
+
+@dataclass
+class Example:
+    """One classification example (text_b is None for single-sentence tasks)."""
+
+    text_a: str
+    text_b: Optional[str]
+    label: int
+
+
+@dataclass
+class TaskData:
+    """A generated task: train and dev splits plus label names."""
+
+    name: str
+    train: List[Example]
+    dev: List[Example]
+    label_names: Tuple[str, ...]
+
+    @property
+    def num_labels(self) -> int:
+        return len(self.label_names)
+
+    def corpus(self) -> List[str]:
+        """All sentences (for vocabulary building)."""
+        sentences: List[str] = []
+        for example in self.train + self.dev:
+            sentences.append(example.text_a)
+            if example.text_b is not None:
+                sentences.append(example.text_b)
+        return sentences
+
+
+def _sentiment_words(rng: np.random.Generator, label: int, hard: bool) -> List[str]:
+    """Choose the sentiment-bearing words of one review.
+
+    Easy reviews: 2-4 words of the label's polarity (mixed strengths).
+    Hard reviews: the word-*count* majority opposes the label but the
+    strength-weighted sum supports it — e.g. a positive review containing
+    one strong positive (+3) and two weak negatives (-1 each, sum +1).
+    """
+    sign = 1 if label == 1 else -1
+    strong_own = STRONG_POSITIVE_WORDS if sign > 0 else STRONG_NEGATIVE_WORDS
+    weak_own = WEAK_POSITIVE_WORDS if sign > 0 else WEAK_NEGATIVE_WORDS
+    weak_opp = WEAK_NEGATIVE_WORDS if sign > 0 else WEAK_POSITIVE_WORDS
+
+    if not hard:
+        count = int(rng.integers(2, 5))
+        bank = strong_own + weak_own
+        return [str(rng.choice(bank)) for _ in range(count)]
+    # Hard: one strong own-polarity word vs. two opposite weak words
+    # (sum = +/-1), occasionally padded with a matched weak pair.
+    words = [str(rng.choice(strong_own)), str(rng.choice(weak_opp)), str(rng.choice(weak_opp))]
+    if rng.random() < 0.3:
+        words.append(str(rng.choice(weak_own)))
+        words.append(str(rng.choice(weak_opp)))
+    return words
+
+
+def _sst2_sentence(rng: np.random.Generator, label: int, hard: bool) -> str:
+    """One synthetic review: neutral filler + graded sentiment words."""
+    sentiment = _sentiment_words(rng, label, hard)
+    length = int(rng.integers(len(sentiment) + 3, len(sentiment) + 9))
+    words = [str(rng.choice(NEUTRAL_WORDS)) for _ in range(length)]
+    positions = rng.choice(length, size=len(sentiment), replace=False)
+    for position, word in zip(positions, sentiment):
+        words[position] = word
+    return " ".join(words)
+
+
+def sentence_strength(sentence: str) -> int:
+    """Summed lexicon strength of a sentence (ground-truth oracle)."""
+    return sum(WORD_STRENGTHS.get(word, 0) for word in sentence.split())
+
+
+def make_sst2_like(
+    num_train: int = 512,
+    num_dev: int = 256,
+    noise: float = 0.03,
+    hard_fraction: float = 0.4,
+    seed: int = 0,
+) -> TaskData:
+    """Generate the SST-2-like binary sentiment task.
+
+    ``hard_fraction`` of the examples have a count/strength conflict (see
+    :func:`_sentiment_words`); ``noise`` flips labels outright, setting the
+    Bayes floor.
+    """
+    rng = np.random.default_rng(seed)
+
+    def generate(count: int) -> List[Example]:
+        examples = []
+        for i in range(count):
+            label = int(i % 2)
+            hard = bool(rng.random() < hard_fraction)
+            sentence = _sst2_sentence(rng, label, hard)
+            observed = label if rng.random() >= noise else 1 - label
+            examples.append(Example(sentence, None, observed))
+        return examples
+
+    train = generate(num_train)
+    dev = generate(num_dev)
+    rng.shuffle(train)  # type: ignore[arg-type]
+    return TaskData("sst2-like", train, dev, ("negative", "positive"))
+
+
+ENTAILMENT, NEUTRAL, CONTRADICTION = 0, 1, 2
+
+
+def _mnli_pair(
+    rng: np.random.Generator,
+    label: int,
+    entities: Sequence[Sequence[str]],
+    noise: float,
+) -> Tuple[str, str]:
+    """One premise/hypothesis pair with compositional quantifier logic.
+
+    Premise: ``every <entity> <action> <place> while <distractor clause>``.
+    - entailment: hypothesis weakens the quantifier and keeps the fact
+      (``some <entity> <action> <place>``)
+    - contradiction: hypothesis negates the fact for the same entity
+      (``some <entity> never <action> <place>``)
+    - neutral: hypothesis is about a different action or place, so the
+      premise neither supports nor refutes it.
+
+    Both sentences carry an unrelated *distractor clause* about a different
+    entity, so the model must bind the right entity to the right predicate
+    across the pair — a genuinely relational, capacity-stressing decision
+    (unlike the lexical SST-2-like task), which is what makes this task
+    lose more accuracy under quantization, as MNLI does in the paper.
+    """
+    genre = entities[int(rng.integers(len(entities)))]
+    entity = str(rng.choice(genre))
+    action = str(rng.choice(ACTION_WORDS))
+    place = str(rng.choice(PLACE_WORDS))
+    quant_all = str(rng.choice(QUANTIFIERS_ALL))
+    quant_some = str(rng.choice(QUANTIFIERS_SOME))
+
+    def distractor() -> str:
+        other_genre = entities[int(rng.integers(len(entities)))]
+        other_entity = str(rng.choice([e for e in other_genre if e != entity]))
+        other_action = str(rng.choice(ACTION_WORDS))
+        other_place = str(rng.choice(PLACE_WORDS))
+        quantifier = str(rng.choice(QUANTIFIERS_ALL + QUANTIFIERS_SOME))
+        clause = f"{quantifier} {other_entity} {other_action} {other_place}"
+        if rng.random() < 0.3:
+            clause = f"{quantifier} {other_entity} {str(rng.choice(NEGATIONS))} " \
+                     f"{other_action} {other_place}"
+        return clause
+
+    premise = f"{quant_all} {entity} {action} {place} while {distractor()}"
+
+    if rng.random() < noise:
+        label = int(rng.integers(3))  # label noise lowers the Bayes floor
+
+    if label == ENTAILMENT:
+        core = f"{quant_some} {entity} {action} {place}"
+    elif label == CONTRADICTION:
+        negation = str(rng.choice(NEGATIONS))
+        core = f"{quant_some} {entity} {negation} {action} {place}"
+    else:  # NEUTRAL: change the action (and often the place)
+        other_action = str(rng.choice([a for a in ACTION_WORDS if a != action]))
+        other_place = str(rng.choice(PLACE_WORDS)) if rng.random() < 0.5 else place
+        core = f"{quant_some} {entity} {other_action} {other_place}"
+    hypothesis = f"{core} while {distractor()}"
+    return premise, hypothesis
+
+
+def make_mnli_like(
+    num_train: int = 768,
+    num_dev: int = 256,
+    noise: float = 0.10,
+    matched: bool = True,
+    seed: int = 1,
+) -> TaskData:
+    """Generate the MNLI-like 3-way entailment task.
+
+    ``matched=True`` draws dev examples from the training genres (MNLI-m);
+    ``matched=False`` uses held-out genres (MNLI-mm), which is slightly
+    harder because the topic entities were never seen in training.
+    """
+    rng = np.random.default_rng(seed)
+    train: List[Example] = []
+    for i in range(num_train):
+        label = int(i % 3)
+        premise, hypothesis = _mnli_pair(rng, label, MATCHED_GENRE_ENTITIES, noise)
+        train.append(Example(premise, hypothesis, label))
+
+    dev_entities = MATCHED_GENRE_ENTITIES if matched else MISMATCHED_GENRE_ENTITIES
+    dev: List[Example] = []
+    for i in range(num_dev):
+        label = int(i % 3)
+        premise, hypothesis = _mnli_pair(rng, label, dev_entities, noise)
+        dev.append(Example(premise, hypothesis, label))
+
+    rng.shuffle(train)  # type: ignore[arg-type]
+    name = "mnli-like-matched" if matched else "mnli-like-mismatched"
+    return TaskData(name, train, dev, ("entailment", "neutral", "contradiction"))
+
+
+def full_corpus_for_vocab(seed: int = 0) -> List[str]:
+    """Corpus covering all tasks/genres so one vocabulary serves every run.
+
+    Includes the mismatched genres: in real MNLI-mm the *words* are in the
+    BERT vocabulary even though the *genres* are unseen, so the mismatch
+    stresses generalization, not tokenization.
+    """
+    sentences: List[str] = []
+    sentences.extend(POSITIVE_WORDS)
+    sentences.extend(NEGATIVE_WORDS)
+    sentences.extend(NEUTRAL_WORDS)
+    for genre in MATCHED_GENRE_ENTITIES + MISMATCHED_GENRE_ENTITIES:
+        sentences.extend(genre)
+    sentences.extend(ACTION_WORDS)
+    sentences.extend(" ".join(PLACE_WORDS).split())
+    sentences.extend(QUANTIFIERS_ALL + QUANTIFIERS_SOME + NEGATIONS)
+    sentences.append("while")
+    return sentences

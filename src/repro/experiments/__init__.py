@@ -1,0 +1,51 @@
+"""Experiment drivers: one module per paper table/figure.
+
+- :mod:`figure3` — accuracy vs weight bitwidth, clip vs no-clip
+- :mod:`table1` — FQ-BERT vs float accuracy + compression ratio
+- :mod:`table2` — cumulative quantization ablation
+- :mod:`table3` — FPGA resources and latency per (N, M)
+- :mod:`table4` — CPU/GPU/FPGA latency, power, fps/W
+
+Run everything: ``python -m repro.experiments``.
+"""
+
+from .common import ExperimentScale, clear_cache, make_task, pretrain_task, qat_accuracy
+from .figure3 import BITWIDTHS, Figure3Result, PAPER_FIGURE3, run_figure3
+from .table1 import PAPER_TABLE1, Table1Result, run_table1
+from .table2 import ABLATION_ROWS, PAPER_TABLE2, Table2Result, ablation_config, run_table2
+from .table3 import DESIGN_POINTS, PAPER_TABLE3, Table3Result, run_table3
+from .table4 import PAPER_TABLE4, Table4Result, run_table4
+from .plots import ascii_chart, figure3_chart
+from .report import generate_report
+from .tables import render_table
+
+__all__ = [
+    "ExperimentScale",
+    "pretrain_task",
+    "qat_accuracy",
+    "make_task",
+    "clear_cache",
+    "run_figure3",
+    "Figure3Result",
+    "BITWIDTHS",
+    "PAPER_FIGURE3",
+    "run_table1",
+    "Table1Result",
+    "PAPER_TABLE1",
+    "run_table2",
+    "Table2Result",
+    "ablation_config",
+    "ABLATION_ROWS",
+    "PAPER_TABLE2",
+    "run_table3",
+    "Table3Result",
+    "DESIGN_POINTS",
+    "PAPER_TABLE3",
+    "run_table4",
+    "Table4Result",
+    "PAPER_TABLE4",
+    "render_table",
+    "ascii_chart",
+    "figure3_chart",
+    "generate_report",
+]

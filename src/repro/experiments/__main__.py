@@ -1,0 +1,65 @@
+"""Run every experiment and print the paper-style tables.
+
+Usage::
+
+    python -m repro.experiments            # full scale (a few minutes)
+    python -m repro.experiments --smoke    # quick smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from .common import ExperimentScale
+from .figure3 import run_figure3
+from .table1 import run_table1
+from .table2 import run_table2
+from .table3 import run_table3
+from .table4 import run_table4
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small fast run")
+    parser.add_argument(
+        "--only",
+        choices=["figure3", "table1", "table2", "table3", "table4"],
+        help="run a single experiment",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        help="write a full markdown reproduction report to PATH",
+    )
+    args = parser.parse_args()
+    scale = ExperimentScale.smoke() if args.smoke else ExperimentScale.default()
+
+    if args.report:
+        from .report import generate_report
+
+        text = generate_report(scale)
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"report written to {args.report}")
+        return
+
+    runners = {
+        "table3": lambda: run_table3(),
+        "table4": lambda: run_table4(),
+        "table1": lambda: run_table1(scale),
+        "table2": lambda: run_table2(scale=scale),
+        "figure3": lambda: run_figure3(scale=scale),
+    }
+    selected = [args.only] if args.only else list(runners)
+
+    for name in selected:
+        start = time.time()
+        result = runners[name]()
+        elapsed = time.time() - start
+        print(result.render())
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main()

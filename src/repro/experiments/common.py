@@ -1,0 +1,191 @@
+"""Shared machinery for the accuracy experiments (Figure 3, Tables I & II).
+
+The paper's recipe (Sec. IV-A): train the float model for a few epochs,
+then fine-tune with the quantization function.  Float pretraining is the
+expensive common prefix of every sweep point, so it is cached per task —
+each quantization configuration then fine-tunes from the same checkpoint,
+which also mirrors the paper (one float model, many quantized variants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..bert.config import BertConfig
+from ..bert.model import BertForSequenceClassification
+from ..data.dataset import EncodedDataset, encode_task
+from ..data.synthetic import TaskData, make_mnli_like, make_sst2_like
+from ..quant.qat import QuantConfig
+from ..quant.qbert import quantize_model
+from ..quant.training import evaluate, train_classifier
+
+
+@dataclass
+class ExperimentScale:
+    """Dataset/model/training sizes for the accuracy experiments.
+
+    ``default()`` is used by the benchmark harness; ``smoke()`` keeps CI
+    fast.  Both exercise identical code paths.  The MNLI-like task is
+    compositional and needs more data and epochs than the lexical
+    SST-2-like task — :meth:`for_task` applies those per-task settings,
+    mirroring how real GLUE fine-tuning budgets differ per task.
+    """
+
+    num_train: int = 768
+    num_dev: int = 384
+    max_length: int = 24
+    float_epochs: int = 6
+    qat_epochs: int = 1
+    float_lr: float = 1e-3
+    qat_lr: float = 2e-4
+    batch_size: int = 32
+    seed: int = 7
+    mnli_train_factor: int = 2
+    mnli_epoch_factor: int = 4
+    # Model capacity: chosen so the tasks sit at the model's capacity limit,
+    # where quantization genuinely costs accuracy (see DESIGN.md).  The QAT
+    # budget (1 epoch at a low LR) is deliberately a small fraction of the
+    # from-scratch training cost, mirroring the paper's regime where a brief
+    # quantization fine-tune cannot re-learn what pretraining provided.
+    hidden_size: int = 16
+    num_layers: int = 2
+    num_heads: int = 4
+    intermediate_size: int = 32
+
+    @classmethod
+    def default(cls) -> "ExperimentScale":
+        return cls()
+
+    @classmethod
+    def smoke(cls) -> "ExperimentScale":
+        return cls(
+            num_train=192,
+            num_dev=96,
+            float_epochs=2,
+            qat_epochs=1,
+            max_length=16,
+            mnli_train_factor=1,
+            mnli_epoch_factor=1,
+        )
+
+    def for_task(self, name: str) -> "ExperimentScale":
+        """Per-task training budget (MNLI-like needs a larger one)."""
+        if not name.startswith("mnli"):
+            return self
+        from dataclasses import replace
+
+        return replace(
+            self,
+            num_train=self.num_train * self.mnli_train_factor,
+            float_epochs=self.float_epochs * self.mnli_epoch_factor,
+            float_lr=1.5e-3,
+            max_length=max(self.max_length, 40),
+        )
+
+
+@dataclass
+class PretrainedTask:
+    """A task with its encoded data and a trained float model."""
+
+    task: TaskData
+    train_data: EncodedDataset
+    dev_data: EncodedDataset
+    config: BertConfig
+    model: BertForSequenceClassification
+    float_accuracy: float
+    float_state: Dict[str, np.ndarray]
+
+
+_PRETRAIN_CACHE: Dict[Tuple, PretrainedTask] = {}
+
+
+def make_task(name: str, scale: ExperimentScale) -> TaskData:
+    """Instantiate one of the paper's tasks by name."""
+    if name == "sst2":
+        return make_sst2_like(scale.num_train, scale.num_dev, seed=scale.seed)
+    if name == "mnli":
+        return make_mnli_like(scale.num_train, scale.num_dev, matched=True, seed=scale.seed)
+    if name == "mnli-mm":
+        return make_mnli_like(scale.num_train, scale.num_dev, matched=False, seed=scale.seed)
+    raise ValueError(f"unknown task {name!r}; choose sst2 / mnli / mnli-mm")
+
+
+def pretrain_task(name: str, scale: Optional[ExperimentScale] = None) -> PretrainedTask:
+    """Train (or fetch the cached) float model for a task."""
+    scale = (scale or ExperimentScale.default()).for_task(name)
+    key = (name, scale.num_train, scale.num_dev, scale.max_length, scale.float_epochs, scale.seed)
+    if key in _PRETRAIN_CACHE:
+        return _PRETRAIN_CACHE[key]
+
+    task = make_task(name, scale)
+    train_data, dev_data, tokenizer = encode_task(task, max_length=scale.max_length)
+    config = BertConfig(
+        vocab_size=len(tokenizer.vocab),
+        hidden_size=scale.hidden_size,
+        num_hidden_layers=scale.num_layers,
+        num_attention_heads=scale.num_heads,
+        intermediate_size=scale.intermediate_size,
+        max_position_embeddings=scale.max_length,
+        hidden_dropout_prob=0.0,
+        attention_dropout_prob=0.0,
+        num_labels=task.num_labels,
+    )
+    rng = np.random.default_rng(scale.seed)
+    model = BertForSequenceClassification(config, rng=rng)
+    result = train_classifier(
+        model,
+        train_data,
+        dev_data,
+        epochs=scale.float_epochs,
+        lr=scale.float_lr,
+        batch_size=scale.batch_size,
+        seed=scale.seed,
+    )
+    pretrained = PretrainedTask(
+        task=task,
+        train_data=train_data,
+        dev_data=dev_data,
+        config=config,
+        model=model,
+        float_accuracy=result.final_accuracy,
+        float_state=model.state_dict(),
+    )
+    _PRETRAIN_CACHE[key] = pretrained
+    return pretrained
+
+
+def qat_accuracy(
+    pretrained: PretrainedTask,
+    qconfig: QuantConfig,
+    scale: Optional[ExperimentScale] = None,
+) -> float:
+    """Fine-tune a quantized copy of the pretrained model; return accuracy."""
+    scale = (scale or ExperimentScale.default()).for_task(pretrained.task.name.split("-like")[0])
+    pretrained.model.load_state_dict(pretrained.float_state)  # fresh checkpoint
+    rng = np.random.default_rng(scale.seed + 1)
+    quant_model = quantize_model(pretrained.model, qconfig, rng=rng)
+    result = train_classifier(
+        quant_model,
+        pretrained.train_data,
+        pretrained.dev_data,
+        epochs=scale.qat_epochs,
+        lr=scale.qat_lr,
+        batch_size=scale.batch_size,
+        seed=scale.seed + 1,
+        keep_best=False,
+    )
+    return result.final_accuracy
+
+
+def float_accuracy_of(pretrained: PretrainedTask) -> float:
+    """Re-evaluate the cached float model (sanity hook for tests)."""
+    pretrained.model.load_state_dict(pretrained.float_state)
+    return evaluate(pretrained.model, pretrained.dev_data)
+
+
+def clear_cache() -> None:
+    """Drop cached pretrained models (used between property-test cases)."""
+    _PRETRAIN_CACHE.clear()

@@ -1,0 +1,95 @@
+"""ASCII chart rendering (no plotting dependencies available offline).
+
+Used to reproduce the paper's *figures* as figures: Figure 3's
+accuracy-vs-bitwidth series render as a monospace line chart with one mark
+per (series, bitwidth) point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def ascii_chart(
+    x_labels: Sequence[str],
+    series: Dict[str, List[float]],
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named series over categorical x positions as an ASCII chart.
+
+    Each series gets a distinct mark; coinciding points show the mark of the
+    last series drawn.  The y-axis spans the data range with a small margin.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    lengths = {len(values) for values in series.values()}
+    if lengths != {len(x_labels)}:
+        raise ValueError("every series must have one value per x label")
+
+    values = [v for vs in series.values() for v in vs]
+    low, high = min(values), max(values)
+    if high == low:
+        high = low + 1.0
+    margin = 0.05 * (high - low)
+    low -= margin
+    high += margin
+
+    marks = "ox+*#@"
+    columns = len(x_labels)
+    width = max(6, (60 // columns)) * columns
+    grid = [[" "] * width for _ in range(height)]
+
+    def x_position(index: int) -> int:
+        return int((index + 0.5) * width / columns)
+
+    def y_position(value: float) -> int:
+        fraction = (value - low) / (high - low)
+        return height - 1 - int(round(fraction * (height - 1)))
+
+    for (name, data), mark in zip(series.items(), marks):
+        for index, value in enumerate(data):
+            grid[y_position(value)][x_position(index)] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        tick = low + fraction * (high - low)
+        lines.append(f"{tick:7.1f} |" + "".join(row))
+    axis = " " * 8 + "+" + "-" * width
+    lines.append(axis)
+    label_row = [" "] * width
+    for index, label in enumerate(x_labels):
+        position = x_position(index)
+        start = max(0, position - len(label) // 2)
+        for offset, char in enumerate(label):
+            if start + offset < width:
+                label_row[start + offset] = char
+    lines.append(" " * 9 + "".join(label_row))
+    legend = "   ".join(
+        f"{mark} {name}" for (name, _), mark in zip(series.items(), marks)
+    )
+    lines.append(" " * 9 + legend)
+    if y_label:
+        lines.append(" " * 9 + f"(y: {y_label})")
+    return "\n".join(lines)
+
+
+def figure3_chart(result, task: str) -> str:
+    """Render one task's Figure 3 panel from a Figure3Result."""
+    from .figure3 import BITWIDTHS
+
+    labels = [str(bits) for bits in BITWIDTHS]
+    series = {
+        "CLIP": result.series(task, clip=True),
+        "NO_CLIP": result.series(task, clip=False),
+    }
+    return ascii_chart(
+        labels,
+        series,
+        title=f"Figure 3 ({task}): accuracy vs weight bitwidth",
+        y_label="accuracy %",
+    )

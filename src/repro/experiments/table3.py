@@ -1,0 +1,86 @@
+"""Table III: resource consumption and latency per (N, M) design point.
+
+Paper rows (12 PUs, BERT-base, seq 128, 214 MHz):
+
+=========  =========  =====  ======  ======  ======  ===========
+device     (N, M)     BRAM   DSP48E  FF      LUT     latency(ms)
+=========  =========  =====  ======  ======  ======  ===========
+ZCU102     (8, 16)    838    1751    124433  123157  43.89
+ZCU102     (16, 8)    877    1671    151010  154192  45.35
+ZCU111     (16, 16)   679*   3287    201469  189724  23.79
+=========  =========  =====  ======  ======  ======  ===========
+
+(* some ZCU111 memory maps to URAM, which Vivado reports separately.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..accel.config import AcceleratorConfig
+from ..accel.devices import FpgaDevice, ZCU102, ZCU111
+from ..accel.simulator import AcceleratorSimulator, SimulationReport
+from ..bert.config import BertConfig
+from .tables import render_table
+
+PAPER_TABLE3 = {
+    ("ZCU102", 8, 16): {"bram": 838, "dsp": 1751, "ff": 124433, "lut": 123157, "latency_ms": 43.89},
+    ("ZCU102", 16, 8): {"bram": 877, "dsp": 1671, "ff": 151010, "lut": 154192, "latency_ms": 45.35},
+    ("ZCU111", 16, 16): {"bram": 679, "dsp": 3287, "ff": 201469, "lut": 189724, "latency_ms": 23.79},
+}
+
+DESIGN_POINTS = (
+    (ZCU102, AcceleratorConfig.zcu102_n8_m16()),
+    (ZCU102, AcceleratorConfig.zcu102_n16_m8()),
+    (ZCU111, AcceleratorConfig.zcu111_n16_m16()),
+)
+
+
+@dataclass
+class Table3Result:
+    """Simulation reports per design point, keyed like the paper rows."""
+
+    reports: Dict[tuple, SimulationReport] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = [
+            "device", "(N,M)", "BRAM18K", "DSP48E", "FF", "LUT", "URAM",
+            "latency(ms)", "paper(ms)", "fits",
+        ]
+        rows: List[list] = []
+        for (device, n, m), report in self.reports.items():
+            paper = PAPER_TABLE3.get((device, n, m), {})
+            rows.append(
+                [
+                    device,
+                    f"({n},{m})",
+                    report.resources.bram18k,
+                    report.resources.dsp48,
+                    report.resources.ff,
+                    report.resources.lut,
+                    report.resources.uram,
+                    report.latency_ms,
+                    paper.get("latency_ms", float("nan")),
+                    "yes" if report.fits_device() else "NO",
+                ]
+            )
+        return render_table(headers, rows, title="Table III: resources and latency")
+
+
+def run_table3(
+    model: Optional[BertConfig] = None,
+    seq_len: int = 128,
+) -> Table3Result:
+    model = model or BertConfig.base()
+    result = Table3Result()
+    for device, config in DESIGN_POINTS:
+        simulator = AcceleratorSimulator(config, device)
+        report = simulator.simulate(model, seq_len=seq_len)
+        result.reports[(device.name, config.num_pes, config.num_multipliers)] = report
+    return result
+
+
+def design_point(device: FpgaDevice, n: int, m: int) -> AcceleratorSimulator:
+    """Simulator for an arbitrary (N, M) point (used by scaling benches)."""
+    return AcceleratorSimulator(AcceleratorConfig(num_pes=n, num_multipliers=m), device)

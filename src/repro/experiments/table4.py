@@ -1,0 +1,91 @@
+"""Table IV: latency / power / fps-per-watt across CPU, GPU, and FPGAs.
+
+Paper row (BERT-base, batch 1, seq 128):
+
+===========  =======  ======  =======  =======
+metric       CPU      GPU     ZCU102   ZCU111
+===========  =======  ======  =======  =======
+latency(ms)  145.06   27.84   43.89    23.79
+power(W)     65       143     9.8      13.2
+fps/W        0.11     0.25    2.32     3.18
+===========  =======  ======  =======  =======
+
+Headline claims: 28.91x (CPU) and 12.72x (GPU) better energy efficiency;
+6.10x / 1.17x better latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..accel.config import AcceleratorConfig
+from ..accel.devices import CPU_I7_8700, GPU_K80, ZCU102, ZCU111
+from ..accel.simulator import AcceleratorSimulator
+from ..accel.workload import build_encoder_workload
+from ..baselines.roofline import simulate_baseline
+from ..bert.config import BertConfig
+from .tables import render_table
+
+PAPER_TABLE4 = {
+    "CPU": {"latency_ms": 145.06, "power_watts": 65.0, "fps_per_watt": 0.11},
+    "GPU": {"latency_ms": 27.84, "power_watts": 143.0, "fps_per_watt": 0.25},
+    "ZCU102": {"latency_ms": 43.89, "power_watts": 9.8, "fps_per_watt": 2.32},
+    "ZCU111": {"latency_ms": 23.79, "power_watts": 13.2, "fps_per_watt": 3.18},
+}
+
+
+@dataclass
+class Table4Result:
+    """Per-platform latency/power/efficiency summaries."""
+
+    platforms: Dict[str, Dict[str, float]]
+
+    def speedup(self, platform: str, metric: str = "fps_per_watt") -> float:
+        """Best-FPGA advantage over a baseline platform."""
+        best = max(
+            self.platforms[name][metric] for name in ("ZCU102", "ZCU111")
+        )
+        return best / self.platforms[platform][metric]
+
+    def render(self) -> str:
+        headers = ["platform", "latency(ms)", "power(W)", "fps/W", "paper fps/W"]
+        rows = []
+        for name, summary in self.platforms.items():
+            rows.append(
+                [
+                    name,
+                    summary["latency_ms"],
+                    summary["power_watts"],
+                    summary["fps_per_watt"],
+                    PAPER_TABLE4.get(name, {}).get("fps_per_watt", float("nan")),
+                ]
+            )
+        return render_table(headers, rows, title="Table IV: platform comparison")
+
+
+def run_table4(model: Optional[BertConfig] = None, seq_len: int = 128) -> Table4Result:
+    model = model or BertConfig.base()
+    workload = build_encoder_workload(model, seq_len=seq_len)
+
+    platforms: Dict[str, Dict[str, float]] = {}
+    for name, device in (("CPU", CPU_I7_8700), ("GPU", GPU_K80)):
+        report = simulate_baseline(workload, device)
+        platforms[name] = {
+            "latency_ms": report.latency_ms,
+            "power_watts": report.power_watts,
+            "fps_per_watt": report.fps_per_watt,
+        }
+
+    fpga_points = (
+        ("ZCU102", ZCU102, AcceleratorConfig.zcu102_n8_m16()),
+        ("ZCU111", ZCU111, AcceleratorConfig.zcu111_n16_m16()),
+    )
+    for name, device, config in fpga_points:
+        report = AcceleratorSimulator(config, device).simulate(model, seq_len=seq_len)
+        platforms[name] = {
+            "latency_ms": report.latency_ms,
+            "power_watts": report.power_watts,
+            "fps_per_watt": report.fps_per_watt,
+        }
+    return Table4Result(platforms=platforms)

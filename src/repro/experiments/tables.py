@@ -1,0 +1,46 @@
+"""Plain-text table rendering for the experiment drivers.
+
+Every experiment returns both structured data (for tests/benches) and a
+rendered table whose rows mirror the paper's tables, so a terminal diff
+against the paper is straightforward.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 2) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Render an aligned monospace table."""
+    formatted = [[format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * width for width in widths]))
+    for row in formatted:
+        parts.append(line(row))
+    return "\n".join(parts)

@@ -1,0 +1,158 @@
+"""FQ-BERT quantization: the paper's algorithmic contribution (Section II).
+
+Layout:
+
+- :mod:`quantizer` — symmetric linear quantization math (Eqs. 1-5)
+- :mod:`observer` — EMA / minmax / percentile range observers (Eq. 3)
+- :mod:`qat` — fake-quant modules and :class:`QuantConfig`
+- :mod:`qbert` — the fully quantized BERT model
+- :mod:`softmax_lut` — 256-entry LUT softmax (Sec. III-B)
+- :mod:`fixedpoint` — Q-format + fixed-point requantization (Eq. 5's s_f)
+- :mod:`integer_model` — the integer-only inference engine
+- :mod:`model_size` — compression-ratio accounting (Table I)
+- :mod:`training` — shared train/eval loops
+"""
+
+from .fixedpoint import (
+    FixedPointMultiplier,
+    LN_PARAM_FORMAT,
+    QFormat,
+    VectorFixedPointMultiplier,
+    integer_isqrt,
+    saturate,
+)
+from .integer_model import (
+    GeluLUT,
+    IntegerBertForSequenceClassification,
+    IntegerBertLayer,
+    IntegerLayerNorm,
+    IntegerLinear,
+    IntegerSelfAttention,
+    convert_to_integer,
+)
+from .model_size import (
+    ParameterInventory,
+    compression_ratio,
+    float_size_bytes,
+    parameter_inventory,
+    quantized_size_bytes,
+    size_report,
+)
+from .observer import EMAObserver, MinMaxObserver, Observer, PercentileObserver, make_observer
+from .qat import FakeQuantize, QuantConfig, QuantLayerNorm, QuantLinear, WeightQuantizer
+from .qbert import (
+    QuantBertEmbeddings,
+    QuantBertEncoder,
+    QuantBertForSequenceClassification,
+    QuantBertLayer,
+    QuantBertSelfAttention,
+    QuantEmbedding,
+    quantize_model,
+)
+from .analysis import (
+    logit_degradation,
+    per_channel_sqnr,
+    sqnr_per_bit_slope,
+    tensor_sqnr,
+    weight_sqnr_report,
+)
+from .ptq import calibrate, post_training_quantize
+from .quantizer import (
+    QuantParams,
+    bias_scale,
+    dequantize,
+    fake_quantize_array,
+    int_range,
+    quantize,
+    quantize_bias,
+    quantize_scale_to_8bit,
+    requant_factor,
+    symmetric_scale,
+    weight_scale,
+)
+from .softmax_lut import (
+    LUT_ENTRIES,
+    OUTPUT_LEVELS,
+    build_exp_lut,
+    fake_quant_softmax,
+    lut_max_error,
+    quantized_softmax,
+)
+from .training import TrainResult, evaluate, train_classifier
+
+__all__ = [
+    # quantizer math
+    "QuantParams",
+    "int_range",
+    "symmetric_scale",
+    "quantize",
+    "dequantize",
+    "fake_quantize_array",
+    "weight_scale",
+    "bias_scale",
+    "quantize_bias",
+    "requant_factor",
+    "quantize_scale_to_8bit",
+    # observers
+    "Observer",
+    "EMAObserver",
+    "MinMaxObserver",
+    "PercentileObserver",
+    "make_observer",
+    # QAT
+    "QuantConfig",
+    "FakeQuantize",
+    "WeightQuantizer",
+    "QuantLinear",
+    "QuantLayerNorm",
+    # quantized BERT
+    "QuantBertForSequenceClassification",
+    "QuantBertEmbeddings",
+    "QuantBertEncoder",
+    "QuantBertLayer",
+    "QuantBertSelfAttention",
+    "QuantEmbedding",
+    "quantize_model",
+    # softmax LUT
+    "LUT_ENTRIES",
+    "OUTPUT_LEVELS",
+    "build_exp_lut",
+    "quantized_softmax",
+    "fake_quant_softmax",
+    "lut_max_error",
+    # fixed point
+    "QFormat",
+    "LN_PARAM_FORMAT",
+    "FixedPointMultiplier",
+    "VectorFixedPointMultiplier",
+    "integer_isqrt",
+    "saturate",
+    # integer engine
+    "IntegerLinear",
+    "IntegerLayerNorm",
+    "IntegerSelfAttention",
+    "IntegerBertLayer",
+    "IntegerBertForSequenceClassification",
+    "GeluLUT",
+    "convert_to_integer",
+    # model size
+    "ParameterInventory",
+    "parameter_inventory",
+    "float_size_bytes",
+    "quantized_size_bytes",
+    "compression_ratio",
+    "size_report",
+    # analysis
+    "tensor_sqnr",
+    "per_channel_sqnr",
+    "sqnr_per_bit_slope",
+    "weight_sqnr_report",
+    "logit_degradation",
+    # PTQ
+    "calibrate",
+    "post_training_quantize",
+    # training
+    "TrainResult",
+    "train_classifier",
+    "evaluate",
+]

@@ -1,0 +1,122 @@
+"""Model size accounting and the compression ratio of Table I.
+
+The paper reports a 7.94x weight compression for FQ-BERT.  That number is
+reproduced here from first principles: every weight (matmul *and* embedding
+tables) moves from fp32 to ``weight_bits``; biases become int32 (same
+storage as fp32); layer-norm parameters become 8-bit fixed point; each
+quantized tensor additionally stores an 8-bit scale.  The ratio is then
+``fp32_bytes / quantized_bytes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..bert.config import BertConfig
+from .qat import QuantConfig
+
+
+@dataclass(frozen=True)
+class ParameterInventory:
+    """Scalar-parameter counts per storage category."""
+
+    matmul_weights: int      # encoder linear weights (Q/K/V/W_s/FFN1/FFN2)
+    embedding_weights: int   # word/position/segment tables
+    task_weights: int        # pooler + classifier (host-side task layer)
+    biases: int              # all linear biases
+    layernorm_params: int    # all LN gamma/beta
+    num_quantized_tensors: int  # tensors carrying an 8-bit scale factor
+
+    @property
+    def total(self) -> int:
+        return (
+            self.matmul_weights
+            + self.embedding_weights
+            + self.task_weights
+            + self.biases
+            + self.layernorm_params
+        )
+
+
+def parameter_inventory(config: BertConfig) -> ParameterInventory:
+    """Count parameters of a BERT classifier analytically from its config."""
+    hidden = config.hidden_size
+    inter = config.intermediate_size
+    layers = config.num_hidden_layers
+
+    per_layer_matmul = 4 * hidden * hidden + 2 * hidden * inter
+    matmul_weights = layers * per_layer_matmul
+
+    embedding_weights = (
+        config.vocab_size * hidden
+        + config.max_position_embeddings * hidden
+        + config.type_vocab_size * hidden
+    )
+
+    task_weights = hidden * hidden + hidden * config.num_labels  # pooler + classifier
+
+    per_layer_bias = 4 * hidden + inter + hidden
+    biases = layers * per_layer_bias + hidden + config.num_labels  # + pooler/classifier
+
+    # Two LN blocks per layer plus the embedding LN, each gamma + beta.
+    layernorm_params = (2 * layers + 1) * 2 * hidden
+
+    # One weight-scale per linear / embedding table, one activation scale per
+    # buffer point; the count only matters at byte granularity so a close
+    # estimate suffices: ~10 quantized tensors per layer + embeddings.
+    num_quantized_tensors = layers * 10 + 5
+
+    return ParameterInventory(
+        matmul_weights=matmul_weights,
+        embedding_weights=embedding_weights,
+        task_weights=task_weights,
+        biases=biases,
+        layernorm_params=layernorm_params,
+        num_quantized_tensors=num_quantized_tensors,
+    )
+
+
+def float_size_bytes(config: BertConfig) -> int:
+    """Model size with every parameter stored as fp32."""
+    return parameter_inventory(config).total * 4
+
+
+def quantized_size_bytes(config: BertConfig, qconfig: QuantConfig) -> float:
+    """Model size under the FQ-BERT storage scheme.
+
+    Weights at ``weight_bits`` (embeddings only when ``quantize_embeddings``),
+    biases at 32-bit integers (Eq. 4), LN parameters at 8-bit fixed point
+    when quantized, plus one 8-bit scale per quantized tensor.
+    """
+    inv = parameter_inventory(config)
+    bits = 0.0
+    weight_bits = qconfig.weight_bits if qconfig.quantize_weights else 32
+    bits += inv.matmul_weights * weight_bits
+    bits += inv.embedding_weights * (
+        weight_bits if qconfig.quantize_embeddings and qconfig.quantize_weights else 32
+    )
+    bits += inv.task_weights * weight_bits
+    bits += inv.biases * 32  # int32 (Eq. 4) or fp32 — same storage either way
+    bits += inv.layernorm_params * (8 if qconfig.quantize_layernorm else 32)
+    if qconfig.quantize_scales:
+        bits += inv.num_quantized_tensors * 8
+    else:
+        bits += inv.num_quantized_tensors * 32
+    return bits / 8.0
+
+
+def compression_ratio(config: BertConfig, qconfig: QuantConfig) -> float:
+    """Table I's ``Comp. Ratio``: fp32 bytes / FQ-BERT bytes."""
+    return float_size_bytes(config) / quantized_size_bytes(config, qconfig)
+
+
+def size_report(config: BertConfig, qconfig: QuantConfig) -> Dict[str, float]:
+    """Human-readable size breakdown in megabytes."""
+    inv = parameter_inventory(config)
+    return {
+        "total_params_millions": inv.total / 1e6,
+        "fp32_megabytes": float_size_bytes(config) / 2 ** 20,
+        "quantized_megabytes": quantized_size_bytes(config, qconfig) / 2 ** 20,
+        "compression_ratio": compression_ratio(config, qconfig),
+    }

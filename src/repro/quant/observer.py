@@ -1,0 +1,161 @@
+"""Range observers used to derive activation scales.
+
+The paper (Eq. 3) collects activation statistics with an exponential moving
+average of the per-batch maximum absolute value::
+
+    s_a = (2^(k-1) - 1) / EMA(max|A|)
+
+``EMAObserver`` implements exactly that; ``MinMaxObserver`` (running max, no
+decay) and ``PercentileObserver`` (clip-by-percentile) are the standard
+alternatives used by the ablation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .quantizer import symmetric_scale
+
+
+class Observer:
+    """Base class: feed arrays via :meth:`observe`, read a scale out."""
+
+    def observe(self, x: np.ndarray) -> None:
+        raise NotImplementedError
+
+    @property
+    def max_abs(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def initialized(self) -> bool:
+        raise NotImplementedError
+
+    def scale(self, bits: int) -> float:
+        """Symmetric scale from the tracked range (Eq. 3)."""
+        if not self.initialized:
+            raise RuntimeError(f"{type(self).__name__} has seen no data")
+        return float(symmetric_scale(self.max_abs, bits))
+
+    def state(self) -> np.ndarray:
+        """Serializable state (stored as a module buffer)."""
+        raise NotImplementedError
+
+    def load_state(self, state: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class EMAObserver(Observer):
+    """Exponential moving average of ``max|x|`` — the paper's Eq. 3 observer.
+
+    ``decay`` close to 1 gives a slow, stable estimate; the update is applied
+    only in training mode, the frozen value is used at inference, matching
+    the standard QAT recipe.
+    """
+
+    def __init__(self, decay: float = 0.95):
+        if not 0.0 < decay < 1.0:
+            raise ValueError(f"decay must be in (0, 1), got {decay}")
+        self.decay = decay
+        self._value: float = 0.0
+        self._initialized = False
+
+    def observe(self, x: np.ndarray) -> None:
+        current = float(np.abs(x).max()) if x.size else 0.0
+        if not self._initialized:
+            self._value = current
+            self._initialized = True
+        else:
+            self._value = self.decay * self._value + (1.0 - self.decay) * current
+
+    @property
+    def max_abs(self) -> float:
+        return self._value
+
+    @property
+    def initialized(self) -> bool:
+        return self._initialized
+
+    def state(self) -> np.ndarray:
+        return np.array([self._value, float(self._initialized)], dtype=np.float64)
+
+    def load_state(self, state: np.ndarray) -> None:
+        self._value = float(state[0])
+        self._initialized = bool(state[1])
+
+
+class MinMaxObserver(Observer):
+    """Running maximum of ``max|x|`` (never decays)."""
+
+    def __init__(self):
+        self._value = 0.0
+        self._initialized = False
+
+    def observe(self, x: np.ndarray) -> None:
+        if x.size:
+            self._value = max(self._value, float(np.abs(x).max()))
+            self._initialized = True
+
+    @property
+    def max_abs(self) -> float:
+        return self._value
+
+    @property
+    def initialized(self) -> bool:
+        return self._initialized
+
+    def state(self) -> np.ndarray:
+        return np.array([self._value, float(self._initialized)], dtype=np.float64)
+
+    def load_state(self, state: np.ndarray) -> None:
+        self._value = float(state[0])
+        self._initialized = bool(state[1])
+
+
+class PercentileObserver(Observer):
+    """EMA of a high percentile of ``|x|`` — an outlier-robust clip estimate."""
+
+    def __init__(self, percentile: float = 99.9, decay: float = 0.95):
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        self.percentile = percentile
+        self.decay = decay
+        self._value = 0.0
+        self._initialized = False
+
+    def observe(self, x: np.ndarray) -> None:
+        if not x.size:
+            return
+        current = float(np.percentile(np.abs(x), self.percentile))
+        if not self._initialized:
+            self._value = current
+            self._initialized = True
+        else:
+            self._value = self.decay * self._value + (1.0 - self.decay) * current
+
+    @property
+    def max_abs(self) -> float:
+        return self._value
+
+    @property
+    def initialized(self) -> bool:
+        return self._initialized
+
+    def state(self) -> np.ndarray:
+        return np.array([self._value, float(self._initialized)], dtype=np.float64)
+
+    def load_state(self, state: np.ndarray) -> None:
+        self._value = float(state[0])
+        self._initialized = bool(state[1])
+
+
+def make_observer(kind: str, **kwargs) -> Observer:
+    """Factory: ``ema`` (paper default), ``minmax``, or ``percentile``."""
+    kinds = {
+        "ema": EMAObserver,
+        "minmax": MinMaxObserver,
+        "percentile": PercentileObserver,
+    }
+    if kind not in kinds:
+        raise ValueError(f"unknown observer kind {kind!r}; choose from {sorted(kinds)}")
+    return kinds[kind](**kwargs)

@@ -1,0 +1,59 @@
+"""Post-training quantization (PTQ): calibrate scales without fine-tuning.
+
+The paper uses QAT ("fine-tune the model with quantization function"); PTQ
+is the cheaper alternative every deployment flow also offers: run a few
+calibration batches through the fake-quant model in evaluation-observe mode
+to settle the EMA ranges, and never update a weight.  The PTQ-vs-QAT bench
+quantifies what the fine-tuning step buys at each bitwidth — at w8 they tie,
+at w4 QAT pulls ahead slightly, and at w2 PTQ collapses while QAT partially
+recovers (the gap the paper's training recipe exists to close).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import no_grad
+from ..data.dataset import EncodedDataset
+from .qat import QuantConfig
+from .qbert import QuantBertForSequenceClassification, quantize_model
+
+
+def calibrate(
+    model: QuantBertForSequenceClassification,
+    data: EncodedDataset,
+    num_batches: int = 8,
+    batch_size: int = 32,
+    rng: Optional[np.random.Generator] = None,
+) -> QuantBertForSequenceClassification:
+    """Settle every observer's EMA statistics with calibration batches.
+
+    The model stays in training mode so observers update, but runs under
+    ``no_grad`` and no optimizer step ever happens — pure calibration.
+    """
+    model.train()
+    rng = rng or np.random.default_rng(0)
+    seen = 0
+    with no_grad():
+        for batch in data.batches(batch_size, shuffle=True, rng=rng):
+            model(batch.input_ids, batch.attention_mask, batch.token_type_ids)
+            seen += 1
+            if seen >= num_batches:
+                break
+    model.eval()
+    return model
+
+
+def post_training_quantize(
+    float_model,
+    qconfig: QuantConfig,
+    calibration_data: EncodedDataset,
+    num_batches: int = 8,
+    rng: Optional[np.random.Generator] = None,
+) -> QuantBertForSequenceClassification:
+    """One-call PTQ: convert the float model and calibrate its observers."""
+    rng = rng or np.random.default_rng(0)
+    quant_model = quantize_model(float_model, qconfig, rng=rng)
+    return calibrate(quant_model, calibration_data, num_batches=num_batches, rng=rng)

@@ -1,0 +1,342 @@
+"""Quantization-aware-training building blocks.
+
+This module defines:
+
+- :class:`QuantConfig` — every knob of the FQ-BERT quantization recipe, with
+  presets for the paper's configurations (full FQ-BERT, the Table II
+  ablation rows, and the Figure 3 bitwidth/clip sweep).
+- :class:`FakeQuantize` — activation fake-quantizer with an EMA observer
+  (Eq. 3) placed at every hardware buffer point.
+- :class:`WeightQuantizer` — weight fake-quantizer with an optionally
+  *trainable* clip threshold (Eq. 1's MIN/MAX, "carefully tuned during
+  training"), using the PACT-style gradient.
+- :class:`QuantLinear` — linear layer with quantized weights, int32-scaled
+  bias (Eq. 4), and an output quantizer providing ``s_y`` for Eq. 5.
+- :class:`QuantLayerNorm` — layer norm with 8-bit fixed-point parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..autograd import functional as F
+from ..autograd import nn
+from .fixedpoint import LN_PARAM_FORMAT
+from .observer import EMAObserver
+from .quantizer import int_range, quantize_scale_to_8bit, symmetric_scale
+
+
+@dataclass(frozen=True)
+class QuantConfig:
+    """All knobs of the FQ-BERT quantization recipe.
+
+    The defaults correspond to the paper's full FQ-BERT: 4-bit weights,
+    8-bit activations, int32 biases, 8-bit scale factors, LUT softmax,
+    8-bit fixed-point layer-norm parameters, trained clip thresholds.
+    """
+
+    weight_bits: int = 4
+    act_bits: int = 8
+    quantize_weights: bool = True
+    quantize_activations: bool = True
+    quantize_bias: bool = True
+    quantize_scales: bool = True
+    quantize_softmax: bool = True
+    quantize_layernorm: bool = True
+    quantize_embeddings: bool = True
+    quantize_task_layer: bool = False  # task layer runs on the host CPU
+    use_clip: bool = True
+    clip_init_percentile: float = 99.7
+    ema_decay: float = 0.9
+    # Extension beyond the paper: one weight scale per output channel
+    # (row of W).  The accelerator's quantization module requantizes one PE
+    # output at a time, so per-channel factors cost only a small multiplier
+    # table.  Per-channel mode uses minmax scales (no clip), the standard
+    # pairing.
+    per_channel_weights: bool = False
+
+    # ------------------------------------------------------------------
+    # presets used by the experiment harness
+    # ------------------------------------------------------------------
+    @classmethod
+    def fq_bert(cls, weight_bits: int = 4, act_bits: int = 8) -> "QuantConfig":
+        """The paper's headline configuration (Table I): w4/a8, all parts."""
+        return cls(weight_bits=weight_bits, act_bits=act_bits)
+
+    @classmethod
+    def float_baseline(cls) -> "QuantConfig":
+        """No quantization anywhere (the 32/32 baseline rows)."""
+        return cls(
+            quantize_weights=False,
+            quantize_activations=False,
+            quantize_bias=False,
+            quantize_scales=False,
+            quantize_softmax=False,
+            quantize_layernorm=False,
+            quantize_embeddings=False,
+        )
+
+    @classmethod
+    def weights_activations_only(cls, weight_bits: int = 4, act_bits: int = 8) -> "QuantConfig":
+        """Table II row 2: only weights/activations (and biases) quantized."""
+        return cls(
+            weight_bits=weight_bits,
+            act_bits=act_bits,
+            quantize_scales=False,
+            quantize_softmax=False,
+            quantize_layernorm=False,
+        )
+
+    @classmethod
+    def figure3(cls, weight_bits: int, clip: bool) -> "QuantConfig":
+        """Figure 3 sweep point: weights at ``weight_bits``, clip on/off.
+
+        Figure 3 isolates *weight* quantization, so activations and the
+        special parts stay in float; ``weight_bits=32`` disables weight
+        quantization entirely (the 92.32 / 84.19 anchor points).
+        """
+        if weight_bits >= 32:
+            return cls.float_baseline()
+        return cls(
+            weight_bits=weight_bits,
+            quantize_activations=False,
+            quantize_bias=False,
+            quantize_scales=False,
+            quantize_softmax=False,
+            quantize_layernorm=False,
+            use_clip=clip,
+        )
+
+    def with_parts(
+        self,
+        scales: bool = False,
+        softmax: bool = False,
+        layernorm: bool = False,
+    ) -> "QuantConfig":
+        """Table II helper: start from w/a-only and enable parts cumulatively."""
+        return replace(
+            self,
+            quantize_scales=scales,
+            quantize_softmax=softmax,
+            quantize_layernorm=layernorm,
+        )
+
+    def maybe_quantize_scale(self, scale: float) -> float:
+        """Round a scale factor to its 8-bit representation when enabled."""
+        if self.quantize_scales:
+            return quantize_scale_to_8bit(scale)
+        return scale
+
+
+class FakeQuantize(nn.Module):
+    """Activation fake-quantizer at one hardware buffer point.
+
+    In training mode it updates an EMA of ``max|x|`` (Eq. 3) and then
+    round-trips ``x`` through the k-bit integer grid with straight-through
+    gradients.  In eval mode the frozen EMA statistic is used.  When the
+    config disables activation quantization this module is an observing
+    pass-through (the observer still runs so Eq. 4/5 conversions have a
+    scale to work with).
+    """
+
+    def __init__(self, config: QuantConfig, bits: Optional[int] = None, enabled: bool = True):
+        super().__init__()
+        self.config = config
+        self.bits = bits if bits is not None else config.act_bits
+        self.enabled = enabled and config.quantize_activations
+        self.observer = EMAObserver(decay=config.ema_decay)
+        self.register_buffer("observer_state", self.observer.state())
+
+    def _sync_buffer(self) -> None:
+        self.set_buffer("observer_state", self.observer.state())
+
+    def load_observer(self) -> None:
+        """Restore observer from the serialized buffer (after load_state_dict)."""
+        self.observer.load_state(self._buffers["observer_state"])
+
+    @property
+    def scale(self) -> float:
+        """Current activation scale (possibly 8-bit-quantized per config)."""
+        raw = self.observer.scale(self.bits)
+        return self.config.maybe_quantize_scale(raw)
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, Optional[float]]:
+        if self.training or not self.observer.initialized:
+            self.observer.observe(x.data)
+            self._sync_buffer()
+        if not self.enabled:
+            return x, None
+        scale = self.scale
+        qmin, qmax = int_range(self.bits, signed=True)
+        return F.fake_quantize(x, scale, qmin, qmax), scale
+
+
+class WeightQuantizer(nn.Module):
+    """Weight fake-quantizer with an optionally trainable clip threshold.
+
+    With ``use_clip`` the clip value ``c`` (Eq. 1's MAX, with MIN = -c) is a
+    trainable scalar initialised from a percentile of ``|W|``.  The clamp is
+    expressed as ``c * clamp(w / c, -1, 1)`` so autograd yields the PACT
+    gradient: zero w.r.t. ``c`` inside the window, ``sign(w)`` outside —
+    letting the network trade clipping error against resolution, which is
+    what makes 4-bit (and especially 2-bit) weights trainable (Figure 3).
+    Without clip the scale tracks ``max|W|`` every forward (the NO_CLIP
+    columns of Figure 3).
+    """
+
+    def __init__(self, weight: nn.Parameter, config: QuantConfig, per_channel: bool = None):
+        super().__init__()
+        self.config = config
+        self.bits = config.weight_bits
+        self.enabled = config.quantize_weights
+        self.per_channel = (
+            config.per_channel_weights if per_channel is None else per_channel
+        )
+        if self.per_channel and weight.data.ndim != 2:
+            raise ValueError("per-channel weight quantization expects a 2-D weight")
+        if config.use_clip and not self.per_channel:
+            init = float(np.percentile(np.abs(weight.data), config.clip_init_percentile))
+            init = max(init, 1e-8)
+            self.clip_value = nn.Parameter(np.array(init, dtype=np.float32))
+        else:
+            self.clip_value = None  # type: ignore[assignment]
+
+    def current_scale(self, weight: nn.Parameter):
+        """Per-tensor float scale, or a (out, 1) per-channel scale array."""
+        if self.per_channel:
+            max_abs = np.abs(weight.data).max(axis=1, keepdims=True)
+            scales = symmetric_scale(max_abs, self.bits)
+            if self.config.quantize_scales:
+                scales = np.array(
+                    [[quantize_scale_to_8bit(float(s))] for s in scales[:, 0]]
+                )
+            return scales
+        if self.config.use_clip:
+            max_abs = max(float(abs(self.clip_value.data)), 1e-8)
+        else:
+            max_abs = float(np.abs(weight.data).max())
+        raw = float(symmetric_scale(max_abs, self.bits))
+        return self.config.maybe_quantize_scale(raw)
+
+    def forward(self, weight: nn.Parameter) -> Tuple[Tensor, Optional[float]]:
+        if not self.enabled:
+            return weight, None
+        scale = self.current_scale(weight)
+        qmin, qmax = int_range(self.bits, signed=True)
+        if self.config.use_clip and not self.per_channel:
+            # c * clamp(w / c, -1, 1): differentiable w.r.t. both w and c.
+            c = self.clip_value
+            normalized = (weight * (c ** -1.0)).clamp(-1.0, 1.0)
+            clipped = normalized * c
+            return F.fake_quantize(clipped, scale, qmin, qmax), scale
+        return F.fake_quantize(weight, scale, qmin, qmax), scale
+
+
+class QuantLinear(nn.Module):
+    """Linear layer on the quantized datapath.
+
+    The input arrives already quantized at ``in_scale`` (set by the upstream
+    buffer point).  This layer fake-quantizes its weight (Eq. 1/2), its bias
+    at ``s_a * s_w`` to int32 (Eq. 4), computes the affine map, and quantizes
+    the output at its own observer's scale ``s_y`` — together realising
+    Eq. 5's ``y_I = (sum a_I w_I + b_I) * s_f`` in the fake-quant domain.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        config: QuantConfig,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        quantize_output: bool = True,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        bound = float(np.sqrt(1.0 / in_features))
+        self.weight = nn.Parameter(
+            rng.uniform(-bound, bound, size=(out_features, in_features)).astype(np.float32)
+        )
+        self.bias = nn.Parameter(np.zeros(out_features, dtype=np.float32)) if bias else None
+        self.config = config
+        self.weight_quantizer = WeightQuantizer(self.weight, config)
+        self.output_quantizer = FakeQuantize(config, enabled=quantize_output)
+
+    def load_float_weights(self, weight: np.ndarray, bias: Optional[np.ndarray]) -> None:
+        """Copy weights from a pretrained float layer and re-init the clip."""
+        self.weight.data = weight.astype(np.float32).copy()
+        if bias is not None and self.bias is not None:
+            self.bias.data = bias.astype(np.float32).copy()
+        if (
+            self.config.use_clip
+            and self.config.quantize_weights
+            and not self.weight_quantizer.per_channel
+        ):
+            init = float(np.percentile(np.abs(weight), self.config.clip_init_percentile))
+            self.weight_quantizer.clip_value.data = np.array(max(init, 1e-8), dtype=np.float32)
+
+    def forward(self, x: Tensor, in_scale: Optional[float]) -> Tuple[Tensor, Optional[float]]:
+        w_q, w_scale = self.weight_quantizer(self.weight)
+        bias = self.bias
+        if (
+            bias is not None
+            and self.config.quantize_bias
+            and in_scale is not None
+            and w_scale is not None
+        ):
+            # Eq. 4: bias quantized on the accumulator grid s_a * s_w.
+            # int32 is wide enough that no clamp is needed in practice.
+            # With per-channel weights, s_w (and hence s_bias) is per-row.
+            s_bias = in_scale * np.asarray(w_scale).reshape(-1)
+            if s_bias.size == 1:
+                s_bias = float(s_bias.item())
+            bias = F.ste_round(bias * s_bias) * (1.0 / s_bias)
+        y = F.linear(x, w_q, bias)
+        return self.output_quantizer(y)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantLinear(in={self.in_features}, out={self.out_features}, "
+            f"w{self.config.weight_bits}/a{self.config.act_bits})"
+        )
+
+
+class QuantLayerNorm(nn.Module):
+    """Layer normalization with 8-bit fixed-point affine parameters.
+
+    When ``quantize_layernorm`` is on, gamma/beta are round-tripped through
+    the Q3.4 fixed-point grid (with straight-through gradients) every
+    forward, so training adapts to the quantized parameters.  The output is
+    quantized at this module's own buffer point either way (it feeds the
+    next matmul's 8-bit input buffer).
+    """
+
+    def __init__(self, normalized_shape: int, config: QuantConfig, eps: float = 1e-5):
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.config = config
+        self.weight = nn.Parameter(np.ones(normalized_shape, dtype=np.float32))
+        self.bias = nn.Parameter(np.zeros(normalized_shape, dtype=np.float32))
+        self.output_quantizer = FakeQuantize(config)
+
+    def _quantized_params(self) -> Tuple[Tensor, Tensor]:
+        if not self.config.quantize_layernorm:
+            return self.weight, self.bias
+        step = float(LN_PARAM_FORMAT.resolution)
+        low = float(LN_PARAM_FORMAT.min_value)
+        high = float(LN_PARAM_FORMAT.max_value)
+        gamma = F.ste_round(self.weight * (1.0 / step)).clamp(low / step, high / step) * step
+        beta = F.ste_round(self.bias * (1.0 / step)).clamp(low / step, high / step) * step
+        return gamma, beta
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, Optional[float]]:
+        gamma, beta = self._quantized_params()
+        y = F.layer_norm(x, gamma, beta, eps=self.eps)
+        return self.output_quantizer(y)

@@ -1,0 +1,416 @@
+"""FQ-BERT: the fully quantized BERT model (Section II of the paper).
+
+This mirrors :mod:`repro.bert` but places a quantizer at every *hardware
+buffer point* of the accelerator (Figure 2): the embedding output (input
+buffer), Q/K/V and the attention matrix (intermediate buffer), each linear
+output, the softmax output, and both Add&LN outputs.  Scales are threaded
+explicitly between modules — exactly the information the integer conversion
+(:mod:`repro.quant.integer_model`) later freezes into requantization
+multipliers, and the same tensors the accelerator streams between its
+buffers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..autograd import functional as F
+from ..autograd import nn
+from ..bert.attention import _additive_mask, merge_heads, split_heads
+from ..bert.config import BertConfig
+from .qat import FakeQuantize, QuantConfig, QuantLayerNorm, QuantLinear, WeightQuantizer
+from .softmax_lut import fake_quant_softmax
+
+
+class QuantEmbedding(nn.Module):
+    """Embedding table with weight fake-quantization.
+
+    Embedding tables dominate BERT's parameter memory, so FQ-BERT quantizes
+    them to the same 4-bit grid as the matmul weights (that is where most of
+    the 7.94x compression comes from).
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        config: QuantConfig,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = nn.Parameter(
+            rng.normal(0.0, 0.02, size=(num_embeddings, embedding_dim)).astype(np.float32)
+        )
+        self.config = config
+        self.enabled = config.quantize_embeddings and config.quantize_weights
+        if self.enabled:
+            self.weight_quantizer = WeightQuantizer(self.weight, config)
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        if self.enabled:
+            w_q, _ = self.weight_quantizer(self.weight)
+        else:
+            w_q = self.weight
+        return F.embedding(w_q, np.asarray(indices))
+
+
+class QuantBertEmbeddings(nn.Module):
+    """Token + position + segment embeddings, Add, LN, output quantizer.
+
+    In the paper's deployment this block runs on the host CPU; the final
+    quantizer models the 8-bit activation stream sent over AXI to the FPGA
+    input buffer.
+    """
+
+    def __init__(self, config: BertConfig, qconfig: QuantConfig, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.config = config
+        self.word_embeddings = QuantEmbedding(config.vocab_size, config.hidden_size, qconfig, rng)
+        self.position_embeddings = QuantEmbedding(
+            config.max_position_embeddings, config.hidden_size, qconfig, rng
+        )
+        self.token_type_embeddings = QuantEmbedding(
+            config.type_vocab_size, config.hidden_size, qconfig, rng
+        )
+        self.layer_norm = QuantLayerNorm(config.hidden_size, qconfig, eps=config.layer_norm_eps)
+        self.dropout = nn.Dropout(config.hidden_dropout_prob)
+
+    def forward(
+        self,
+        input_ids: np.ndarray,
+        token_type_ids: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Optional[float]]:
+        input_ids = np.asarray(input_ids)
+        batch, seq_len = input_ids.shape
+        if token_type_ids is None:
+            token_type_ids = np.zeros_like(input_ids)
+        position_ids = np.broadcast_to(np.arange(seq_len), (batch, seq_len))
+        embedded = (
+            self.word_embeddings(input_ids)
+            + self.position_embeddings(position_ids)
+            + self.token_type_embeddings(token_type_ids)
+        )
+        x, scale = self.layer_norm(embedded)
+        return self.dropout(x), scale
+
+
+class QuantBertSelfAttention(nn.Module):
+    """Quantized multi-head self-attention.
+
+    Maps one-to-one onto the accelerator stages of Figure 5:
+    ``X·W_Q / X·W_K / X·W_V`` (8b x 4b on the PEs), ``Q·K^T`` (8b x 8b via the
+    BIM's composed mode), softmax (softmax core), ``Attn·V`` (8b x 8b).
+    """
+
+    def __init__(self, config: BertConfig, qconfig: QuantConfig, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.num_heads = config.num_attention_heads
+        self.head_dim = config.head_dim
+        self.inv_sqrt_d = 1.0 / float(np.sqrt(self.head_dim))
+        self.qconfig = qconfig
+        hidden = config.hidden_size
+        self.query = QuantLinear(hidden, hidden, qconfig, rng=rng)
+        self.key = QuantLinear(hidden, hidden, qconfig, rng=rng)
+        self.value = QuantLinear(hidden, hidden, qconfig, rng=rng)
+        self.score_quantizer = FakeQuantize(qconfig)
+        if not qconfig.quantize_softmax:
+            # Float-softmax path: the attention matrix still lands in the
+            # 8-bit intermediate buffer, via a plain activation quantizer.
+            self.prob_quantizer = FakeQuantize(qconfig)
+        self.context_quantizer = FakeQuantize(qconfig)
+        self.dropout = nn.Dropout(config.attention_dropout_prob)
+
+    def forward(
+        self,
+        hidden_states: Tensor,
+        in_scale: Optional[float],
+        attention_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Optional[float]]:
+        q, _ = self.query(hidden_states, in_scale)
+        k, _ = self.key(hidden_states, in_scale)
+        v, _ = self.value(hidden_states, in_scale)
+        q = split_heads(q, self.num_heads)
+        k = split_heads(k, self.num_heads)
+        v = split_heads(v, self.num_heads)
+
+        # The 1/sqrt(d) scale is folded into the score requantization factor
+        # on hardware; in the fake-quant domain we apply it before the score
+        # buffer point so both paths see identically scaled scores.
+        scores = q.matmul(k.swapaxes(-1, -2)) * self.inv_sqrt_d
+        scores, score_scale = self.score_quantizer(scores)
+
+        if self.qconfig.quantize_softmax and score_scale is not None:
+            probs = fake_quant_softmax(scores, score_scale, mask=_mask_or_none(attention_mask))
+        else:
+            if attention_mask is not None:
+                scores = scores + Tensor(_additive_mask(attention_mask))
+            probs = F.softmax(scores, axis=-1)
+            probs, _ = self.prob_quantizer(probs)
+        probs = self.dropout(probs)
+
+        context = probs.matmul(v)
+        context, context_scale = self.context_quantizer(context)
+        return merge_heads(context), context_scale
+
+
+class QuantBertAttention(nn.Module):
+    """Self-attention + output projection (``O_A·W_s``) + residual Add&LN."""
+
+    def __init__(self, config: BertConfig, qconfig: QuantConfig, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.self_attention = QuantBertSelfAttention(config, qconfig, rng=rng)
+        self.output_dense = QuantLinear(config.hidden_size, config.hidden_size, qconfig, rng=rng)
+        self.output_dropout = nn.Dropout(config.hidden_dropout_prob)
+        self.layer_norm = QuantLayerNorm(config.hidden_size, qconfig, eps=config.layer_norm_eps)
+
+    def forward(
+        self,
+        hidden_states: Tensor,
+        in_scale: Optional[float],
+        attention_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Optional[float]]:
+        context, context_scale = self.self_attention(hidden_states, in_scale, attention_mask)
+        projected, _ = self.output_dense(context, context_scale)
+        projected = self.output_dropout(projected)
+        # The LN core's first pipeline stage consumes two vectors with two
+        # scaling factors (Sec. III-B) — this is that Add.
+        return self.layer_norm(projected + hidden_states)
+
+
+class QuantBertFeedForward(nn.Module):
+    """FFN1 + GELU + FFN2 + Add&LN on the quantized datapath."""
+
+    def __init__(self, config: BertConfig, qconfig: QuantConfig, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.ffn1 = QuantLinear(config.hidden_size, config.intermediate_size, qconfig, rng=rng)
+        self.gelu_quantizer = FakeQuantize(qconfig)
+        self.ffn2 = QuantLinear(config.intermediate_size, config.hidden_size, qconfig, rng=rng)
+        self.dropout = nn.Dropout(config.hidden_dropout_prob)
+        self.layer_norm = QuantLayerNorm(config.hidden_size, qconfig, eps=config.layer_norm_eps)
+
+    def forward(
+        self, hidden_states: Tensor, in_scale: Optional[float]
+    ) -> Tuple[Tensor, Optional[float]]:
+        intermediate, _ = self.ffn1(hidden_states, in_scale)
+        activated, act_scale = self.gelu_quantizer(F.gelu(intermediate))
+        projected, _ = self.ffn2(activated, act_scale)
+        projected = self.dropout(projected)
+        return self.layer_norm(projected + hidden_states)
+
+
+class QuantBertLayer(nn.Module):
+    """One fully quantized encoder layer."""
+
+    def __init__(self, config: BertConfig, qconfig: QuantConfig, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.attention = QuantBertAttention(config, qconfig, rng=rng)
+        self.feed_forward = QuantBertFeedForward(config, qconfig, rng=rng)
+
+    def forward(
+        self,
+        hidden_states: Tensor,
+        in_scale: Optional[float],
+        attention_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Optional[float]]:
+        attended, attn_scale = self.attention(hidden_states, in_scale, attention_mask)
+        return self.feed_forward(attended, attn_scale)
+
+
+class QuantBertEncoder(nn.Module):
+    """Stack of quantized encoder layers with scale threading."""
+
+    def __init__(self, config: BertConfig, qconfig: QuantConfig, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.layers = nn.ModuleList(
+            [QuantBertLayer(config, qconfig, rng=rng) for _ in range(config.num_hidden_layers)]
+        )
+
+    def forward(
+        self,
+        hidden_states: Tensor,
+        in_scale: Optional[float],
+        attention_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Optional[float]]:
+        scale = in_scale
+        for layer in self.layers:
+            hidden_states, scale = layer(hidden_states, scale, attention_mask)
+        return hidden_states, scale
+
+
+class QuantBertPooler(nn.Module):
+    """[CLS] pooler; runs on the host CPU, float by default."""
+
+    def __init__(self, config: BertConfig, qconfig: QuantConfig, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.quantize_task_layer = qconfig.quantize_task_layer
+        if self.quantize_task_layer:
+            self.dense = QuantLinear(config.hidden_size, config.hidden_size, qconfig, rng=rng)
+        else:
+            self.dense = nn.Linear(config.hidden_size, config.hidden_size, rng=rng)
+
+    def forward(self, hidden_states: Tensor, in_scale: Optional[float]) -> Tensor:
+        cls = hidden_states[:, 0, :]
+        if self.quantize_task_layer:
+            pooled, _ = self.dense(cls, in_scale)
+        else:
+            pooled = self.dense(cls)
+        return pooled.tanh()
+
+
+class QuantBertForSequenceClassification(nn.Module):
+    """The complete FQ-BERT classifier.
+
+    Same calling convention as
+    :class:`repro.bert.BertForSequenceClassification`, so the training and
+    evaluation loops work unchanged on both.
+    """
+
+    def __init__(
+        self,
+        config: BertConfig,
+        qconfig: QuantConfig,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.config = config
+        self.qconfig = qconfig
+        self.embeddings = QuantBertEmbeddings(config, qconfig, rng=rng)
+        self.encoder = QuantBertEncoder(config, qconfig, rng=rng)
+        self.pooler = QuantBertPooler(config, qconfig, rng=rng)
+        self.dropout = nn.Dropout(config.hidden_dropout_prob)
+        self.classifier = nn.Linear(config.hidden_size, config.num_labels, rng=rng)
+
+    def forward(
+        self,
+        input_ids: np.ndarray,
+        attention_mask: Optional[np.ndarray] = None,
+        token_type_ids: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        embedded, scale = self.embeddings(input_ids, token_type_ids)
+        encoded, scale = self.encoder(embedded, scale, attention_mask)
+        pooled = self.pooler(encoded, scale)
+        return self.classifier(self.dropout(pooled))
+
+    def loss(
+        self,
+        input_ids: np.ndarray,
+        labels: np.ndarray,
+        attention_mask: Optional[np.ndarray] = None,
+        token_type_ids: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        logits = self.forward(input_ids, attention_mask, token_type_ids)
+        return F.cross_entropy(logits, labels)
+
+    def predict(
+        self,
+        input_ids: np.ndarray,
+        attention_mask: Optional[np.ndarray] = None,
+        token_type_ids: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        with no_grad():
+            logits = self.forward(input_ids, attention_mask, token_type_ids)
+        return logits.data.argmax(axis=-1)
+
+
+def _mask_or_none(attention_mask: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    """(batch, seq) 0/1 mask -> (batch, 1, 1, seq) broadcastable, or None."""
+    if attention_mask is None:
+        return None
+    mask = np.asarray(attention_mask)
+    return mask[:, None, None, :]
+
+
+def quantize_model(
+    float_model,
+    qconfig: QuantConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> QuantBertForSequenceClassification:
+    """Build an FQ-BERT initialised from a trained float BERT.
+
+    This is the paper's two-phase recipe: first train the original model,
+    then fine-tune with the quantization function inserted.  Weights are
+    copied; clip thresholds are initialised from the copied weights'
+    percentile statistics.
+    """
+    config = float_model.config
+    quant_model = QuantBertForSequenceClassification(config, qconfig, rng=rng)
+    float_state = float_model.state_dict()
+
+    mapping = _parameter_name_mapping(config)
+    quant_params = dict(quant_model.named_parameters())
+    for float_name, quant_name in mapping.items():
+        source = float_state[float_name]
+        target = quant_params[quant_name]
+        if target.data.shape != source.shape:
+            raise ValueError(
+                f"shape mismatch copying {float_name} -> {quant_name}: "
+                f"{source.shape} vs {target.data.shape}"
+            )
+        target.data = source.astype(np.float32).copy()
+
+    # Re-initialise clip thresholds from the loaded weights.
+    for module in quant_model.modules():
+        if isinstance(module, QuantLinear):
+            module.load_float_weights(module.weight.data, None)
+        elif (
+            isinstance(module, QuantEmbedding)
+            and module.enabled
+            and qconfig.use_clip
+            and not qconfig.per_channel_weights
+        ):
+            init = float(
+                np.percentile(np.abs(module.weight.data), qconfig.clip_init_percentile)
+            )
+            module.weight_quantizer.clip_value.data = np.array(
+                max(init, 1e-8), dtype=np.float32
+            )
+    return quant_model
+
+
+def _parameter_name_mapping(config: BertConfig) -> dict:
+    """float-model parameter path -> quant-model parameter path."""
+    mapping = {
+        "bert.embeddings.word_embeddings.weight": "embeddings.word_embeddings.weight",
+        "bert.embeddings.position_embeddings.weight": "embeddings.position_embeddings.weight",
+        "bert.embeddings.token_type_embeddings.weight": "embeddings.token_type_embeddings.weight",
+        "bert.embeddings.layer_norm.weight": "embeddings.layer_norm.weight",
+        "bert.embeddings.layer_norm.bias": "embeddings.layer_norm.bias",
+        "bert.pooler.dense.weight": "pooler.dense.weight",
+        "bert.pooler.dense.bias": "pooler.dense.bias",
+        "classifier.weight": "classifier.weight",
+        "classifier.bias": "classifier.bias",
+    }
+    for i in range(config.num_hidden_layers):
+        src = f"bert.encoder.layers.{i}"
+        dst = f"encoder.layers.{i}"
+        for proj in ("query", "key", "value"):
+            mapping[f"{src}.attention.self_attention.{proj}.weight"] = (
+                f"{dst}.attention.self_attention.{proj}.weight"
+            )
+            mapping[f"{src}.attention.self_attention.{proj}.bias"] = (
+                f"{dst}.attention.self_attention.{proj}.bias"
+            )
+        mapping[f"{src}.attention.output_dense.weight"] = f"{dst}.attention.output_dense.weight"
+        mapping[f"{src}.attention.output_dense.bias"] = f"{dst}.attention.output_dense.bias"
+        mapping[f"{src}.attention.layer_norm.weight"] = f"{dst}.attention.layer_norm.weight"
+        mapping[f"{src}.attention.layer_norm.bias"] = f"{dst}.attention.layer_norm.bias"
+        for ffn in ("ffn1", "ffn2"):
+            mapping[f"{src}.feed_forward.{ffn}.weight"] = f"{dst}.feed_forward.{ffn}.weight"
+            mapping[f"{src}.feed_forward.{ffn}.bias"] = f"{dst}.feed_forward.{ffn}.bias"
+        mapping[f"{src}.feed_forward.layer_norm.weight"] = f"{dst}.feed_forward.layer_norm.weight"
+        mapping[f"{src}.feed_forward.layer_norm.bias"] = f"{dst}.feed_forward.layer_norm.bias"
+    return mapping

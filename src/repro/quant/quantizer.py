@@ -1,0 +1,161 @@
+"""Symmetric linear quantization primitives (Eqs. 1-5 of the paper).
+
+The paper's quantization function for a k-bit symmetric quantizer is::
+
+    x_c = clamp(x, MIN, MAX)          # MIN = -MAX, tuned clip thresholds
+    s   = scale(x_c, k) = (2^(k-1) - 1) / max(|x_c|)
+    x_I = round(x_c * s)              # integer code
+    x_q = x_I / s                     # dequantized value
+
+Symmetric quantization is chosen because it has no zero-point, which keeps
+the hardware inner product a plain integer MAC.  This module provides the
+scale derivations for weights (Eq. 2) and activations (Eq. 3, via EMA
+statistics collected elsewhere), bias quantization (Eq. 4), and the output
+requantization factor (Eq. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+ArrayOrFloat = Union[np.ndarray, float]
+
+
+def int_range(bits: int, signed: bool = True) -> Tuple[int, int]:
+    """Representable integer code range for a ``bits``-wide quantizer.
+
+    Symmetric signed quantizers use ``[-(2^(k-1) - 1), 2^(k-1) - 1]`` — note
+    the symmetric range drops the most negative code so that negation never
+    overflows, matching Eq. 2's ``2^(k-1) - 1`` numerator.
+    """
+    if bits < 2 and signed:
+        raise ValueError(f"signed quantization needs >= 2 bits, got {bits}")
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    if signed:
+        qmax = 2 ** (bits - 1) - 1
+        return -qmax, qmax
+    return 0, 2 ** bits - 1
+
+
+def symmetric_scale(max_abs: ArrayOrFloat, bits: int) -> ArrayOrFloat:
+    """Eq. 2 / Eq. 3: ``s = (2^(k-1) - 1) / max|x|``.
+
+    ``max_abs`` may be a scalar (per-tensor) or an array (per-channel).
+    A zero ``max_abs`` maps to scale 1.0 so that all-zero tensors quantize
+    to all-zero codes instead of dividing by zero.
+    """
+    qmax = 2 ** (bits - 1) - 1
+    max_abs = np.asarray(max_abs, dtype=np.float64)
+    # Treat vanishingly small ranges as zero: a tensor whose magnitude is
+    # below 1e-30 is numerically zero for any integer datapath, and letting
+    # the scale run toward infinity would overflow the code computation.
+    safe = np.where(max_abs > 1e-30, max_abs, 1.0)
+    scale = qmax / safe
+    if scale.ndim == 0:
+        return float(scale)
+    return scale
+
+
+def quantize(x: np.ndarray, scale: ArrayOrFloat, bits: int, signed: bool = True) -> np.ndarray:
+    """Quantize to integer codes: ``clamp(round(x * s), qmin, qmax)``.
+
+    Uses round-half-to-even (``np.rint``) for the ⌊·⌉ operator, matching
+    IEEE default rounding that HLS synthesis also uses.
+    """
+    qmin, qmax = int_range(bits, signed)
+    codes = np.rint(np.asarray(x, dtype=np.float64) * scale)
+    return np.clip(codes, qmin, qmax).astype(np.int64)
+
+
+def dequantize(codes: np.ndarray, scale: ArrayOrFloat) -> np.ndarray:
+    """Map integer codes back to real values: ``x_q = x_I / s``."""
+    return (np.asarray(codes, dtype=np.float64) / scale).astype(np.float64)
+
+
+def fake_quantize_array(
+    x: np.ndarray, scale: ArrayOrFloat, bits: int, signed: bool = True
+) -> np.ndarray:
+    """Quantize-then-dequantize in one step (the QAT forward simulation)."""
+    return dequantize(quantize(x, scale, bits, signed), scale)
+
+
+def weight_scale(weight: np.ndarray, bits: int, clip_max: float = None) -> float:
+    """Per-tensor weight scale per Eq. 2, optionally with a clip threshold.
+
+    When ``clip_max`` is given the weights are conceptually clamped to
+    ``[-clip_max, clip_max]`` first (Eq. 1's MIN/MAX), so the scale is
+    computed from the clip threshold rather than the raw extremum.
+    """
+    max_abs = float(np.abs(weight).max()) if clip_max is None else float(clip_max)
+    return float(symmetric_scale(max_abs, bits))
+
+
+def bias_scale(act_scale: float, w_scale: float) -> float:
+    """Eq. 4: ``s_bias = s_a * s_w`` so the int32 bias adds directly to the
+    int32 accumulator of the ``a_I * w_I`` products."""
+    return float(act_scale) * float(w_scale)
+
+
+def quantize_bias(bias: np.ndarray, act_scale: float, w_scale: float) -> np.ndarray:
+    """Quantize biases to 32-bit integers at scale ``s_a * s_w`` (Eq. 4)."""
+    scale = bias_scale(act_scale, w_scale)
+    codes = np.rint(np.asarray(bias, dtype=np.float64) * scale)
+    info = np.iinfo(np.int32)
+    if np.any(codes > info.max) or np.any(codes < info.min):
+        raise OverflowError("bias does not fit in int32 at scale s_a * s_w")
+    return codes.astype(np.int64)
+
+
+def requant_factor(out_scale: float, act_scale: float, w_scale: float) -> float:
+    """Eq. 5: ``s_f = s_y / (s_a * s_w)`` — the accumulator-to-output factor."""
+    return float(out_scale) / (float(act_scale) * float(w_scale))
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Frozen quantization parameters of one tensor: scale + code range."""
+
+    scale: float
+    bits: int
+    signed: bool = True
+
+    @property
+    def qmin(self) -> int:
+        return int_range(self.bits, self.signed)[0]
+
+    @property
+    def qmax(self) -> int:
+        return int_range(self.bits, self.signed)[1]
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        return quantize(x, self.scale, self.bits, self.signed)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        return dequantize(codes, self.scale)
+
+    def fake_quantize(self, x: np.ndarray) -> np.ndarray:
+        return fake_quantize_array(x, self.scale, self.bits, self.signed)
+
+
+def quantize_scale_to_8bit(scale: float) -> float:
+    """Quantize a scale factor itself to an 8-bit mantissa (paper Sec. II-B).
+
+    The paper stores ``s_a``, ``s_w`` and ``s_y`` as 8-bit values.  We model
+    this as an 8-bit-mantissa floating-point rounding: find the power of two
+    ``2^e`` such that ``s * 2^e`` lands in ``[128, 256)`` and round to an
+    integer mantissa.  This preserves dynamic range (scales span many orders
+    of magnitude across layers) while limiting precision to 8 bits — the same
+    trade Q8BERT-style deployments make.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    exponent = int(np.floor(np.log2(scale)))
+    # Normalize mantissa into [128, 256) i.e. 8 significant bits.
+    shift = 7 - exponent
+    mantissa = np.rint(scale * 2.0 ** shift)
+    mantissa = min(max(mantissa, 128.0), 255.0)
+    return float(mantissa * 2.0 ** -shift)

@@ -1,0 +1,111 @@
+"""Training and evaluation loops shared by the float and quantized models.
+
+The paper's recipe (Sec. IV-A): train the original model first, then
+fine-tune with the quantization function inserted.  :func:`train_classifier`
+implements one phase; the experiment drivers chain two calls (float
+pretrain, then QAT fine-tune on the converted model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..autograd.optim import AdamW, LinearWarmupSchedule, clip_grad_norm
+from ..data.dataset import EncodedDataset, accuracy
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training run."""
+
+    final_accuracy: float
+    best_accuracy: float
+    epoch_accuracies: List[float] = field(default_factory=list)
+    epoch_losses: List[float] = field(default_factory=list)
+
+
+def evaluate(model, data: EncodedDataset, batch_size: int = 64) -> float:
+    """Dev-set accuracy (percent) of a classifier model."""
+    model.eval()
+    predictions = []
+    for batch in data.batches(batch_size, shuffle=False):
+        predictions.append(
+            model.predict(batch.input_ids, batch.attention_mask, batch.token_type_ids)
+        )
+    model.train()
+    return accuracy(np.concatenate(predictions), data.labels)
+
+
+def train_classifier(
+    model,
+    train_data: EncodedDataset,
+    dev_data: EncodedDataset,
+    epochs: int = 3,
+    lr: float = 5e-4,
+    batch_size: int = 32,
+    weight_decay: float = 0.01,
+    max_grad_norm: float = 1.0,
+    warmup_fraction: float = 0.1,
+    seed: int = 0,
+    keep_best: bool = True,
+) -> TrainResult:
+    """Fine-tune ``model`` on ``train_data``; track dev accuracy per epoch.
+
+    With ``keep_best`` the best-epoch weights are restored at the end —
+    standard GLUE practice, and important for QAT where late epochs can
+    oscillate around the quantization grid.
+    """
+    rng = np.random.default_rng(seed)
+    optimizer = AdamW(model.parameters(), lr=lr, weight_decay=weight_decay)
+    steps_per_epoch = max(1, (len(train_data) + batch_size - 1) // batch_size)
+    total_steps = steps_per_epoch * epochs
+    schedule = LinearWarmupSchedule(
+        optimizer,
+        warmup_steps=int(total_steps * warmup_fraction),
+        total_steps=total_steps,
+    )
+
+    result = TrainResult(final_accuracy=0.0, best_accuracy=0.0)
+    best_state = None
+    model.train()
+    for _ in range(epochs):
+        epoch_loss = 0.0
+        batches = 0
+        for batch in train_data.batches(batch_size, shuffle=True, rng=rng):
+            optimizer.zero_grad()
+            loss = model.loss(
+                batch.input_ids, batch.labels, batch.attention_mask, batch.token_type_ids
+            )
+            loss.backward()
+            clip_grad_norm(model.parameters(), max_grad_norm)
+            optimizer.step()
+            schedule.step()
+            epoch_loss += float(loss.data)
+            batches += 1
+        dev_accuracy = evaluate(model, dev_data, batch_size=max(batch_size, 64))
+        result.epoch_losses.append(epoch_loss / max(1, batches))
+        result.epoch_accuracies.append(dev_accuracy)
+        if dev_accuracy >= result.best_accuracy:
+            result.best_accuracy = dev_accuracy
+            if keep_best:
+                best_state = model.state_dict()
+
+    if keep_best and best_state is not None:
+        model.load_state_dict(best_state)
+        _reload_observers(model)
+        result.final_accuracy = evaluate(model, dev_data)
+    else:
+        result.final_accuracy = result.epoch_accuracies[-1] if result.epoch_accuracies else 0.0
+    return result
+
+
+def _reload_observers(model) -> None:
+    """Re-sync live observers from their serialized buffers after a state load."""
+    from .qat import FakeQuantize
+
+    for module in model.modules():
+        if isinstance(module, FakeQuantize):
+            module.load_observer()

@@ -1,0 +1,166 @@
+"""BIM datapath: bit-exactness of both types in both modes (Figure 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.accel import Bim, BimMode, BimType, split_nibbles
+
+
+class TestNibbleSplit:
+    def test_exhaustive_recombination(self):
+        """All 256 int8 values: w == (w >> 4) * 16 + (w & 0xF)."""
+        weights = np.arange(-128, 128)
+        hi, lo = split_nibbles(weights)
+        np.testing.assert_array_equal(hi * 16 + lo, weights)
+        assert hi.min() >= -8 and hi.max() <= 7
+        assert lo.min() >= 0 and lo.max() <= 15
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            split_nibbles(np.array([200]))
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            Bim(num_multipliers=12)
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ValueError):
+            Bim(num_multipliers=1)
+
+    def test_lane_counts(self):
+        bim = Bim(16)
+        assert bim.lanes_8x4 == 16
+        assert bim.lanes_8x8 == 8
+
+
+class TestDot8x4:
+    @pytest.mark.parametrize("bim_type", [BimType.TYPE_A, BimType.TYPE_B])
+    def test_matches_reference(self, bim_type, rng):
+        bim = Bim(16, bim_type)
+        for _ in range(50):
+            a = rng.integers(-127, 128, size=16)
+            w = rng.integers(-7, 8, size=16)
+            assert bim.dot_8x4(a, w) == int(a @ w)
+
+    def test_unsigned_activations(self, rng):
+        bim = Bim(8)
+        a = rng.integers(0, 256, size=8)
+        w = rng.integers(-7, 8, size=8)
+        assert bim.dot_8x4(a, w, act_signed=False) == int(a @ w)
+
+    def test_rejects_wrong_lane_count(self):
+        bim = Bim(8)
+        with pytest.raises(ValueError):
+            bim.dot_8x4(np.zeros(4), np.zeros(4))
+
+    def test_rejects_out_of_range_weights(self):
+        bim = Bim(4)
+        with pytest.raises(ValueError):
+            bim.dot_8x4(np.zeros(4), np.array([8, 0, 0, 0]))
+
+    def test_rejects_out_of_range_activations(self):
+        bim = Bim(4)
+        with pytest.raises(ValueError):
+            bim.dot_8x4(np.array([128, 0, 0, 0]), np.zeros(4))
+
+
+class TestDot8x8:
+    @pytest.mark.parametrize("bim_type", [BimType.TYPE_A, BimType.TYPE_B])
+    def test_matches_reference(self, bim_type, rng):
+        bim = Bim(16, bim_type)
+        for _ in range(50):
+            a = rng.integers(-127, 128, size=8)
+            w = rng.integers(-127, 128, size=8)
+            assert bim.dot_8x8(a, w) == int(a @ w)
+
+    def test_type_a_equals_type_b(self, rng):
+        """The shift placement is a resource choice, not a numeric one."""
+        type_a = Bim(8, BimType.TYPE_A)
+        type_b = Bim(8, BimType.TYPE_B)
+        for _ in range(50):
+            a = rng.integers(-127, 128, size=4)
+            w = rng.integers(-127, 128, size=4)
+            assert type_a.dot_8x8(a, w) == type_b.dot_8x8(a, w)
+
+    def test_exhaustive_single_lane_pairs(self):
+        """Every (a, w) int8 pair through a 2-multiplier BIM in 8x8 mode."""
+        bim = Bim(2)
+        activations = np.arange(-127, 128, 8)
+        weights = np.arange(-128, 128, 7)
+        for a in activations:
+            for w in weights:
+                assert bim.dot_8x8(np.array([a]), np.array([w])) == int(a) * int(w)
+
+    def test_unsigned_softmax_activations(self, rng):
+        """Attn*V: unsigned 8-bit probabilities times signed 8-bit V."""
+        bim = Bim(8)
+        a = rng.integers(0, 256, size=4)
+        w = rng.integers(-127, 128, size=4)
+        assert bim.dot_8x8(a, w, act_signed=False) == int(a @ w)
+
+
+class TestBatchHelpers:
+    def test_batch_8x4(self, rng):
+        bim = Bim(16)
+        a = rng.integers(-127, 128, size=(10, 16))
+        w = rng.integers(-7, 8, size=(10, 16))
+        np.testing.assert_array_equal(bim.dot_8x4_batch(a, w), (a * w).sum(-1))
+
+    def test_batch_8x8(self, rng):
+        bim = Bim(16)
+        a = rng.integers(-127, 128, size=(10, 8))
+        w = rng.integers(-127, 128, size=(10, 8))
+        np.testing.assert_array_equal(bim.dot_8x8_batch(a, w), (a * w).sum(-1))
+
+
+class TestResourceModel:
+    def test_psum_bits_growth(self):
+        bim = Bim(16)
+        assert bim.psum_bits(BimMode.MODE_8x4) == 12 + 4
+        assert bim.psum_bits(BimMode.MODE_8x8) == 12 + 4 + 3
+
+    def test_type_a_fewer_shifters(self):
+        assert Bim(16, BimType.TYPE_A).shifter_count() == 1
+        assert Bim(16, BimType.TYPE_B).shifter_count() == 8
+
+    def test_type_a_saves_luts(self):
+        """The paper's claim: shift-at-tree-output saves resources."""
+        for m in (4, 8, 16, 32):
+            assert Bim(m, BimType.TYPE_A).lut_cost() < Bim(m, BimType.TYPE_B).lut_cost()
+
+    def test_dsp_is_multiplier_count(self):
+        assert Bim(16).dsp_cost() == 16
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    arrays(np.int64, 16, elements=st.integers(-127, 127)),
+    arrays(np.int64, 16, elements=st.integers(-7, 7)),
+    st.sampled_from([BimType.TYPE_A, BimType.TYPE_B]),
+)
+def test_dot_8x4_property(a, w, bim_type):
+    assert Bim(16, bim_type).dot_8x4(a, w) == int(a @ w)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    arrays(np.int64, 8, elements=st.integers(-127, 127)),
+    arrays(np.int64, 8, elements=st.integers(-128, 127)),
+    st.sampled_from([BimType.TYPE_A, BimType.TYPE_B]),
+)
+def test_dot_8x8_property(a, w, bim_type):
+    assert Bim(16, bim_type).dot_8x8(a, w) == int(a @ w)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    arrays(np.int64, 4, elements=st.integers(0, 255)),
+    arrays(np.int64, 4, elements=st.integers(-128, 127)),
+)
+def test_dot_8x8_unsigned_property(a, w):
+    assert Bim(8).dot_8x8(a, w, act_signed=False) == int(a @ w)

@@ -1,0 +1,77 @@
+"""Softmax core and LN core: function matches the quant reference, timing sane."""
+
+import numpy as np
+import pytest
+
+from repro.accel import LnCore, SoftmaxCore, make_ln_core
+from repro.quant import quantized_softmax
+
+
+class TestSoftmaxCore:
+    def test_matches_reference_softmax(self, rng):
+        core = SoftmaxCore(score_scale=20.0)
+        codes = rng.integers(-127, 128, size=(3, 4, 10))
+        expected, _ = quantized_softmax(codes, 20.0)
+        np.testing.assert_array_equal(core.forward(codes), expected)
+
+    def test_mask_forwarded(self, rng):
+        core = SoftmaxCore(score_scale=10.0)
+        codes = rng.integers(-50, 50, size=(2, 6))
+        mask = np.array([[1, 1, 1, 0, 0, 0], [1, 1, 1, 1, 1, 1]])
+        out = core.forward(codes, mask=mask)
+        assert np.all(out[0, 3:] == 0)
+
+    def test_lut_is_256_entries(self):
+        assert len(SoftmaxCore(score_scale=5.0).lut) == 256
+
+    def test_cycle_model(self):
+        core = SoftmaxCore(score_scale=5.0, simd=16, pipeline_depth=8)
+        # 128-wide rows: 2 * ceil(128/16) + 8 = 24 cycles per row.
+        assert core.cycles(num_rows=1, row_len=128) == 24
+        assert core.cycles(num_rows=1536, row_len=128) == 1536 * 24
+
+    def test_wider_simd_fewer_cycles(self):
+        narrow = SoftmaxCore(score_scale=5.0, simd=8)
+        wide = SoftmaxCore(score_scale=5.0, simd=32)
+        assert wide.cycles(10, 128) < narrow.cycles(10, 128)
+
+
+class TestLnCore:
+    @pytest.fixture
+    def core(self, rng):
+        gamma = np.rint(rng.uniform(0.5, 2.0, 32) * 16).astype(np.int64)
+        beta = np.rint(rng.uniform(-0.5, 0.5, 32) * 16).astype(np.int64)
+        return make_ln_core(
+            gamma, beta, scale_a=20.0, scale_b=25.0, out_scale=16.0
+        )
+
+    def test_stages_compose_to_forward(self, core, rng):
+        codes_a = rng.integers(-127, 128, size=(3, 32))
+        codes_b = rng.integers(-127, 128, size=(3, 32))
+        v, mean = core.stage1(codes_a, codes_b)
+        centered, std = core.stage2(v, mean)
+        staged = core.stage3(centered, std)
+        np.testing.assert_array_equal(staged, core.forward(codes_a, codes_b))
+
+    def test_matches_integer_layernorm(self, core, rng):
+        codes_a = rng.integers(-127, 128, size=(2, 32))
+        codes_b = rng.integers(-127, 128, size=(2, 32))
+        np.testing.assert_array_equal(
+            core.forward(codes_a, codes_b), core.ln.forward(codes_a, codes_b)
+        )
+
+    def test_stage1_mean_is_row_mean(self, core, rng):
+        codes_a = rng.integers(-127, 128, size=(4, 32))
+        codes_b = rng.integers(-127, 128, size=(4, 32))
+        v, mean = core.stage1(codes_a, codes_b)
+        np.testing.assert_allclose(mean[:, 0], v.mean(axis=-1), atol=1.0)
+
+    def test_cycle_model(self, core):
+        # 3-stage pipeline over tokens: (tokens + 2) * scan + depth.
+        assert core.cycles(num_tokens=128, width=768) == (128 + 2) * 48 + 6
+
+    def test_output_in_8bit_range(self, core, rng):
+        codes_a = rng.integers(-127, 128, size=(5, 32))
+        codes_b = rng.integers(-127, 128, size=(5, 32))
+        out = core.forward(codes_a, codes_b)
+        assert out.min() >= -128 and out.max() <= 127

@@ -1,0 +1,106 @@
+"""Edge cases across the accelerator stack: odd shapes, head/PU mismatches,
+degenerate configurations."""
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    AcceleratorConfig,
+    AcceleratorSimulator,
+    Scheduler,
+    ZCU102,
+    build_encoder_workload,
+    estimate_resources,
+    replay_workload,
+)
+from repro.accel.workload import Op, OpKind
+from repro.bert import BertConfig
+
+
+class TestHeadPuMismatch:
+    def test_more_heads_than_pus_needs_rounds(self):
+        """A 16-head model on 12 PUs runs attention in 2 rounds."""
+        config = BertConfig(
+            hidden_size=256,
+            num_attention_heads=16,
+            num_hidden_layers=2,
+            intermediate_size=512,
+        )
+        workload = build_encoder_workload(config, seq_len=32)
+        accel_12 = AcceleratorConfig(num_pus=12)
+        accel_16 = AcceleratorConfig(num_pus=16)
+        qkt_12 = Scheduler(accel_12).time_matmul_act(
+            next(op for op in workload.layer_ops if op.name == "Q*K^T")
+        )
+        qkt_16 = Scheduler(accel_16).time_matmul_act(
+            next(op for op in workload.layer_ops if op.name == "Q*K^T")
+        )
+        assert qkt_12.compute_cycles == pytest.approx(2 * qkt_16.compute_cycles, rel=0.05)
+
+    def test_fewer_heads_than_pus_idles_pus(self):
+        """4 heads on 12 PUs: one round, same time as on 4 PUs."""
+        op = Op("Q*K^T", OpKind.MATMUL_A, vectors=32, out_dim=32, contract_dim=16, heads=4)
+        cycles_12 = Scheduler(AcceleratorConfig(num_pus=12)).time_matmul_act(op)
+        cycles_4 = Scheduler(AcceleratorConfig(num_pus=4)).time_matmul_act(op)
+        assert cycles_12.compute_cycles == cycles_4.compute_cycles
+
+
+class TestOddShapes:
+    def test_non_divisible_out_dim(self):
+        """out_dim not divisible by H*N still schedules (partial pass)."""
+        op = Op("odd", OpKind.MATMUL_W, vectors=8, out_dim=100, contract_dim=70)
+        timing = Scheduler(AcceleratorConfig(num_pus=3, num_pes=7)).time_matmul_weight(op)
+        assert timing.total_cycles > 0
+
+    def test_contract_dim_smaller_than_lanes(self):
+        op = Op("thin", OpKind.MATMUL_W, vectors=4, out_dim=8, contract_dim=3)
+        timing = Scheduler(AcceleratorConfig(num_multipliers=16)).time_matmul_weight(op)
+        assert timing.compute_cycles > 0
+
+    def test_single_token_sequence(self):
+        workload = build_encoder_workload(BertConfig.tiny(), seq_len=1)
+        result = Scheduler(AcceleratorConfig()).schedule(workload)
+        assert result.total_cycles > 0
+        stats = replay_workload(workload, AcceleratorConfig())
+        assert stats.total_cycles > 0
+
+    def test_unknown_op_kind_rejected(self):
+        class FakeKind:
+            pass
+
+        op = Op("x", OpKind.MATMUL_W, 1, 1, 1)
+        object.__setattr__(op, "kind", FakeKind())
+        with pytest.raises(ValueError):
+            Scheduler(AcceleratorConfig()).schedule_op(op)
+
+
+class TestDegenerateConfigs:
+    def test_minimal_accelerator(self):
+        """The smallest legal accelerator still schedules BERT-base."""
+        config = AcceleratorConfig(num_pus=1, num_pes=1, num_multipliers=2)
+        workload = build_encoder_workload(BertConfig.base(), seq_len=128)
+        result = Scheduler(config).schedule(workload)
+        big = Scheduler(AcceleratorConfig.zcu111_n16_m16()).schedule(workload)
+        assert result.latency_ms > 100 * big.latency_ms
+
+    def test_minimal_accelerator_resources_tiny(self):
+        config = AcceleratorConfig(num_pus=1, num_pes=1, num_multipliers=2)
+        estimate = estimate_resources(config, BertConfig.base(), device=ZCU102)
+        assert estimate.dsp48 < 100
+
+    def test_simulator_with_tiny_model_and_short_seq(self):
+        model = BertConfig.tiny(max_position_embeddings=4)
+        report = AcceleratorSimulator(AcceleratorConfig(), ZCU102).simulate(model, seq_len=4)
+        assert report.latency_ms > 0
+        assert report.throughput_fps > 0
+
+
+class TestWorkloadValidation:
+    def test_zero_vector_op_zero_macs(self):
+        op = Op("empty", OpKind.MATMUL_W, vectors=0, out_dim=8, contract_dim=8)
+        assert op.macs == 0
+
+    def test_weight_bytes_respects_bits(self):
+        op4 = Op("w4", OpKind.MATMUL_W, 1, 100, 100, weight_bits=4)
+        op8 = Op("w8", OpKind.MATMUL_W, 1, 100, 100, weight_bits=8)
+        assert op8.weight_bytes == 2 * op4.weight_bytes

@@ -1,0 +1,74 @@
+"""Energy model: breakdown structure and the co-design payoff ordering."""
+
+import pytest
+
+from repro.accel import (
+    AcceleratorConfig,
+    EnergyParams,
+    build_encoder_workload,
+    compare_weight_widths,
+    estimate_energy,
+)
+from repro.bert import BertConfig
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_encoder_workload(BertConfig.base(), seq_len=128)
+
+
+@pytest.fixture(scope="module")
+def breakdown(workload):
+    return estimate_energy(workload, AcceleratorConfig.zcu102_n8_m16())
+
+
+class TestBreakdown:
+    def test_components_present(self, breakdown):
+        assert set(breakdown.components_uj) == {
+            "mac_8x4", "mac_8x8", "dram_weights", "sram", "special_cores"
+        }
+
+    def test_all_positive(self, breakdown):
+        assert all(value > 0 for value in breakdown.components_uj.values())
+
+    def test_dynamic_total_consistent(self, breakdown):
+        assert breakdown.dynamic_uj == pytest.approx(
+            sum(breakdown.components_uj.values())
+        )
+
+    def test_8x4_macs_dominate_8x8(self, breakdown):
+        """Weight matmuls are ~36x the attention matmuls in MAC count."""
+        assert breakdown.components_uj["mac_8x4"] > 10 * breakdown.components_uj["mac_8x8"]
+
+    def test_static_energy_added(self, breakdown):
+        params = EnergyParams()
+        total = breakdown.total_uj(latency_ms=41.0, params=params)
+        assert total > breakdown.dynamic_uj
+        # static = 5.93 W * 41 ms = 243 mJ = 243_000 uJ, dominating at this
+        # latency — matching the board-power reality of small FPGA designs.
+        assert total - breakdown.dynamic_uj == pytest.approx(5.93 * 41.0 * 1000, rel=0.01)
+
+
+class TestCoDesignPayoff:
+    def test_lower_weight_bits_lower_energy(self, workload):
+        energies = compare_weight_widths(workload, AcceleratorConfig())
+        assert energies[32] > energies[8] > energies[4] > energies[2]
+
+    def test_fp32_streaming_dram_dominated(self, workload):
+        """At fp32 weight streaming, DRAM is the dominant dynamic term."""
+        breakdown = estimate_energy(
+            workload, AcceleratorConfig(), weight_bits=32
+        )
+        fp32_dram = (
+            workload.total_weight_bytes() * (32 / 4) * EnergyParams().dram_byte_pj / 1e6
+        )
+        others = breakdown.dynamic_uj - breakdown.components_uj["dram_weights"]
+        assert fp32_dram > others
+
+    def test_4bit_weights_cut_dram_8x(self, workload):
+        energies_dram = {}
+        for bits in (32, 4):
+            energies_dram[bits] = (
+                workload.total_weight_bytes() * (bits / 4.0) * EnergyParams().dram_byte_pj
+            )
+        assert energies_dram[32] / energies_dram[4] == pytest.approx(8.0)

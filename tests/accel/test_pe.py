@@ -1,0 +1,86 @@
+"""PE/PU array: chunked accumulation equals plain integer matvec."""
+
+import numpy as np
+import pytest
+
+from repro.accel import Bim, BimMode, BimType, ProcessingElement, make_pu, reference_matvec
+from repro.quant.fixedpoint import FixedPointMultiplier
+from repro.accel.pe import QuantizationModule
+
+
+class TestProcessingElement:
+    def test_row_accumulation_8x4(self, rng):
+        pe = ProcessingElement(Bim(16))
+        a = rng.integers(-127, 128, size=100)  # non-multiple of 16: padding path
+        w = rng.integers(-7, 8, size=100)
+        assert pe.accumulate_row(a, w) == int(a @ w)
+
+    def test_row_accumulation_8x8(self, rng):
+        pe = ProcessingElement(Bim(16))
+        a = rng.integers(-127, 128, size=50)
+        w = rng.integers(-127, 128, size=50)
+        assert pe.accumulate_row(a, w, BimMode.MODE_8x8) == int(a @ w)
+
+    def test_unsigned_activation_row(self, rng):
+        pe = ProcessingElement(Bim(8))
+        a = rng.integers(0, 256, size=30)
+        w = rng.integers(-127, 128, size=30)
+        assert pe.accumulate_row(a, w, BimMode.MODE_8x8, act_signed=False) == int(a @ w)
+
+    def test_shape_mismatch_rejected(self):
+        pe = ProcessingElement(Bim(8))
+        with pytest.raises(ValueError):
+            pe.accumulate_row(np.zeros(8), np.zeros(9))
+
+    def test_cycles_per_row(self):
+        pe = ProcessingElement(Bim(16))
+        assert pe.cycles_per_row(768, BimMode.MODE_8x4) == 48
+        assert pe.cycles_per_row(768, BimMode.MODE_8x8) == 96
+        assert pe.cycles_per_row(100, BimMode.MODE_8x4) == 7  # ceil
+
+    def test_accumulator_overflow_detected(self):
+        pe = ProcessingElement(Bim(2))
+        # 2^31 / (127*7) ~ 2.4M accumulations would overflow; simulate by
+        # feeding max-magnitude products repeatedly.
+        a = np.full(3_000_000, 127, dtype=np.int64)
+        w = np.full(3_000_000, 7, dtype=np.int64)
+        with pytest.raises(OverflowError):
+            pe.accumulate_row(a, w)
+
+
+class TestProcessingUnit:
+    @pytest.mark.parametrize("bim_type", [BimType.TYPE_A, BimType.TYPE_B])
+    def test_matvec_8x4(self, bim_type, rng):
+        pu = make_pu(num_pes=4, num_multipliers=8, bim_type=bim_type)
+        weights = rng.integers(-7, 8, size=(10, 33))
+        x = rng.integers(-127, 128, size=33)
+        np.testing.assert_array_equal(pu.matvec(weights, x), reference_matvec(weights, x))
+
+    def test_matvec_8x8(self, rng):
+        pu = make_pu(num_pes=4, num_multipliers=8)
+        weights = rng.integers(-127, 128, size=(6, 20))
+        x = rng.integers(-127, 128, size=20)
+        np.testing.assert_array_equal(
+            pu.matvec(weights, x, BimMode.MODE_8x8), reference_matvec(weights, x)
+        )
+
+    def test_passes(self):
+        pu = make_pu(num_pes=8, num_multipliers=16)
+        assert pu.passes(768) == 96
+        assert pu.passes(7) == 1
+        assert pu.passes(9) == 2
+
+
+class TestQuantizationModule:
+    def test_bias_add_and_requant(self, rng):
+        module = QuantizationModule(requant=FixedPointMultiplier.from_float(0.01))
+        acc = rng.integers(-10000, 10000, size=50)
+        bias = rng.integers(-500, 500, size=50)
+        out = module.apply(acc, bias)
+        expected = np.clip(np.rint((acc + bias) * 0.01), -128, 127)
+        assert np.abs(out - expected).max() <= 1
+
+    def test_saturation(self):
+        module = QuantizationModule(requant=FixedPointMultiplier.from_float(1.0))
+        out = module.apply(np.array([100000, -100000]))
+        np.testing.assert_array_equal(out, [127, -128])

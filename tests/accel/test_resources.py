@@ -1,0 +1,125 @@
+"""Resource model: Table III calibration and structural behaviour."""
+
+import pytest
+
+from repro.accel import (
+    AcceleratorConfig,
+    BimType,
+    OnChipBuffer,
+    ZCU102,
+    ZCU111,
+    bram_report,
+    build_buffer_set,
+    estimate_dsp,
+    estimate_ff,
+    estimate_lut,
+    estimate_resources,
+)
+from repro.bert import BertConfig
+
+
+class TestTableIIICalibration:
+    """DSP/FF/LUT must match the paper's three design points exactly."""
+
+    @pytest.mark.parametrize(
+        "n, m, dsp, ff, lut",
+        [
+            (8, 16, 1751, 124433, 123157),
+            (16, 8, 1671, 151010, 154192),
+            (16, 16, 3287, 201469, 189724),
+        ],
+    )
+    def test_dsp_ff_lut(self, n, m, dsp, ff, lut):
+        config = AcceleratorConfig(num_pes=n, num_multipliers=m)
+        assert estimate_dsp(config) == pytest.approx(dsp, abs=1)
+        assert estimate_ff(config) == pytest.approx(ff, abs=10)
+        assert estimate_lut(config) == pytest.approx(lut, abs=40)
+
+    @pytest.mark.parametrize(
+        "n, m, device, paper_bram",
+        [(8, 16, ZCU102, 838), (16, 8, ZCU102, 877)],
+    )
+    def test_bram_within_10_percent(self, n, m, device, paper_bram):
+        config = AcceleratorConfig(num_pes=n, num_multipliers=m)
+        estimate = estimate_resources(config, BertConfig.base(), device=device)
+        assert estimate.bram18k == pytest.approx(paper_bram, rel=0.10)
+
+    def test_zcu111_uses_uram(self):
+        """Table III footnote: some ZCU111 memory maps to URAM."""
+        config = AcceleratorConfig.zcu111_n16_m16()
+        estimate = estimate_resources(config, BertConfig.base(), device=ZCU111)
+        assert estimate.uram > 0
+        assert estimate.bram18k < 838  # big buffers moved off BRAM
+
+    @pytest.mark.parametrize(
+        "config, device",
+        [
+            (AcceleratorConfig.zcu102_n8_m16(), ZCU102),
+            (AcceleratorConfig.zcu102_n16_m8(), ZCU102),
+            (AcceleratorConfig.zcu111_n16_m16(), ZCU111),
+        ],
+    )
+    def test_designs_fit_their_devices(self, config, device):
+        estimate = estimate_resources(config, BertConfig.base(), device=device)
+        assert estimate.fits(device)
+
+    def test_oversized_design_does_not_fit(self):
+        config = AcceleratorConfig(num_pes=64, num_multipliers=64)
+        estimate = estimate_resources(config, BertConfig.base(), device=ZCU102)
+        assert not estimate.fits(ZCU102)
+
+    def test_dsp_utilization_high(self):
+        """The paper notes DSP usage is very high on the target FPGA."""
+        config = AcceleratorConfig.zcu111_n16_m16()
+        estimate = estimate_resources(config, BertConfig.base(), device=ZCU111)
+        assert estimate.utilization(ZCU111)["DSP48E"] > 0.7
+
+
+class TestBimTypeAblation:
+    def test_type_b_costs_more_lut(self):
+        """Figure 4: Type A (shift at tree output) saves resources."""
+        type_a = AcceleratorConfig(bim_type=BimType.TYPE_A)
+        type_b = AcceleratorConfig(bim_type=BimType.TYPE_B)
+        assert estimate_lut(type_b) > estimate_lut(type_a)
+
+    def test_dsp_unaffected_by_bim_type(self):
+        type_a = AcceleratorConfig(bim_type=BimType.TYPE_A)
+        type_b = AcceleratorConfig(bim_type=BimType.TYPE_B)
+        assert estimate_dsp(type_a) == estimate_dsp(type_b)
+
+
+class TestBuffers:
+    def test_bram_banking_by_capacity(self):
+        buffer = OnChipBuffer("x", depth=18 * 1024, width_bits=8)  # 144 Kib
+        assert buffer.bram18k() == 8
+
+    def test_bram_banking_by_width(self):
+        # Tiny but very wide: port width forces parallel banks.
+        buffer = OnChipBuffer("x", depth=4, width_bits=144)
+        assert buffer.bram18k() == 4
+
+    def test_double_buffering_doubles(self):
+        single = OnChipBuffer("x", depth=1024, width_bits=32)
+        double = OnChipBuffer("x", depth=1024, width_bits=32, double_buffered=True)
+        assert double.bram18k() == 2 * single.bram18k()
+
+    def test_empty_buffer(self):
+        assert OnChipBuffer("x", depth=0, width_bits=8).bram18k() == 0
+
+    def test_buffer_set_has_figure2_buffers(self):
+        buffers = build_buffer_set(AcceleratorConfig(), BertConfig.base())
+        names = {buffer.name for buffer in buffers}
+        assert names == {
+            "weight_buf", "input_buf", "output_buf",
+            "intermediate_buf", "psum_buf", "param_buf",
+        }
+
+    def test_weight_buffer_double_buffered(self):
+        buffers = build_buffer_set(AcceleratorConfig(), BertConfig.base())
+        weight_buf = next(b for b in buffers if b.name == "weight_buf")
+        assert weight_buf.double_buffered
+
+    def test_report_totals(self):
+        buffers = build_buffer_set(AcceleratorConfig(), BertConfig.base())
+        report = bram_report(buffers)
+        assert report["total"] == sum(v for k, v in report.items() if k != "total")

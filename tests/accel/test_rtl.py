@@ -1,0 +1,124 @@
+"""Cycle-accurate PU model: bit-exact function, cycle-exact timing law."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import Bim, BimMode
+from repro.accel.rtl import ProcessingUnitRTL, analytic_matvec_cycles
+from repro.quant import FixedPointMultiplier, IntegerLinear
+
+
+def make_pu(n=4, m=8, double_buffer=True, requant=0.01):
+    return ProcessingUnitRTL(
+        n, Bim(m), FixedPointMultiplier.from_float(requant), double_buffer_psum=double_buffer
+    )
+
+
+def reference(weights, x, bias, requant=0.01):
+    linear = IntegerLinear(
+        weight_codes=np.asarray(weights),
+        bias_codes=np.asarray(bias) if bias is not None else None,
+        requant=FixedPointMultiplier.from_float(requant),
+        in_scale=1.0,
+        weight_scale=1.0,
+        out_scale=1.0,
+    )
+    return linear.forward(np.asarray(x)[None])[0]
+
+
+class TestFunction:
+    def test_bit_exact_8x4(self, rng):
+        w = rng.integers(-7, 8, size=(16, 32))
+        x = rng.integers(-127, 128, size=32)
+        b = rng.integers(-500, 500, size=16)
+        pu = make_pu()
+        np.testing.assert_array_equal(pu.run_matvec(w, x, bias=b), reference(w, x, b))
+
+    def test_bit_exact_8x8(self, rng):
+        w = rng.integers(-127, 128, size=(8, 24))
+        x = rng.integers(-127, 128, size=24)
+        pu = make_pu()
+        np.testing.assert_array_equal(
+            pu.run_matvec(w, x, mode=BimMode.MODE_8x8), reference(w, x, None)
+        )
+
+    def test_bit_exact_unsigned_activations(self, rng):
+        w = rng.integers(-127, 128, size=(4, 16))
+        x = rng.integers(0, 256, size=16)
+        pu = make_pu()
+        np.testing.assert_array_equal(
+            pu.run_matvec(w, x, mode=BimMode.MODE_8x8, act_signed=False),
+            reference(w, x, None),
+        )
+
+    def test_single_buffer_same_function(self, rng):
+        w = rng.integers(-7, 8, size=(12, 20))
+        x = rng.integers(-127, 128, size=20)
+        out_double = make_pu(double_buffer=True).run_matvec(w, x)
+        out_single = make_pu(double_buffer=False).run_matvec(w, x)
+        np.testing.assert_array_equal(out_double, out_single)
+
+
+class TestTimingLaw:
+    @pytest.mark.parametrize("double_buffer", [True, False])
+    @pytest.mark.parametrize(
+        "out_dim, k, n, m",
+        [(16, 32, 4, 8), (8, 64, 8, 16), (7, 13, 4, 8), (1, 1, 1, 2), (20, 40, 8, 4)],
+    )
+    def test_cycles_match_closed_form(self, rng, out_dim, k, n, m, double_buffer):
+        w = rng.integers(-7, 8, size=(out_dim, k))
+        x = rng.integers(-127, 128, size=k)
+        pu = make_pu(n, m, double_buffer)
+        pu.run_matvec(w, x)
+        expected = analytic_matvec_cycles(
+            out_dim, k, n, Bim(m), double_buffer_psum=double_buffer
+        )
+        assert pu.cycle == expected
+
+    def test_double_buffering_strictly_faster_when_multi_pass(self, rng):
+        w = rng.integers(-7, 8, size=(32, 16))
+        x = rng.integers(-127, 128, size=16)
+        fast = make_pu(4, 8, True)
+        slow = make_pu(4, 8, False)
+        fast.run_matvec(w, x)
+        slow.run_matvec(w, x)
+        assert fast.cycle < slow.cycle
+
+    def test_scheduler_is_conservative(self):
+        """The coarse scheduler never undercharges relative to the RTL law."""
+        from repro.accel import AcceleratorConfig, Scheduler
+        from repro.accel.workload import Op, OpKind
+
+        config = AcceleratorConfig(num_pus=1, num_pes=4, num_multipliers=8)
+        op = Op("x", OpKind.MATMUL_W, vectors=1, out_dim=16, contract_dim=32)
+        scheduled = Scheduler(config).time_matmul_weight(op)
+        exact = analytic_matvec_cycles(
+            16, 32, 4, Bim(8),
+            pipeline_fill=config.pe_pipeline_fill,
+            quant_depth=config.quant_pipeline_depth,
+        )
+        assert scheduled.compute_cycles >= exact - config.num_pes - config.quant_pipeline_depth
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    out_dim=st.integers(1, 24),
+    k=st.integers(1, 48),
+    n=st.sampled_from([1, 2, 4, 8]),
+    m=st.sampled_from([2, 4, 8, 16]),
+    double_buffer=st.booleans(),
+    seed=st.integers(0, 1000),
+)
+def test_rtl_property(out_dim, k, n, m, double_buffer, seed):
+    """Function bit-exact and cycles law-exact on arbitrary shapes."""
+    rng = np.random.default_rng(seed)
+    w = rng.integers(-7, 8, size=(out_dim, k))
+    x = rng.integers(-127, 128, size=k)
+    pu = make_pu(n, m, double_buffer)
+    out = pu.run_matvec(w, x)
+    np.testing.assert_array_equal(out, reference(w, x, None))
+    assert pu.cycle == analytic_matvec_cycles(
+        out_dim, k, n, Bim(m), double_buffer_psum=double_buffer
+    )

@@ -1,0 +1,156 @@
+"""Cycle-level scheduler: Table III latencies, overlap, scaling laws."""
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    AcceleratorConfig,
+    AxiModel,
+    OpKind,
+    Scheduler,
+    build_encoder_workload,
+)
+from repro.bert import BertConfig
+
+
+@pytest.fixture(scope="module")
+def base_workload():
+    return build_encoder_workload(BertConfig.base(), seq_len=128)
+
+
+class TestTableIIILatencies:
+    """The simulator must land near the paper's measured latencies."""
+
+    @pytest.mark.parametrize(
+        "config, paper_ms",
+        [
+            (AcceleratorConfig.zcu102_n8_m16(), 43.89),
+            (AcceleratorConfig.zcu102_n16_m8(), 45.35),
+            (AcceleratorConfig.zcu111_n16_m16(), 23.79),
+        ],
+    )
+    def test_latency_within_15_percent(self, base_workload, config, paper_ms):
+        result = Scheduler(config).schedule(base_workload)
+        assert result.latency_ms == pytest.approx(paper_ms, rel=0.15)
+
+    def test_zcu111_nearly_2x_zcu102(self, base_workload):
+        """Doubling the multipliers gives 'nearly twice the performance'."""
+        small = Scheduler(AcceleratorConfig.zcu102_n8_m16()).schedule(base_workload)
+        big = Scheduler(AcceleratorConfig.zcu111_n16_m16()).schedule(base_workload)
+        speedup = small.latency_ms / big.latency_ms
+        assert 1.5 < speedup < 2.0
+
+
+class TestScalingLaws:
+    def test_more_multipliers_never_slower(self, base_workload):
+        latencies = []
+        for m in (4, 8, 16, 32):
+            config = AcceleratorConfig(num_pes=8, num_multipliers=m)
+            latencies.append(Scheduler(config).schedule(base_workload).latency_ms)
+        assert all(a >= b for a, b in zip(latencies, latencies[1:]))
+
+    def test_more_pes_never_slower(self, base_workload):
+        latencies = []
+        for n in (4, 8, 16):
+            config = AcceleratorConfig(num_pes=n, num_multipliers=16)
+            latencies.append(Scheduler(config).schedule(base_workload).latency_ms)
+        assert all(a >= b for a, b in zip(latencies, latencies[1:]))
+
+    def test_utilization_below_one(self, base_workload):
+        config = AcceleratorConfig.zcu102_n8_m16()
+        result = Scheduler(config).schedule(base_workload)
+        assert 0.5 < result.utilization(base_workload) < 1.0
+
+    def test_frequency_scales_latency(self, base_workload):
+        slow = AcceleratorConfig(frequency_mhz=107.0)
+        fast = AcceleratorConfig(frequency_mhz=214.0)
+        ratio = (
+            Scheduler(slow).schedule(base_workload).latency_ms
+            / Scheduler(fast).schedule(base_workload).latency_ms
+        )
+        assert ratio == pytest.approx(2.0, rel=1e-6)
+
+
+class TestOverlap:
+    def test_double_buffering_hides_transfer(self, base_workload):
+        """Sec. III-C: off-chip transfer completely overlapped by compute."""
+        on = AcceleratorConfig(double_buffer_weights=True)
+        off = AcceleratorConfig(double_buffer_weights=False)
+        with_overlap = Scheduler(on).schedule(base_workload)
+        without = Scheduler(off).schedule(base_workload)
+        assert with_overlap.total_cycles < without.total_cycles
+        # With double buffering most transfer cycles are hidden.
+        matmul_stages = [
+            stage for stage in with_overlap.stages if stage.kind == "matmul_weight"
+        ]
+        hidden = sum(stage.hidden_transfer_cycles for stage in matmul_stages)
+        total = sum(stage.transfer_cycles for stage in matmul_stages)
+        assert hidden / total > 0.8
+
+    def test_psum_double_buffer_reduces_stalls(self, base_workload):
+        on = AcceleratorConfig(double_buffer_psum=True)
+        off = AcceleratorConfig(double_buffer_psum=False)
+        stalls_on = sum(
+            stage.stall_cycles for stage in Scheduler(on).schedule(base_workload).stages
+        )
+        stalls_off = sum(
+            stage.stall_cycles for stage in Scheduler(off).schedule(base_workload).stages
+        )
+        assert stalls_on < stalls_off
+
+    def test_slow_axi_exposes_transfer(self, base_workload):
+        """A starved AXI link cannot be hidden even with double buffering."""
+        starved = AcceleratorConfig(axi_bytes_per_cycle=1)
+        normal = AcceleratorConfig(axi_bytes_per_cycle=16)
+        slow = Scheduler(starved).schedule(base_workload)
+        fast = Scheduler(normal).schedule(base_workload)
+        assert slow.total_cycles > fast.total_cycles
+        exposed = sum(stage.exposed_transfer_cycles for stage in slow.stages)
+        assert exposed > 0
+
+
+class TestBreakdown:
+    def test_all_stages_present(self, base_workload):
+        result = Scheduler(AcceleratorConfig()).schedule(base_workload)
+        breakdown = result.breakdown()
+        assert set(breakdown) == {op.name for op in base_workload.layer_ops}
+
+    def test_ffn_dominates(self, base_workload):
+        """FFN1+FFN2 are ~2/3 of the matmul work per layer."""
+        result = Scheduler(AcceleratorConfig()).schedule(base_workload)
+        breakdown = result.breakdown()
+        ffn = breakdown["FFN1"] + breakdown["FFN2"]
+        qkv = breakdown["X*W_Q"] + breakdown["X*W_K"] + breakdown["X*W_V"]
+        assert ffn > qkv
+
+    def test_gelu_is_free(self, base_workload):
+        result = Scheduler(AcceleratorConfig()).schedule(base_workload)
+        assert result.breakdown()["GELU"] == 0
+
+    def test_total_is_layers_times_layer_cycles(self, base_workload):
+        result = Scheduler(AcceleratorConfig()).schedule(base_workload)
+        assert result.total_cycles == result.layer_cycles * 12
+
+
+class TestAxiModel:
+    def test_zero_bytes(self):
+        assert AxiModel().transfer_cycles(0) == 0
+
+    def test_bandwidth_plus_burst_overhead(self):
+        axi = AxiModel(bytes_per_cycle=16, burst_bytes=4096, burst_overhead_cycles=8)
+        assert axi.transfer_cycles(4096) == 256 + 8
+        assert axi.transfer_cycles(8192) == 512 + 16
+
+    def test_effective_bandwidth_below_peak(self):
+        axi = AxiModel(bytes_per_cycle=16)
+        achieved = axi.effective_bandwidth(1 << 20, frequency_mhz=214.0)
+        peak = 16 * 214e6 / 1e9
+        assert 0.9 * peak < achieved < peak
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(num_multipliers=3)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(num_pus=0)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(axi_bytes_per_cycle=0)

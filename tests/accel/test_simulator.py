@@ -1,0 +1,117 @@
+"""Top-level simulator: reports, power, and hardware/software equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.accel import AcceleratorConfig, AcceleratorSimulator, ZCU102, ZCU111
+from repro.bert import BertConfig
+from repro.quant import convert_to_integer
+
+
+class TestSimulationReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        simulator = AcceleratorSimulator(AcceleratorConfig.zcu102_n8_m16(), ZCU102)
+        return simulator.simulate(BertConfig.base(), seq_len=128)
+
+    def test_summary_keys(self, report):
+        summary = report.summary()
+        for key in ("latency_ms", "throughput_fps", "power_watts", "fps_per_watt", "dsp48"):
+            assert key in summary
+
+    def test_power_near_paper(self, report):
+        assert report.power_watts == pytest.approx(9.8, rel=0.05)
+
+    def test_fps_per_watt_near_paper(self, report):
+        assert report.fps_per_watt == pytest.approx(2.32, rel=0.15)
+
+    def test_energy_consistency(self, report):
+        assert report.energy_per_inference_mj == pytest.approx(
+            report.power_watts * report.latency_ms
+        )
+
+    def test_fits(self, report):
+        assert report.fits_device()
+
+    def test_zcu111_more_efficient(self):
+        small = AcceleratorSimulator(AcceleratorConfig.zcu102_n8_m16(), ZCU102).simulate(
+            BertConfig.base()
+        )
+        big = AcceleratorSimulator(AcceleratorConfig.zcu111_n16_m16(), ZCU111).simulate(
+            BertConfig.base()
+        )
+        assert big.fps_per_watt > small.fps_per_watt
+        assert big.latency_ms < small.latency_ms
+
+
+class TestFunctionalEquivalence:
+    """The PE-array/softmax-core/LN-core path must reproduce the integer
+    engine bit-for-bit — the RTL-vs-golden-model check of a real flow."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.quant import QuantBertForSequenceClassification, QuantConfig
+
+        rng = np.random.default_rng(7)
+        config = BertConfig(
+            vocab_size=48,
+            hidden_size=16,
+            num_hidden_layers=1,
+            num_attention_heads=2,
+            intermediate_size=32,
+            max_position_embeddings=8,
+            hidden_dropout_prob=0.0,
+            attention_dropout_prob=0.0,
+            num_labels=2,
+        )
+        model = QuantBertForSequenceClassification(config, QuantConfig.fq_bert(), rng=rng)
+        model.train()
+        for _ in range(3):
+            ids = rng.integers(0, config.vocab_size, size=(2, 6))
+            model(ids, np.ones((2, 6), dtype=np.int64))
+        model.eval()
+        integer = convert_to_integer(model)
+        return config, integer, rng
+
+    def test_logits_bit_exact_with_integer_engine(self, setup):
+        config, integer, rng = setup
+        simulator = AcceleratorSimulator(
+            AcceleratorConfig(num_pus=2, num_pes=2, num_multipliers=4), ZCU102
+        )
+        ids = rng.integers(0, config.vocab_size, size=(2, 6))
+        mask = np.ones((2, 6), dtype=np.int64)
+        mask[1, 4:] = 0
+        hw_logits = simulator.run_functional(integer, ids, mask)
+        sw_logits = integer.forward(ids, mask)
+        np.testing.assert_array_equal(hw_logits, sw_logits)
+
+    def test_equivalence_holds_for_both_bim_types(self, setup):
+        from repro.accel import BimType
+
+        config, integer, rng = setup
+        ids = rng.integers(0, config.vocab_size, size=(1, 5))
+        mask = np.ones((1, 5), dtype=np.int64)
+        results = []
+        for bim_type in (BimType.TYPE_A, BimType.TYPE_B):
+            simulator = AcceleratorSimulator(
+                AcceleratorConfig(num_pus=2, num_pes=2, num_multipliers=4, bim_type=bim_type),
+                ZCU102,
+            )
+            results.append(simulator.run_functional(integer, ids, mask))
+        np.testing.assert_array_equal(results[0], results[1])
+
+
+class TestDevices:
+    def test_power_model_calibration(self):
+        assert ZCU102.power(1751) == pytest.approx(9.8, rel=0.02)
+        assert ZCU111.power(3287) == pytest.approx(13.2, rel=0.02)
+
+    def test_capacity_from_table3(self):
+        assert ZCU102.dsp48 == 2520
+        assert ZCU111.dsp48 == 4272
+        assert ZCU102.bram18k == 1824
+        assert ZCU111.uram > 0
+
+    def test_fits(self):
+        assert ZCU102.fits(100, 100, 100, 100)
+        assert not ZCU102.fits(100, 99999, 100, 100)

@@ -1,0 +1,119 @@
+"""Command-stream model: generation rules and analytic cross-validation."""
+
+import pytest
+
+from repro.accel import (
+    AcceleratorConfig,
+    Command,
+    CommandKind,
+    CommandStreamGenerator,
+    Scheduler,
+    TraceExecutor,
+    build_encoder_workload,
+    replay_workload,
+)
+from repro.bert import BertConfig
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_encoder_workload(BertConfig.base(), seq_len=128)
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return build_encoder_workload(BertConfig.tiny(max_position_embeddings=16), seq_len=16)
+
+
+class TestCommandGeneration:
+    def test_matmul_w_structure(self, small_workload):
+        generator = CommandStreamGenerator(AcceleratorConfig(num_pes=4, num_multipliers=8))
+        op = small_workload.layer_ops[0]  # X*W_Q
+        commands = list(generator.commands_for_op(op))
+        kinds = [command.kind for command in commands]
+        assert kinds.count(CommandKind.LOAD_TILE) == generator_passes(op, 4 * 12)
+        assert kinds.count(CommandKind.COMPUTE_PASS) == kinds.count(CommandKind.DRAIN_PSUM)
+        assert kinds[-1] is CommandKind.SYNC
+
+    def test_gelu_generates_only_nothing(self, small_workload):
+        generator = CommandStreamGenerator(AcceleratorConfig())
+        gelu = next(op for op in small_workload.layer_ops if op.name == "GELU")
+        assert list(generator.commands_for_op(gelu)) == []
+
+    def test_softmax_single_block_command(self, small_workload):
+        generator = CommandStreamGenerator(AcceleratorConfig())
+        softmax = next(op for op in small_workload.layer_ops if op.name == "softmax")
+        commands = list(generator.commands_for_op(softmax))
+        assert [c.kind for c in commands] == [CommandKind.SOFTMAX_ROW, CommandKind.SYNC]
+
+    def test_layer_stream_covers_all_stages(self, small_workload):
+        generator = CommandStreamGenerator(AcceleratorConfig())
+        stream = generator.layer_stream(small_workload)
+        stages = {command.stage for command in stream}
+        assert "FFN1" in stages and "Add&LN_2" in stages and "Q*K^T" in stages
+
+
+def generator_passes(op, total_pes):
+    import numpy as np
+
+    return int(np.ceil(op.out_dim / total_pes))
+
+
+class TestTraceExecutor:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            AcceleratorConfig.zcu102_n8_m16(),
+            AcceleratorConfig.zcu102_n16_m8(),
+            AcceleratorConfig.zcu111_n16_m16(),
+        ],
+        ids=["n8m16", "n16m8", "n16m16"],
+    )
+    def test_agrees_with_analytic_scheduler(self, workload, config):
+        """Two independently built timing models within 10% of each other."""
+        analytic = Scheduler(config).schedule(workload).total_cycles
+        trace = replay_workload(workload, config).total_cycles
+        assert trace == pytest.approx(analytic, rel=0.10)
+
+    def test_double_buffering_helps_in_trace_too(self, workload):
+        on = replay_workload(workload, AcceleratorConfig(double_buffer_weights=True))
+        off = replay_workload(workload, AcceleratorConfig(double_buffer_weights=False))
+        assert on.total_cycles < off.total_cycles
+
+    def test_pe_utilization_bounds(self, workload):
+        stats = replay_workload(workload, AcceleratorConfig.zcu102_n8_m16())
+        assert 0.6 < stats.pe_utilization <= 1.0
+
+    def test_no_double_buffer_lowers_utilization(self, workload):
+        on = replay_workload(workload, AcceleratorConfig(double_buffer_weights=True))
+        off = replay_workload(workload, AcceleratorConfig(double_buffer_weights=False))
+        assert off.pe_utilization < on.pe_utilization
+
+    def test_empty_stream(self):
+        stats = TraceExecutor(AcceleratorConfig()).run([])
+        assert stats.total_cycles == 0
+        assert stats.pe_utilization == 0.0
+
+    def test_single_compute_command(self):
+        executor = TraceExecutor(AcceleratorConfig())
+        stats = executor.run([Command(CommandKind.COMPUTE_PASS, 100, "x")])
+        assert stats.total_cycles == 100
+        assert stats.busy_pe_cycles == 100
+
+    def test_load_then_compute_dependency(self):
+        """Compute against a tile must wait for its load."""
+        executor = TraceExecutor(AcceleratorConfig())
+        stats = executor.run(
+            [
+                Command(CommandKind.LOAD_TILE, 50, "s", tile=0),
+                Command(CommandKind.COMPUTE_PASS, 10, "s", tile=0),
+            ]
+        )
+        assert stats.total_cycles == 60
+
+    def test_command_count_scales_with_layers(self, small_workload):
+        config = AcceleratorConfig(num_pes=4, num_multipliers=8)
+        stats = replay_workload(small_workload, config)
+        generator = CommandStreamGenerator(config)
+        per_layer = len(generator.layer_stream(small_workload))
+        assert stats.commands == per_layer * small_workload.num_layers

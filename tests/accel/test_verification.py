@@ -1,0 +1,80 @@
+"""Verification harness: the cross-model checks themselves."""
+
+import numpy as np
+import pytest
+
+from repro.accel import AcceleratorConfig, VerificationReport, verify_stack
+
+
+class TestVerificationReport:
+    def test_empty_report_passes(self):
+        assert VerificationReport().passed
+
+    def test_failure_propagates(self):
+        report = VerificationReport()
+        report.add("ok", True, "fine")
+        report.add("bad", False, "broken")
+        assert not report.passed
+        rendered = report.render()
+        assert "[PASS] ok" in rendered and "[FAIL] bad" in rendered
+        assert "FAILURES PRESENT" in rendered
+
+    def test_all_pass_render(self):
+        report = VerificationReport()
+        report.add("a", True, "x")
+        assert "ALL CHECKS PASSED" in report.render()
+
+
+class TestVerifyStack:
+    def test_trained_model_passes_all_checks(self, trained_quant_model, tiny_task):
+        _, _, dev, _ = tiny_task
+        batch = dev.full_batch()
+        report = verify_stack(
+            trained_quant_model,
+            batch.input_ids[:3],
+            batch.attention_mask[:3],
+            batch.token_type_ids[:3],
+        )
+        assert report.passed, report.render()
+
+    def test_check_names_complete(self, trained_quant_model, tiny_task):
+        _, _, dev, _ = tiny_task
+        batch = dev.full_batch()
+        report = verify_stack(
+            trained_quant_model, batch.input_ids[:2], batch.attention_mask[:2]
+        )
+        names = {check.name for check in report.checks}
+        assert names == {
+            "qat_vs_integer_predictions",
+            "qat_vs_integer_logits",
+            "integer_vs_pe_array",
+            "functional_config_independence",
+            "rtl_vs_integer_linear",
+            "rtl_cycle_law",
+        }
+
+    def test_custom_accel_config(self, trained_quant_model, tiny_task):
+        _, _, dev, _ = tiny_task
+        batch = dev.full_batch()
+        report = verify_stack(
+            trained_quant_model,
+            batch.input_ids[:2],
+            batch.attention_mask[:2],
+            accel_config=AcceleratorConfig(num_pus=4, num_pes=2, num_multipliers=8),
+        )
+        assert report.passed, report.render()
+
+    def test_untrained_model_still_consistent(self, tiny_config):
+        """Consistency between implementations holds regardless of training."""
+        from repro.quant import QuantBertForSequenceClassification, QuantConfig
+
+        rng = np.random.default_rng(9)
+        model = QuantBertForSequenceClassification(
+            tiny_config, QuantConfig.fq_bert(), rng=rng
+        )
+        model.train()
+        ids = rng.integers(0, tiny_config.vocab_size, size=(2, 8))
+        model(ids)  # calibrate observers
+        model.eval()
+        report = verify_stack(model, ids)
+        assert report.passed, report.render()

@@ -1,0 +1,70 @@
+"""Workload derivation: op inventory, MAC counts, weight traffic."""
+
+import pytest
+
+from repro.accel import OpKind, build_encoder_workload
+from repro.bert import BertConfig
+
+
+@pytest.fixture(scope="module")
+def base_workload():
+    return build_encoder_workload(BertConfig.base(), seq_len=128)
+
+
+class TestOpInventory:
+    def test_stage_order_matches_figure5(self, base_workload):
+        names = [op.name for op in base_workload.layer_ops]
+        assert names == [
+            "X*W_Q", "X*W_K", "X*W_V", "Q*K^T", "softmax", "Attn*V",
+            "O_A*W_s", "Add&LN_1", "FFN1", "GELU", "FFN2", "Add&LN_2",
+        ]
+
+    def test_weight_matmul_dims(self, base_workload):
+        ffn1 = next(op for op in base_workload.layer_ops if op.name == "FFN1")
+        assert ffn1.out_dim == 3072 and ffn1.contract_dim == 768
+        assert ffn1.vectors == 128
+        assert ffn1.kind is OpKind.MATMUL_W
+
+    def test_attention_matmul_dims(self, base_workload):
+        qkt = next(op for op in base_workload.layer_ops if op.name == "Q*K^T")
+        assert qkt.heads == 12
+        assert qkt.out_dim == 128 and qkt.contract_dim == 64
+        assert qkt.kind is OpKind.MATMUL_A
+
+
+class TestAggregates:
+    def test_total_macs_8x4(self, base_workload):
+        """(4*768^2 + 2*768*3072) * 128 tokens * 12 layers."""
+        per_token = 4 * 768 * 768 + 2 * 768 * 3072
+        assert base_workload.total_macs(OpKind.MATMUL_W) == per_token * 128 * 12
+
+    def test_total_macs_8x8(self, base_workload):
+        per_layer = 2 * 12 * 128 * 128 * 64  # QK^T + AttnV over 12 heads
+        assert base_workload.total_macs(OpKind.MATMUL_A) == per_layer * 12
+
+    def test_total_flops_over_20_gflops(self, base_workload):
+        """The paper's '>20 GFLOPs' headline for BERT-base at seq 128."""
+        assert base_workload.total_flops() > 20e9
+
+    def test_weight_bytes_4bit(self, base_workload):
+        per_layer_params = 4 * 768 * 768 + 2 * 768 * 3072
+        expected = per_layer_params * 0.5 * 12
+        assert base_workload.total_weight_bytes() == pytest.approx(expected)
+
+    def test_fp32_weight_bytes_8x_larger(self, base_workload):
+        assert base_workload.total_weight_bytes_fp32() == pytest.approx(
+            8 * base_workload.total_weight_bytes()
+        )
+
+    def test_non_matmul_ops_have_no_macs(self, base_workload):
+        for op in base_workload.layer_ops:
+            if op.kind in (OpKind.SOFTMAX, OpKind.LAYERNORM, OpKind.GELU):
+                assert op.macs == 0
+                assert op.weight_bytes == 0.0
+
+    def test_seq_len_scaling(self):
+        short = build_encoder_workload(BertConfig.base(), seq_len=64)
+        long = build_encoder_workload(BertConfig.base(), seq_len=128)
+        # Weight matmuls scale linearly, attention quadratically.
+        assert long.total_macs(OpKind.MATMUL_W) == 2 * short.total_macs(OpKind.MATMUL_W)
+        assert long.total_macs(OpKind.MATMUL_A) == 4 * short.total_macs(OpKind.MATMUL_A)

@@ -1,0 +1,180 @@
+"""Gradients and values of the NN primitives in repro.autograd.functional."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+
+from .test_tensor import check_gradient
+
+
+class TestActivations:
+    def test_relu_value(self):
+        out = F.relu(Tensor(np.array([-1.0, 0.0, 2.0], dtype=np.float32)))
+        np.testing.assert_array_equal(out.data, [0.0, 0.0, 2.0])
+
+    def test_relu_gradient(self, rng):
+        x = rng.standard_normal((3, 4), dtype=np.float32)
+        x[np.abs(x) < 0.1] = 0.5
+        check_gradient(F.relu, x)
+
+    def test_gelu_gradient(self, rng):
+        check_gradient(F.gelu, rng.standard_normal((3, 4), dtype=np.float32))
+
+    def test_gelu_matches_reference(self, rng):
+        x = rng.standard_normal(100, dtype=np.float32)
+        out = F.gelu(Tensor(x)).data
+        ref = 0.5 * x * (1 + np.tanh(np.sqrt(2 / np.pi) * (x + 0.044715 * x ** 3)))
+        np.testing.assert_allclose(out, ref, rtol=1e-5)
+
+    def test_sigmoid_stable_extremes(self):
+        out = F.sigmoid(Tensor(np.array([-100.0, 0.0, 100.0], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [0.0, 0.5, 1.0], atol=1e-6)
+
+    def test_sigmoid_gradient(self, rng):
+        check_gradient(F.sigmoid, rng.standard_normal((3, 4), dtype=np.float32))
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = F.softmax(Tensor(rng.standard_normal((3, 7), dtype=np.float32)))
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(3), rtol=1e-6)
+
+    def test_shift_invariance(self, rng):
+        x = rng.standard_normal((2, 5), dtype=np.float32)
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, rtol=1e-5)
+
+    def test_softmax_gradient(self, rng):
+        x = rng.standard_normal((2, 5), dtype=np.float32)
+        check_gradient(lambda t: F.softmax(t) * Tensor(np.arange(5, dtype=np.float32)), x)
+
+    def test_log_softmax_gradient(self, rng):
+        x = rng.standard_normal((2, 5), dtype=np.float32)
+        check_gradient(
+            lambda t: F.log_softmax(t) * Tensor(np.arange(5, dtype=np.float32)), x
+        )
+
+    def test_log_softmax_equals_log_of_softmax(self, rng):
+        x = rng.standard_normal((2, 5), dtype=np.float32)
+        np.testing.assert_allclose(
+            F.log_softmax(Tensor(x)).data, np.log(F.softmax(Tensor(x)).data), rtol=1e-5
+        )
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_classes(self):
+        logits = Tensor(np.zeros((4, 3), dtype=np.float32))
+        loss = F.cross_entropy(logits, np.array([0, 1, 2, 0]))
+        np.testing.assert_allclose(float(loss.data), np.log(3.0), rtol=1e-5)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((2, 3), -20.0, dtype=np.float32)
+        logits[0, 1] = 20.0
+        logits[1, 2] = 20.0
+        loss = F.cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert float(loss.data) < 1e-4
+
+    def test_gradient(self, rng):
+        labels = np.array([0, 2, 1])
+        check_gradient(
+            lambda t: F.cross_entropy(t, labels),
+            rng.standard_normal((3, 3), dtype=np.float32),
+        )
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros(3)), np.array([0]))
+
+
+class TestLayerNorm:
+    def test_normalizes(self, rng):
+        x = rng.standard_normal((4, 8), dtype=np.float32) * 5 + 3
+        weight = Tensor(np.ones(8, dtype=np.float32))
+        bias = Tensor(np.zeros(8, dtype=np.float32))
+        out = F.layer_norm(Tensor(x), weight, bias).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_gradient(self, rng):
+        weight = Tensor(rng.standard_normal(6, dtype=np.float32))
+        bias = Tensor(rng.standard_normal(6, dtype=np.float32))
+        check_gradient(
+            lambda t: F.layer_norm(t, weight, bias),
+            rng.standard_normal((3, 6), dtype=np.float32),
+        )
+
+    def test_gradient_wrt_params(self, rng):
+        x = Tensor(rng.standard_normal((3, 6), dtype=np.float32))
+        check_gradient(
+            lambda w: F.layer_norm(x, w, Tensor(np.zeros(6, dtype=np.float32))),
+            rng.standard_normal(6, dtype=np.float32),
+        )
+
+
+class TestDropoutAndEmbedding:
+    def test_dropout_eval_identity(self, rng):
+        x = Tensor(rng.standard_normal((5, 5), dtype=np.float32))
+        assert F.dropout(x, 0.5, training=False) is x
+
+    def test_dropout_preserves_expectation(self, rng):
+        x = Tensor(np.ones((200, 200), dtype=np.float32))
+        out = F.dropout(x, 0.3, training=True)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_embedding_lookup(self, rng):
+        table = Tensor(rng.standard_normal((10, 4), dtype=np.float32), requires_grad=True)
+        indices = np.array([[1, 3], [3, 9]])
+        out = F.embedding(table, indices)
+        np.testing.assert_array_equal(out.data, table.data[indices])
+
+    def test_embedding_gradient_accumulates(self, rng):
+        table = Tensor(rng.standard_normal((5, 2), dtype=np.float32), requires_grad=True)
+        F.embedding(table, np.array([2, 2, 4])).sum().backward()
+        assert table.grad[2, 0] == pytest.approx(2.0)
+        assert table.grad[4, 0] == pytest.approx(1.0)
+        assert table.grad[0, 0] == pytest.approx(0.0)
+
+    def test_linear_matches_numpy(self, rng):
+        x = rng.standard_normal((3, 4), dtype=np.float32)
+        w = rng.standard_normal((5, 4), dtype=np.float32)
+        b = rng.standard_normal(5, dtype=np.float32)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b)).data
+        np.testing.assert_allclose(out, x @ w.T + b, rtol=1e-5)
+
+
+class TestSTE:
+    def test_ste_round_forward(self):
+        out = F.ste_round(Tensor(np.array([0.4, 0.5, 1.5, -0.6], dtype=np.float32)))
+        # round-half-to-even
+        np.testing.assert_array_equal(out.data, [0.0, 0.0, 2.0, -1.0])
+
+    def test_ste_round_identity_gradient(self):
+        t = Tensor(np.array([0.4, 1.7], dtype=np.float32), requires_grad=True)
+        F.ste_round(t).sum().backward()
+        np.testing.assert_array_equal(t.grad, [1.0, 1.0])
+
+    def test_ste_floor(self):
+        t = Tensor(np.array([1.9, -0.1], dtype=np.float32), requires_grad=True)
+        out = F.ste_floor(t)
+        np.testing.assert_array_equal(out.data, [1.0, -1.0])
+        out.sum().backward()
+        np.testing.assert_array_equal(t.grad, [1.0, 1.0])
+
+    def test_fake_quantize_grid(self):
+        x = Tensor(np.linspace(-2, 2, 9).astype(np.float32))
+        out = F.fake_quantize(x, scale=2.0, qmin=-3, qmax=3)
+        codes = out.data * 2.0
+        np.testing.assert_allclose(codes, np.rint(codes), atol=1e-6)
+        assert codes.min() >= -3 and codes.max() <= 3
+
+    def test_fake_quantize_saturation_cuts_gradient(self):
+        t = Tensor(np.array([-10.0, 0.2, 10.0], dtype=np.float32), requires_grad=True)
+        F.fake_quantize(t, scale=1.0, qmin=-2, qmax=2).sum().backward()
+        np.testing.assert_array_equal(t.grad, [0.0, 1.0, 0.0])
+
+    def test_fake_quantize_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            F.fake_quantize(Tensor(np.ones(2)), scale=0.0, qmin=-1, qmax=1)

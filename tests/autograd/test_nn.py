@@ -1,0 +1,144 @@
+"""Module system: registration, modes, state dicts, and the standard layers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd import nn
+
+
+class TwoLayer(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 8, rng=np.random.default_rng(0))
+        self.fc2 = nn.Linear(8, 2, rng=np.random.default_rng(1))
+        self.dropout = nn.Dropout(0.5)
+
+    def forward(self, x):
+        return self.fc2(self.dropout(self.fc1(x)))
+
+
+class TestModuleRegistration:
+    def test_named_parameters_paths(self):
+        model = TwoLayer()
+        names = {name for name, _ in model.named_parameters()}
+        assert names == {"fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"}
+
+    def test_parameters_count(self):
+        model = TwoLayer()
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_modules_traversal(self):
+        model = TwoLayer()
+        kinds = [type(m).__name__ for m in model.modules()]
+        assert "TwoLayer" in kinds and "Linear" in kinds and "Dropout" in kinds
+
+    def test_train_eval_propagates(self):
+        model = TwoLayer()
+        model.eval()
+        assert not model.dropout.training
+        model.train()
+        assert model.dropout.training
+
+    def test_zero_grad(self):
+        model = TwoLayer()
+        out = model(Tensor(np.ones((2, 4), dtype=np.float32)))
+        out.sum().backward()
+        assert model.fc1.weight.grad is not None
+        model.zero_grad()
+        assert model.fc1.weight.grad is None
+
+    def test_missing_attribute_raises(self):
+        model = TwoLayer()
+        with pytest.raises(AttributeError):
+            _ = model.nonexistent
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = TwoLayer(), TwoLayer()
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["fc1.weight"][:] = 0.0
+        assert not np.allclose(model.fc1.weight.data, 0.0)
+
+    def test_shape_mismatch_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_unknown_key_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_buffers_serialized(self):
+        model = TwoLayer()
+        model.register_buffer("stat", np.array([1.0, 2.0]))
+        state = model.state_dict()
+        assert "stat" in state
+        model.set_buffer("stat", np.array([9.0, 9.0]))
+        model.load_state_dict(state)
+        np.testing.assert_array_equal(model.stat, [1.0, 2.0])
+
+
+class TestLayers:
+    def test_linear_shapes(self, rng):
+        layer = nn.Linear(6, 3, rng=rng)
+        out = layer(Tensor(rng.standard_normal((2, 5, 6), dtype=np.float32)))
+        assert out.shape == (2, 5, 3)
+
+    def test_linear_no_bias(self, rng):
+        layer = nn.Linear(4, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((1, 4), dtype=np.float32)))
+        np.testing.assert_array_equal(out.data, np.zeros((1, 2)))
+
+    def test_embedding_bounds_check(self, rng):
+        layer = nn.Embedding(10, 4, rng=rng)
+        with pytest.raises(IndexError):
+            layer(np.array([10]))
+        with pytest.raises(IndexError):
+            layer(np.array([-1]))
+
+    def test_layernorm_affine(self, rng):
+        layer = nn.LayerNorm(8)
+        layer.weight.data[:] = 2.0
+        layer.bias.data[:] = 1.0
+        out = layer(Tensor(rng.standard_normal((3, 8), dtype=np.float32)))
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.ones(3), atol=1e-4)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_sequential(self, rng):
+        seq = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+        out = seq(Tensor(rng.standard_normal((3, 4), dtype=np.float32)))
+        assert out.shape == (3, 2)
+        assert len(seq) == 3
+        assert isinstance(seq[1], nn.ReLU)
+
+    def test_module_list(self, rng):
+        layers = nn.ModuleList([nn.Linear(4, 4, rng=rng) for _ in range(3)])
+        assert len(layers) == 3
+        assert len(list(layers)) == 3
+        # Registered: parameters discoverable.
+        parent = nn.Module()
+        parent.layers = layers
+        assert len(parent.parameters()) == 6
+
+    def test_activation_modules(self, rng):
+        x = Tensor(rng.standard_normal((2, 3), dtype=np.float32))
+        assert nn.GELU()(x).shape == (2, 3)
+        assert nn.Tanh()(x).shape == (2, 3)
+        assert nn.ReLU()(x).data.min() >= 0.0

@@ -1,0 +1,121 @@
+"""Optimizers: convergence on quadratics, schedules, clipping."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.nn import Parameter
+from repro.autograd.optim import SGD, Adam, AdamW, LinearWarmupSchedule, clip_grad_norm
+
+
+def quadratic_loss(param: Parameter, target: np.ndarray) -> Tensor:
+    diff = param - Tensor(target)
+    return (diff * diff).sum()
+
+
+def run_steps(optimizer, param, target, steps):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = quadratic_loss(param, target)
+        loss.backward()
+        optimizer.step()
+    return float(quadratic_loss(param, target).data)
+
+
+@pytest.fixture
+def target():
+    return np.array([1.0, -2.0, 3.0], dtype=np.float32)
+
+
+class TestSGD:
+    def test_converges(self, target):
+        param = Parameter(np.zeros(3, dtype=np.float32))
+        final = run_steps(SGD([param], lr=0.1), param, target, 100)
+        assert final < 1e-6
+
+    def test_momentum_faster_than_plain(self, target):
+        plain = Parameter(np.zeros(3, dtype=np.float32))
+        moment = Parameter(np.zeros(3, dtype=np.float32))
+        loss_plain = run_steps(SGD([plain], lr=0.01), plain, target, 30)
+        loss_momentum = run_steps(SGD([moment], lr=0.01, momentum=0.9), moment, target, 30)
+        assert loss_momentum < loss_plain
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.ones(3, dtype=np.float32))
+        optimizer = SGD([param], lr=0.1, weight_decay=1.0)
+        optimizer.zero_grad()
+        param.grad = np.zeros(3, dtype=np.float32)
+        optimizer.step()
+        assert np.all(np.abs(param.data) < 1.0)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(2))], lr=-1.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges(self, target):
+        param = Parameter(np.zeros(3, dtype=np.float32))
+        final = run_steps(Adam([param], lr=0.1), param, target, 200)
+        assert final < 1e-4
+
+    def test_skips_params_without_grad(self):
+        a = Parameter(np.zeros(2, dtype=np.float32))
+        b = Parameter(np.ones(2, dtype=np.float32))
+        optimizer = Adam([a, b], lr=0.1)
+        a.grad = np.ones(2, dtype=np.float32)
+        optimizer.step()
+        np.testing.assert_array_equal(b.data, np.ones(2))
+        assert not np.allclose(a.data, 0.0)
+
+    def test_adamw_decoupled_decay(self):
+        # With zero gradient, AdamW still decays the weights; Adam+wd couples
+        # decay through the moment estimates instead.
+        param = Parameter(np.ones(2, dtype=np.float32))
+        optimizer = AdamW([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.zeros(2, dtype=np.float32)
+        optimizer.step()
+        np.testing.assert_allclose(param.data, np.full(2, 0.95), rtol=1e-5)
+        # weight_decay restored after the step (so later steps decay too)
+        assert optimizer.weight_decay == 0.5
+
+
+class TestClipGradNorm:
+    def test_clips_to_max(self):
+        param = Parameter(np.zeros(4, dtype=np.float32))
+        param.grad = np.full(4, 10.0, dtype=np.float32)
+        norm = clip_grad_norm([param], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_no_clip_when_small(self):
+        param = Parameter(np.zeros(4, dtype=np.float32))
+        param.grad = np.full(4, 0.1, dtype=np.float32)
+        clip_grad_norm([param], max_norm=10.0)
+        np.testing.assert_allclose(param.grad, np.full(4, 0.1))
+
+
+class TestSchedule:
+    def test_warmup_then_decay(self):
+        param = Parameter(np.zeros(2, dtype=np.float32))
+        optimizer = SGD([param], lr=1.0)
+        schedule = LinearWarmupSchedule(optimizer, warmup_steps=10, total_steps=100)
+        lrs = [schedule.step() for _ in range(100)]
+        assert lrs[0] == pytest.approx(0.1)
+        assert lrs[9] == pytest.approx(1.0)
+        assert lrs[-1] == pytest.approx(0.0, abs=0.02)
+        assert max(lrs) == pytest.approx(1.0)
+
+    def test_no_warmup(self):
+        optimizer = SGD([Parameter(np.zeros(2))], lr=1.0)
+        schedule = LinearWarmupSchedule(optimizer, warmup_steps=0, total_steps=10)
+        assert schedule.step() == pytest.approx(0.9)
+
+    def test_rejects_zero_total(self):
+        optimizer = SGD([Parameter(np.zeros(2))], lr=1.0)
+        with pytest.raises(ValueError):
+            LinearWarmupSchedule(optimizer, warmup_steps=0, total_steps=0)

@@ -1,0 +1,262 @@
+"""Tensor autograd: gradients of every op checked against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, concatenate, no_grad, stack, where
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-4) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued fn."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = fn(x)
+        flat[i] = original - eps
+        lower = fn(x)
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, x: np.ndarray, tol: float = 2e-2):
+    """Compare autograd gradient of sum(build(x)) against finite differences."""
+    tensor = Tensor(x.copy(), requires_grad=True)
+    out = build(tensor).sum()
+    out.backward()
+    analytic = tensor.grad
+
+    def scalar_fn(arr):
+        return float(build(Tensor(arr.copy())).sum().data)
+
+    numeric = numerical_grad(scalar_fn, x.astype(np.float64))
+    np.testing.assert_allclose(analytic, numeric, rtol=tol, atol=tol)
+
+
+class TestArithmeticGradients:
+    def test_add(self, rng):
+        check_gradient(lambda t: t + 3.0, rng.standard_normal((3, 4), dtype=np.float32))
+
+    def test_sub(self, rng):
+        check_gradient(lambda t: 5.0 - t, rng.standard_normal((3, 4), dtype=np.float32))
+
+    def test_mul(self, rng):
+        check_gradient(lambda t: t * t, rng.standard_normal((3, 4), dtype=np.float32))
+
+    def test_div(self, rng):
+        x = rng.standard_normal((3, 4), dtype=np.float32) + 3.0
+        check_gradient(lambda t: 1.0 / t, x)
+
+    def test_pow(self, rng):
+        x = np.abs(rng.standard_normal((3, 4), dtype=np.float32)) + 0.5
+        check_gradient(lambda t: t ** 3, x)
+
+    def test_neg(self, rng):
+        check_gradient(lambda t: -t, rng.standard_normal((5,), dtype=np.float32))
+
+    def test_chained_expression(self, rng):
+        x = rng.standard_normal((4, 4), dtype=np.float32)
+        check_gradient(lambda t: (t * 2.0 + 1.0) * t - t / 2.0, x)
+
+
+class TestMatmulGradients:
+    def test_matmul_2d(self, rng):
+        w = rng.standard_normal((4, 3), dtype=np.float32)
+        check_gradient(lambda t: t.matmul(Tensor(w)), rng.standard_normal((2, 4), dtype=np.float32))
+
+    def test_matmul_grad_wrt_rhs(self, rng):
+        x = rng.standard_normal((2, 4), dtype=np.float32)
+        check_gradient(lambda t: Tensor(x).matmul(t), rng.standard_normal((4, 3), dtype=np.float32))
+
+    def test_matmul_batched(self, rng):
+        w = rng.standard_normal((2, 4, 3), dtype=np.float32)
+        check_gradient(
+            lambda t: t.matmul(Tensor(w)), rng.standard_normal((2, 5, 4), dtype=np.float32)
+        )
+
+    def test_matmul_broadcast_lhs(self, rng):
+        # (batch, s, k) @ (k, n): rhs broadcasts over batch.
+        w = rng.standard_normal((4, 3), dtype=np.float32)
+        check_gradient(
+            lambda t: t.matmul(Tensor(w)), rng.standard_normal((3, 2, 4), dtype=np.float32)
+        )
+
+    def test_matmul_value(self, rng):
+        a = rng.standard_normal((3, 4), dtype=np.float32)
+        b = rng.standard_normal((4, 5), dtype=np.float32)
+        out = Tensor(a).matmul(Tensor(b))
+        np.testing.assert_allclose(out.data, a @ b, rtol=1e-5)
+
+
+class TestReductionGradients:
+    def test_sum_all(self, rng):
+        check_gradient(lambda t: t.sum(), rng.standard_normal((3, 4), dtype=np.float32))
+
+    def test_sum_axis_keepdims(self, rng):
+        check_gradient(
+            lambda t: t.sum(axis=1, keepdims=True),
+            rng.standard_normal((3, 4), dtype=np.float32),
+        )
+
+    def test_mean(self, rng):
+        check_gradient(lambda t: t.mean(axis=-1), rng.standard_normal((3, 4), dtype=np.float32))
+
+    def test_var(self, rng):
+        check_gradient(lambda t: t.var(axis=-1), rng.standard_normal((3, 6), dtype=np.float32))
+
+    def test_max(self, rng):
+        # Distinct values so the max subgradient is unambiguous.
+        x = np.arange(12, dtype=np.float32).reshape(3, 4)
+        rng.shuffle(x.reshape(-1))
+        check_gradient(lambda t: t.max(axis=-1), x)
+
+
+class TestElementwiseGradients:
+    def test_exp(self, rng):
+        check_gradient(lambda t: t.exp(), rng.standard_normal((3, 4), dtype=np.float32))
+
+    def test_log(self, rng):
+        x = np.abs(rng.standard_normal((3, 4), dtype=np.float32)) + 0.5
+        check_gradient(lambda t: t.log(), x)
+
+    def test_sqrt(self, rng):
+        x = np.abs(rng.standard_normal((3, 4), dtype=np.float32)) + 0.5
+        check_gradient(lambda t: t.sqrt(), x)
+
+    def test_tanh(self, rng):
+        check_gradient(lambda t: t.tanh(), rng.standard_normal((3, 4), dtype=np.float32))
+
+    def test_abs(self, rng):
+        x = rng.standard_normal((3, 4), dtype=np.float32)
+        x[np.abs(x) < 0.1] = 0.5  # keep away from the kink
+        check_gradient(lambda t: t.abs(), x)
+
+    def test_clamp_inside_and_outside(self):
+        x = np.array([-2.0, -0.5, 0.5, 2.0], dtype=np.float32)
+        t = Tensor(x, requires_grad=True)
+        t.clamp(-1.0, 1.0).sum().backward()
+        np.testing.assert_array_equal(t.grad, [0.0, 1.0, 1.0, 0.0])
+
+
+class TestShapeGradients:
+    def test_reshape(self, rng):
+        check_gradient(
+            lambda t: t.reshape(2, 6) * 2.0, rng.standard_normal((3, 4), dtype=np.float32)
+        )
+
+    def test_transpose(self, rng):
+        check_gradient(
+            lambda t: t.transpose(1, 0) * 2.0, rng.standard_normal((3, 4), dtype=np.float32)
+        )
+
+    def test_swapaxes(self, rng):
+        check_gradient(
+            lambda t: t.swapaxes(-1, -2) * 2.0,
+            rng.standard_normal((2, 3, 4), dtype=np.float32),
+        )
+
+    def test_getitem(self, rng):
+        check_gradient(lambda t: t[1:, :2], rng.standard_normal((3, 4), dtype=np.float32))
+
+    def test_getitem_fancy(self):
+        x = np.arange(12, dtype=np.float32).reshape(3, 4)
+        t = Tensor(x, requires_grad=True)
+        picked = t[np.array([0, 0, 2]), np.array([1, 1, 3])]
+        picked.sum().backward()
+        expected = np.zeros((3, 4), dtype=np.float32)
+        expected[0, 1] = 2.0  # repeated index accumulates
+        expected[2, 3] = 1.0
+        np.testing.assert_array_equal(t.grad, expected)
+
+
+class TestBroadcasting:
+    def test_add_broadcast_bias(self, rng):
+        x = rng.standard_normal((3, 4), dtype=np.float32)
+        bias = Tensor(rng.standard_normal(4, dtype=np.float32), requires_grad=True)
+        out = Tensor(x) + bias
+        out.sum().backward()
+        np.testing.assert_allclose(bias.grad, np.full(4, 3.0), rtol=1e-6)
+
+    def test_mul_broadcast_scalar_tensor(self, rng):
+        scale = Tensor(np.array(2.0, dtype=np.float32), requires_grad=True)
+        x = rng.standard_normal((3, 4), dtype=np.float32)
+        (Tensor(x) * scale).sum().backward()
+        np.testing.assert_allclose(float(scale.grad), x.sum(), rtol=1e-4)
+
+    def test_broadcast_keepdim_axis(self, rng):
+        a = Tensor(rng.standard_normal((3, 1), dtype=np.float32), requires_grad=True)
+        b = Tensor(rng.standard_normal((3, 5), dtype=np.float32))
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, b.data.sum(axis=1, keepdims=True), rtol=1e-5)
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_across_uses(self):
+        t = Tensor(np.array([2.0], dtype=np.float32), requires_grad=True)
+        (t * 3.0 + t * 4.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [7.0])
+
+    def test_diamond_graph(self):
+        t = Tensor(np.array([3.0], dtype=np.float32), requires_grad=True)
+        a = t * 2.0
+        b = t * 5.0
+        (a * b).sum().backward()  # d/dt (10 t^2) = 20 t
+        np.testing.assert_allclose(t.grad, [60.0])
+
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2.0).backward()
+
+    def test_backward_on_constant_raises(self):
+        t = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_no_grad_blocks_graph(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = t * 2.0
+        assert not out.requires_grad
+
+    def test_detach(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_deep_chain_no_recursion_error(self):
+        t = Tensor(np.array([1.0], dtype=np.float32), requires_grad=True)
+        out = t
+        for _ in range(3000):
+            out = out + 1.0
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [1.0])
+
+
+class TestCombinators:
+    def test_concatenate_gradient(self, rng):
+        a = Tensor(rng.standard_normal((2, 3), dtype=np.float32), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 2), dtype=np.float32), requires_grad=True)
+        out = concatenate([a, b], axis=1)
+        (out * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 2.0))
+        np.testing.assert_allclose(b.grad, np.full((2, 2), 2.0))
+
+    def test_stack_gradient(self, rng):
+        a = Tensor(rng.standard_normal(4, dtype=np.float32), requires_grad=True)
+        b = Tensor(rng.standard_normal(4, dtype=np.float32), requires_grad=True)
+        stack([a, b], axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(4))
+        np.testing.assert_allclose(b.grad, np.ones(4))
+
+    def test_where_gradient(self):
+        cond = np.array([True, False, True])
+        a = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        b = Tensor(np.zeros(3, dtype=np.float32), requires_grad=True)
+        where(cond, a, b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [1.0, 0.0, 1.0])
+        np.testing.assert_array_equal(b.grad, [0.0, 1.0, 0.0])

@@ -1,0 +1,88 @@
+"""CPU/GPU roofline baselines: Table IV reproduction and model behaviour."""
+
+import pytest
+
+from repro.accel import CPU_I7_8700, GPU_K80, build_encoder_workload
+from repro.baselines import compare_schemes, q8bert_config, qbert_mixed_config, simulate_baseline
+from repro.bert import BertConfig
+from repro.quant import QuantConfig, compression_ratio
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_encoder_workload(BertConfig.base(), seq_len=128)
+
+
+class TestTableIVBaselines:
+    def test_cpu_latency_near_paper(self, workload):
+        report = simulate_baseline(workload, CPU_I7_8700)
+        assert report.latency_ms == pytest.approx(145.06, rel=0.10)
+
+    def test_gpu_latency_near_paper(self, workload):
+        report = simulate_baseline(workload, GPU_K80)
+        assert report.latency_ms == pytest.approx(27.84, rel=0.10)
+
+    def test_cpu_fps_per_watt(self, workload):
+        report = simulate_baseline(workload, CPU_I7_8700)
+        assert report.fps_per_watt == pytest.approx(0.11, abs=0.03)
+
+    def test_gpu_fps_per_watt(self, workload):
+        report = simulate_baseline(workload, GPU_K80)
+        assert report.fps_per_watt == pytest.approx(0.25, abs=0.05)
+
+    def test_gpu_faster_than_cpu(self, workload):
+        cpu = simulate_baseline(workload, CPU_I7_8700)
+        gpu = simulate_baseline(workload, GPU_K80)
+        assert gpu.latency_ms < cpu.latency_ms
+
+
+class TestRooflineStructure:
+    def test_per_op_decomposition(self, workload):
+        report = simulate_baseline(workload, GPU_K80)
+        assert len(report.op_times) == len(workload.layer_ops)
+        total = sum(op.total_ms for op in report.op_times) * workload.num_layers
+        assert report.latency_ms == pytest.approx(total)
+
+    def test_op_time_is_max_of_compute_memory(self, workload):
+        report = simulate_baseline(workload, CPU_I7_8700)
+        for op in report.op_times:
+            assert op.total_ms >= max(op.compute_ms, op.memory_ms)
+
+    def test_ffn_dominates_cpu_time(self, workload):
+        report = simulate_baseline(workload, CPU_I7_8700)
+        times = {op.name: op.total_ms for op in report.op_times}
+        assert times["FFN1"] > times["softmax"]
+        assert times["FFN1"] > times["Add&LN_1"]
+
+    def test_seq_scaling(self):
+        short = simulate_baseline(
+            build_encoder_workload(BertConfig.base(), seq_len=32), CPU_I7_8700
+        )
+        long = simulate_baseline(
+            build_encoder_workload(BertConfig.base(), seq_len=128), CPU_I7_8700
+        )
+        assert long.latency_ms > short.latency_ms
+
+
+class TestPartialQuantBaselines:
+    def test_q8bert_config_shape(self):
+        config = q8bert_config()
+        assert config.weight_bits == 8
+        assert not config.quantize_softmax and not config.quantize_layernorm
+
+    def test_qbert_mixed_low_bit_weights(self):
+        config = qbert_mixed_config(weight_bits=3)
+        assert config.weight_bits == 3
+        assert config.act_bits == 8
+
+    def test_fq_bert_compresses_most(self):
+        model = BertConfig.base()
+        rows = {row.name: row for row in compare_schemes(model)}
+        fq = rows["FQ-BERT (4/8)"]
+        q8 = rows["Q8BERT-style (8/8)"]
+        assert fq.compression > q8.compression
+        assert fq.integer_only and not q8.integer_only
+
+    def test_q8bert_roughly_4x(self):
+        ratio = compression_ratio(BertConfig.base(), q8bert_config())
+        assert 3.5 < ratio < 4.2

@@ -1,0 +1,101 @@
+"""Checkpoint save/load round-trips for float and quantized models."""
+
+import numpy as np
+import pytest
+
+from repro.bert import BertConfig, BertForSequenceClassification, load_checkpoint, save_checkpoint
+from repro.quant import QuantConfig, QuantBertForSequenceClassification
+
+
+class TestFloatCheckpoint:
+    def test_roundtrip_preserves_predictions(self, tmp_path, rng):
+        config = BertConfig.tiny(vocab_size=32, max_position_embeddings=8)
+        model = BertForSequenceClassification(config, rng=rng)
+        ids = rng.integers(0, 32, size=(3, 8))
+        before = model.predict(ids)
+
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path, kind="bert")
+        loaded, kind = load_checkpoint(path)
+        assert kind == "bert"
+        np.testing.assert_array_equal(loaded.predict(ids), before)
+
+    def test_config_restored(self, tmp_path, rng):
+        config = BertConfig.tiny(vocab_size=77, num_labels=3, max_position_embeddings=8)
+        model = BertForSequenceClassification(config, rng=rng)
+        save_checkpoint(model, tmp_path / "m.npz", kind="bert")
+        loaded, _ = load_checkpoint(tmp_path / "m.npz")
+        assert loaded.config == config
+
+    def test_parameters_bitwise_equal(self, tmp_path, rng):
+        config = BertConfig.tiny(vocab_size=32, max_position_embeddings=8)
+        model = BertForSequenceClassification(config, rng=rng)
+        save_checkpoint(model, tmp_path / "m.npz", kind="bert")
+        loaded, _ = load_checkpoint(tmp_path / "m.npz")
+        for (name, a), (_, b) in zip(model.named_parameters(), loaded.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data, err_msg=name)
+
+
+class TestQuantCheckpoint:
+    def test_roundtrip_with_observers(self, tmp_path, rng):
+        config = BertConfig.tiny(vocab_size=32, max_position_embeddings=8)
+        model = QuantBertForSequenceClassification(config, QuantConfig.fq_bert(), rng=rng)
+        model.train()
+        ids = rng.integers(0, 32, size=(4, 8))
+        model(ids)  # initialize observers
+        model.eval()
+        before = model.predict(ids)
+
+        path = tmp_path / "fq.npz"
+        save_checkpoint(model, path, kind="quant")
+        loaded, kind = load_checkpoint(path)
+        assert kind == "quant"
+        loaded.eval()
+        np.testing.assert_array_equal(loaded.predict(ids), before)
+
+    def test_qconfig_restored(self, tmp_path, rng):
+        config = BertConfig.tiny(vocab_size=32, max_position_embeddings=8)
+        qconfig = QuantConfig.fq_bert(weight_bits=8)
+        model = QuantBertForSequenceClassification(config, qconfig, rng=rng)
+        model(np.zeros((1, 4), dtype=np.int64))
+        save_checkpoint(model, tmp_path / "fq.npz", kind="quant")
+        loaded, _ = load_checkpoint(tmp_path / "fq.npz")
+        assert loaded.qconfig == qconfig
+
+    def test_loaded_quant_model_convertible(self, tmp_path, rng):
+        """A re-loaded QAT checkpoint converts to the integer engine."""
+        from repro.quant import convert_to_integer
+
+        config = BertConfig.tiny(vocab_size=32, max_position_embeddings=8)
+        model = QuantBertForSequenceClassification(config, QuantConfig.fq_bert(), rng=rng)
+        model.train()
+        ids = rng.integers(0, 32, size=(4, 8))
+        model(ids)
+        model.eval()
+        save_checkpoint(model, tmp_path / "fq.npz", kind="quant")
+        loaded, _ = load_checkpoint(tmp_path / "fq.npz")
+        loaded.eval()
+        engine = convert_to_integer(loaded)
+        np.testing.assert_array_equal(engine.predict(ids), model.predict(ids))
+
+
+class TestErrors:
+    def test_unknown_kind_rejected(self, tmp_path, rng):
+        config = BertConfig.tiny(vocab_size=16, max_position_embeddings=8)
+        model = BertForSequenceClassification(config, rng=rng)
+        save_checkpoint(model, tmp_path / "m.npz", kind="bert")
+        # Corrupt the kind marker.
+        import numpy as np
+
+        with np.load(tmp_path / "m.npz") as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["__model_kind__"] = np.frombuffer(b"alien", dtype=np.uint8)
+        np.savez(tmp_path / "bad.npz", **arrays)
+        with pytest.raises(ValueError):
+            load_checkpoint(tmp_path / "bad.npz")
+
+    def test_model_without_config_rejected(self, tmp_path):
+        from repro.autograd import nn
+
+        with pytest.raises(ValueError):
+            save_checkpoint(nn.Linear(2, 2), tmp_path / "x.npz")

@@ -1,0 +1,135 @@
+"""Tokenizer and vocabulary: wordpiece splitting, encoding, padding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bert.tokenizer import (
+    CLS_TOKEN,
+    PAD_TOKEN,
+    SEP_TOKEN,
+    SPECIAL_TOKENS,
+    UNK_TOKEN,
+    Vocabulary,
+    WordPieceTokenizer,
+)
+
+
+@pytest.fixture
+def vocab():
+    return Vocabulary(["the", "movie", "was", "great", "grea", "##t", "##ing", "act"])
+
+
+@pytest.fixture
+def tokenizer(vocab):
+    return WordPieceTokenizer(vocab)
+
+
+class TestVocabulary:
+    def test_special_tokens_first(self, vocab):
+        for index, token in enumerate(SPECIAL_TOKENS):
+            assert vocab.token_of(index) == token
+
+    def test_add_idempotent(self, vocab):
+        first = vocab.add("new")
+        second = vocab.add("new")
+        assert first == second
+
+    def test_unknown_maps_to_unk(self, vocab):
+        assert vocab.id_of("zzzzz") == vocab.unk_id
+
+    def test_from_corpus_lowercases_and_dedups(self):
+        vocab = Vocabulary.from_corpus(["The The THE", "movie"])
+        assert "the" in vocab
+        assert "The" not in vocab
+        assert len(vocab) == len(SPECIAL_TOKENS) + 2
+
+    def test_contains(self, vocab):
+        assert "movie" in vocab
+        assert "banana" not in vocab
+
+
+class TestWordPiece:
+    def test_whole_word(self, tokenizer):
+        assert tokenizer.tokenize_word("movie") == ["movie"]
+
+    def test_splits_into_pieces(self, tokenizer):
+        # Greedy longest-match-first: "great" wins over "grea".
+        assert tokenizer.tokenize_word("greating") == ["great", "##ing"]
+        assert tokenizer.tokenize_word("great") == ["great"]
+        # "greatt" resolves as the whole word "great" plus a continuation.
+        assert tokenizer.tokenize_word("greatt") == ["great", "##t"]
+
+    def test_unsplittable_is_unk(self, tokenizer):
+        assert tokenizer.tokenize_word("xyz") == [UNK_TOKEN]
+
+    def test_overlong_word_is_unk(self, tokenizer):
+        assert tokenizer.tokenize_word("a" * 100) == [UNK_TOKEN]
+
+    def test_tokenize_sentence(self, tokenizer):
+        assert tokenizer.tokenize("the movie was great") == ["the", "movie", "was", "great"]
+
+
+class TestEncoding:
+    def test_single_sentence_layout(self, tokenizer):
+        ids, mask, segments = tokenizer.encode("the movie", max_length=8)
+        vocab = tokenizer.vocab
+        assert ids[0] == vocab.cls_id
+        assert ids[3] == vocab.sep_id
+        assert list(mask[:4]) == [1, 1, 1, 1]
+        assert list(mask[4:]) == [0] * 4
+        assert list(ids[4:]) == [vocab.pad_id] * 4
+        assert segments.sum() == 0
+
+    def test_pair_layout(self, tokenizer):
+        ids, mask, segments = tokenizer.encode("the movie", "was great", max_length=10)
+        vocab = tokenizer.vocab
+        sep_positions = np.where(ids == vocab.sep_id)[0]
+        assert len(sep_positions) == 2
+        # Segment 1 starts right after the first SEP.
+        assert segments[sep_positions[0]] == 0
+        assert segments[sep_positions[0] + 1] == 1
+
+    def test_truncation_single(self, tokenizer):
+        ids, mask, _ = tokenizer.encode("the movie was great " * 10, max_length=8)
+        assert len(ids) == 8
+        assert mask.sum() == 8
+
+    def test_truncation_pair_longest_first(self, tokenizer):
+        long_a = "the movie was great " * 5
+        ids, mask, segments = tokenizer.encode(long_a, "act", max_length=10)
+        assert len(ids) == 10
+        # Second segment survives truncation.
+        assert segments.max() == 1
+
+    def test_encode_batch_shapes(self, tokenizer):
+        pairs = [("the movie", None), ("was great", "act"), ("the", None)]
+        ids, mask, segments = tokenizer.encode_batch(pairs, max_length=12)
+        assert ids.shape == (3, 12)
+        assert mask.shape == (3, 12)
+        assert segments.shape == (3, 12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from(["the", "movie", "was", "great", "act", "zzz"]),
+        min_size=1,
+        max_size=20,
+    ),
+    st.integers(min_value=6, max_value=32),
+)
+def test_encode_always_fits_and_pads(words, max_length):
+    vocab = Vocabulary(["the", "movie", "was", "great", "act"])
+    tokenizer = WordPieceTokenizer(vocab)
+    ids, mask, segments = tokenizer.encode(" ".join(words), max_length=max_length)
+    assert len(ids) == len(mask) == len(segments) == max_length
+    # mask is a prefix of ones.
+    transitions = np.diff(mask)
+    assert np.all(transitions <= 0)
+    # padded region is PAD ids.
+    assert np.all(ids[mask == 0] == vocab.pad_id)
+    # first token is CLS, last real token is SEP.
+    assert ids[0] == vocab.cls_id
+    assert ids[mask.sum() - 1] == vocab.sep_id

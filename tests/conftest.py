@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.bert import BertConfig, BertForSequenceClassification
+from repro.data import encode_task, make_sst2_like
+from repro.quant import QuantConfig, quantize_model, train_classifier
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_task():
+    """A small SST-2-like task with encoded splits (session-cached)."""
+    task = make_sst2_like(num_train=256, num_dev=128, seed=3)
+    train, dev, tokenizer = encode_task(task, max_length=16)
+    return task, train, dev, tokenizer
+
+
+@pytest.fixture(scope="session")
+def tiny_config(tiny_task):
+    _, _, _, tokenizer = tiny_task
+    return BertConfig.tiny(
+        vocab_size=len(tokenizer.vocab), num_labels=2, max_position_embeddings=16
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_float_model(tiny_task, tiny_config):
+    """A float model trained enough to beat chance (session-cached)."""
+    _, train, dev, _ = tiny_task
+    model = BertForSequenceClassification(tiny_config, rng=np.random.default_rng(0))
+    train_classifier(model, train, dev, epochs=6, lr=1.5e-3, batch_size=32, seed=0)
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_quant_model(tiny_task, tiny_config, trained_float_model):
+    """An FQ-BERT fine-tuned from the float model (session-cached)."""
+    _, train, dev, _ = tiny_task
+    qmodel = quantize_model(
+        trained_float_model, QuantConfig.fq_bert(), rng=np.random.default_rng(1)
+    )
+    train_classifier(qmodel, train, dev, epochs=1, lr=2e-4, batch_size=32, seed=1)
+    qmodel.eval()
+    return qmodel

@@ -1,0 +1,94 @@
+"""GLUE TSV loaders: round-trip through the real file formats."""
+
+import pytest
+
+from repro.data import (
+    load_mnli,
+    load_sst2,
+    make_mnli_like,
+    make_sst2_like,
+    write_mnli_fixture,
+    write_sst2_fixture,
+)
+
+
+class TestSst2Loader:
+    @pytest.fixture
+    def sst2_dir(self, tmp_path):
+        task = make_sst2_like(20, 10, seed=0)
+        write_sst2_fixture(tmp_path, task)
+        return tmp_path, task
+
+    def test_roundtrip(self, sst2_dir):
+        directory, original = sst2_dir
+        loaded = load_sst2(directory)
+        assert len(loaded.train) == len(original.train)
+        assert len(loaded.dev) == len(original.dev)
+        assert [e.label for e in loaded.train] == [e.label for e in original.train]
+        assert [e.text_a for e in loaded.dev] == [e.text_a for e in original.dev]
+
+    def test_single_sentence_task(self, sst2_dir):
+        directory, _ = sst2_dir
+        loaded = load_sst2(directory)
+        assert all(e.text_b is None for e in loaded.train)
+
+    def test_max_examples(self, sst2_dir):
+        directory, _ = sst2_dir
+        loaded = load_sst2(directory, max_examples=5)
+        assert len(loaded.train) == 5
+
+    def test_wrong_format_rejected(self, tmp_path):
+        (tmp_path / "train.tsv").write_text("foo\tbar\n1\t2\n")
+        (tmp_path / "dev.tsv").write_text("foo\tbar\n1\t2\n")
+        with pytest.raises(ValueError):
+            load_sst2(tmp_path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_sst2(tmp_path)
+
+
+class TestMnliLoader:
+    @pytest.fixture
+    def mnli_dir(self, tmp_path):
+        # Write the mismatched dev first: its fixture writer also emits a
+        # train.tsv, which the matched write below overwrites with the real one.
+        write_mnli_fixture(tmp_path, make_mnli_like(3, 12, matched=False, seed=1), matched=False)
+        task = make_mnli_like(30, 12, seed=0)
+        write_mnli_fixture(tmp_path, task, matched=True)
+        return tmp_path, task
+
+    def test_roundtrip_matched(self, mnli_dir):
+        directory, original = mnli_dir
+        loaded = load_mnli(directory, matched=True)
+        assert len(loaded.train) == len(original.train)
+        assert [e.label for e in loaded.dev] == [e.label for e in original.dev]
+        assert all(e.text_b is not None for e in loaded.train)
+
+    def test_mismatched_split(self, mnli_dir):
+        directory, _ = mnli_dir
+        loaded = load_mnli(directory, matched=False)
+        assert loaded.name == "mnli-mismatched"
+        assert len(loaded.dev) == 12
+
+    def test_no_consensus_rows_skipped(self, tmp_path):
+        (tmp_path / "train.tsv").write_text(
+            "sentence1\tsentence2\tgold_label\n"
+            "a b\tc d\tentailment\n"
+            "e f\tg h\t-\n"
+        )
+        (tmp_path / "dev_matched.tsv").write_text(
+            "sentence1\tsentence2\tgold_label\na b\tc d\tneutral\n"
+        )
+        loaded = load_mnli(tmp_path)
+        assert len(loaded.train) == 1
+
+    def test_pipeline_compatibility(self, mnli_dir):
+        """Loaded GLUE-format data feeds the standard encode path."""
+        from repro.data import encode_task
+
+        directory, _ = mnli_dir
+        loaded = load_mnli(directory)
+        train, dev, tokenizer = encode_task(loaded, max_length=48)
+        assert train.input_ids.shape[1] == 48
+        assert set(train.labels) <= {0, 1, 2}

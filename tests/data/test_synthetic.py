@@ -1,0 +1,186 @@
+"""Synthetic task generators: determinism, balance, difficulty structure."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CONTRADICTION,
+    ENTAILMENT,
+    NEUTRAL,
+    EncodedDataset,
+    accuracy,
+    build_tokenizer,
+    encode_task,
+    make_mnli_like,
+    make_sst2_like,
+)
+from repro.data.synthetic import (
+    MATCHED_GENRE_ENTITIES,
+    MISMATCHED_GENRE_ENTITIES,
+    WORD_STRENGTHS,
+    sentence_strength,
+)
+
+
+class TestSst2Like:
+    def test_deterministic(self):
+        a = make_sst2_like(64, 32, seed=9)
+        b = make_sst2_like(64, 32, seed=9)
+        assert [e.text_a for e in a.train] == [e.text_a for e in b.train]
+        assert [e.label for e in a.dev] == [e.label for e in b.dev]
+
+    def test_different_seeds_differ(self):
+        a = make_sst2_like(64, 32, seed=1)
+        b = make_sst2_like(64, 32, seed=2)
+        assert [e.text_a for e in a.train] != [e.text_a for e in b.train]
+
+    def test_label_balance(self):
+        task = make_sst2_like(200, 100, seed=0)
+        labels = [e.label for e in task.dev]
+        assert 0.35 < np.mean(labels) < 0.65
+
+    def test_single_sentence(self):
+        task = make_sst2_like(10, 5, seed=0)
+        assert all(e.text_b is None for e in task.train)
+
+    def test_labels_match_strength_up_to_noise(self):
+        task = make_sst2_like(400, 200, noise=0.0, seed=4)
+        for example in task.train:
+            strength = sentence_strength(example.text_a)
+            assert strength != 0
+            assert (strength > 0) == (example.label == 1)
+
+    def test_hard_examples_present(self):
+        """Some reviews have count-majority conflicting with the label."""
+        task = make_sst2_like(400, 200, noise=0.0, hard_fraction=0.5, seed=4)
+        conflicts = 0
+        for example in task.train:
+            words = example.text_a.split()
+            positives = sum(1 for w in words if WORD_STRENGTHS.get(w, 0) > 0)
+            negatives = sum(1 for w in words if WORD_STRENGTHS.get(w, 0) < 0)
+            majority = 1 if positives > negatives else 0
+            if majority != example.label:
+                conflicts += 1
+        assert conflicts > len(task.train) * 0.2
+
+    def test_noise_flips_labels(self):
+        clean = make_sst2_like(400, 1, noise=0.0, seed=4)
+        noisy = make_sst2_like(400, 1, noise=0.3, seed=4)
+        flips = sum(
+            1
+            for c, n in zip(clean.train, noisy.train)
+            if c.label != n.label
+        )
+        assert flips > 0
+
+
+class TestMnliLike:
+    def test_three_way_labels(self):
+        task = make_mnli_like(90, 30, seed=0)
+        assert set(e.label for e in task.train) == {ENTAILMENT, NEUTRAL, CONTRADICTION}
+
+    def test_sentence_pairs(self):
+        task = make_mnli_like(10, 5, seed=0)
+        assert all(e.text_b is not None for e in task.train)
+
+    def test_matched_uses_training_genres(self):
+        task = make_mnli_like(30, 30, matched=True, seed=0)
+        matched_words = {w for genre in MATCHED_GENRE_ENTITIES for w in genre}
+        for example in task.dev:
+            words = set(example.text_a.split())
+            assert words & matched_words
+
+    def test_mismatched_uses_heldout_genres(self):
+        task = make_mnli_like(30, 30, matched=False, seed=0)
+        mismatched_words = {w for genre in MISMATCHED_GENRE_ENTITIES for w in genre}
+        matched_words = {w for genre in MATCHED_GENRE_ENTITIES for w in genre}
+        for example in task.dev:
+            premise_words = set(example.text_a.split())
+            assert premise_words & mismatched_words
+            # the *core clause* entity is never from the matched genres
+            core_entity = example.text_a.split()[1:3]
+            assert not set(core_entity) & matched_words
+
+    def test_entailment_weakens_quantifier(self):
+        task = make_mnli_like(300, 3, noise=0.0, seed=1)
+        for example in task.train:
+            premise_core = example.text_a.split(" while ")[0]
+            hypothesis_core = example.text_b.split(" while ")[0]
+            if example.label == ENTAILMENT:
+                # same entity/action, no negation in the core
+                assert "never" not in hypothesis_core and "not" not in hypothesis_core
+                assert premise_core.split()[1] in hypothesis_core.split()
+
+    def test_contradiction_negates(self):
+        task = make_mnli_like(300, 3, noise=0.0, seed=1)
+        contradictions = [e for e in task.train if e.label == CONTRADICTION]
+        assert contradictions
+        for example in contradictions:
+            hypothesis_core = example.text_b.split(" while ")[0]
+            assert "never" in hypothesis_core or "not" in hypothesis_core
+
+    def test_distractor_clause_present(self):
+        task = make_mnli_like(20, 5, seed=0)
+        for example in task.train:
+            assert " while " in example.text_a
+            assert " while " in example.text_b
+
+
+class TestEncodedDataset:
+    def test_encode_task_shapes(self):
+        task = make_sst2_like(32, 16, seed=0)
+        train, dev, tokenizer = encode_task(task, max_length=20)
+        assert train.input_ids.shape == (32, 20)
+        assert dev.input_ids.shape == (16, 20)
+        assert len(train) == 32
+
+    def test_no_unk_tokens_with_shared_vocab(self):
+        """The shared vocabulary covers every generated word."""
+        for factory in (make_sst2_like, make_mnli_like):
+            task = factory(32, 16, seed=0)
+            train, _, tokenizer = encode_task(task, max_length=48)
+            assert not np.any(train.input_ids == tokenizer.vocab.unk_id)
+
+    def test_batches_cover_all_examples(self):
+        task = make_sst2_like(33, 16, seed=0)
+        train, _, _ = encode_task(task, max_length=16)
+        seen = 0
+        for batch in train.batches(8, shuffle=False):
+            seen += len(batch)
+        assert seen == 33
+
+    def test_batches_shuffle_reproducible(self):
+        task = make_sst2_like(32, 16, seed=0)
+        train, _, _ = encode_task(task, max_length=16)
+        a = [b.labels.tolist() for b in train.batches(8, rng=np.random.default_rng(5))]
+        b = [b.labels.tolist() for b in train.batches(8, rng=np.random.default_rng(5))]
+        assert a == b
+
+    def test_rejects_bad_batch_size(self):
+        task = make_sst2_like(8, 4, seed=0)
+        train, _, _ = encode_task(task, max_length=16)
+        with pytest.raises(ValueError):
+            list(train.batches(0))
+
+    def test_empty_dataset_rejected(self, tiny_task):
+        _, _, _, tokenizer = tiny_task
+        with pytest.raises(ValueError):
+            EncodedDataset([], tokenizer)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 0, 1])) == 100.0
+
+    def test_half(self):
+        assert accuracy(np.array([1, 0]), np.array([1, 1])) == 50.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+
+def test_build_tokenizer_covers_all_banks():
+    tokenizer = build_tokenizer()
+    for word in ("wonderful", "bland", "engineer", "glacier", "while", "never"):
+        assert word in tokenizer.vocab

@@ -1,0 +1,50 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments import ascii_chart, figure3_chart
+from repro.experiments.figure3 import BITWIDTHS, Figure3Result
+
+
+class TestAsciiChart:
+    def test_contains_all_marks_and_labels(self):
+        chart = ascii_chart(
+            ["a", "b"], {"s1": [1.0, 2.0], "s2": [3.0, 0.0]}, title="T"
+        )
+        assert chart.startswith("T")
+        assert "o s1" in chart and "x s2" in chart
+        assert "a" in chart and "b" in chart
+
+    def test_constant_series_handled(self):
+        chart = ascii_chart(["x"], {"flat": [5.0]})
+        assert "5.0" in chart or "5." in chart
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_chart(["a", "b"], {"s": [1.0]})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_chart(["a"], {})
+
+    def test_monotone_series_monotone_rows(self):
+        """Higher values appear on earlier (upper) rows."""
+        chart = ascii_chart(["a", "b", "c"], {"s": [0.0, 5.0, 10.0]})
+        lines = chart.splitlines()
+        positions = []
+        for row_index, line in enumerate(lines):
+            if "o" in line:
+                positions.append((row_index, line.index("o")))
+        rows = [r for r, _ in sorted(positions, key=lambda rc: rc[1])]
+        assert rows == sorted(rows, reverse=True)
+
+
+class TestFigure3Chart:
+    def test_renders_both_series(self):
+        result = Figure3Result()
+        for bits in BITWIDTHS:
+            result.accuracy[("sst2", bits, True)] = 90.0 + bits / 10
+            result.accuracy[("sst2", bits, False)] = 85.0 + bits / 10
+        chart = figure3_chart(result, "sst2")
+        assert "CLIP" in chart and "NO_CLIP" in chart
+        assert "32" in chart and "2" in chart

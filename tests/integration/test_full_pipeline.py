@@ -1,0 +1,81 @@
+"""End-to-end integration: train -> QAT -> integer engine -> accelerator.
+
+This is the full deployment pipeline of the paper, executed on a tiny model:
+1. train float BERT on the synthetic task,
+2. QAT fine-tune the fully quantized FQ-BERT,
+3. freeze to the integer-only engine,
+4. run the integer engine through the accelerator's functional datapath,
+5. evaluate latency/resources/power on the simulated FPGA.
+Every handoff is checked for consistency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel import AcceleratorConfig, AcceleratorSimulator, ZCU102, build_encoder_workload
+from repro.baselines import simulate_baseline
+from repro.accel.devices import CPU_I7_8700
+from repro.data import accuracy
+from repro.quant import convert_to_integer, evaluate
+
+
+class TestPipeline:
+    def test_qat_model_usable_for_classification(self, trained_quant_model, tiny_task):
+        _, _, dev, _ = tiny_task
+        assert evaluate(trained_quant_model, dev) > 70.0
+
+    def test_integer_engine_agrees_with_qat(self, trained_quant_model, tiny_task):
+        _, _, dev, _ = tiny_task
+        integer = convert_to_integer(trained_quant_model)
+        batch = dev.full_batch()
+        qat_preds = trained_quant_model.predict(
+            batch.input_ids, batch.attention_mask, batch.token_type_ids
+        )
+        int_preds = integer.predict(
+            batch.input_ids, batch.attention_mask, batch.token_type_ids
+        )
+        agreement = (qat_preds == int_preds).mean()
+        assert agreement >= 0.95
+
+    def test_integer_engine_accuracy_preserved(self, trained_quant_model, tiny_task):
+        _, _, dev, _ = tiny_task
+        integer = convert_to_integer(trained_quant_model)
+        batch = dev.full_batch()
+        preds = integer.predict(batch.input_ids, batch.attention_mask, batch.token_type_ids)
+        int_accuracy = accuracy(preds, batch.labels)
+        qat_accuracy = evaluate(trained_quant_model, dev)
+        assert int_accuracy >= qat_accuracy - 3.0
+
+    def test_accelerator_functional_path_matches_integer_engine(
+        self, trained_quant_model, tiny_task
+    ):
+        """Hardware datapath == integer engine, on real (trained) weights."""
+        _, _, dev, _ = tiny_task
+        integer = convert_to_integer(trained_quant_model)
+        batch = dev.full_batch()
+        ids = batch.input_ids[:2]
+        mask = batch.attention_mask[:2]
+        simulator = AcceleratorSimulator(
+            AcceleratorConfig(num_pus=2, num_pes=4, num_multipliers=4), ZCU102
+        )
+        hw = simulator.run_functional(integer, ids, mask, batch.token_type_ids[:2])
+        sw = integer.forward(ids, mask, batch.token_type_ids[:2])
+        np.testing.assert_array_equal(hw, sw)
+
+    def test_latency_simulation_on_trained_model_config(self, trained_quant_model):
+        """The simulator accepts the tiny config and reports sane numbers."""
+        config = trained_quant_model.config
+        simulator = AcceleratorSimulator(AcceleratorConfig(), ZCU102)
+        report = simulator.simulate(config, seq_len=16)
+        assert report.latency_ms > 0
+        assert report.fps_per_watt > 0
+
+    def test_fpga_beats_cpu_on_same_workload(self, trained_quant_model):
+        """The Table IV comparison holds for the tiny model too."""
+        config = trained_quant_model.config
+        workload = build_encoder_workload(config, seq_len=16)
+        fpga = AcceleratorSimulator(AcceleratorConfig(), ZCU102).simulate(
+            config, seq_len=16, workload=workload
+        )
+        cpu = simulate_baseline(workload, CPU_I7_8700)
+        assert fpga.fps_per_watt > cpu.fps_per_watt

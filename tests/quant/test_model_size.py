@@ -1,0 +1,69 @@
+"""Model size accounting: the 7.94x compression ratio of Table I."""
+
+import pytest
+
+from repro.bert import BertConfig, BertForSequenceClassification
+from repro.quant import (
+    QuantConfig,
+    compression_ratio,
+    float_size_bytes,
+    parameter_inventory,
+    quantized_size_bytes,
+    size_report,
+)
+
+
+class TestInventory:
+    def test_matches_actual_model(self, rng):
+        """Analytic inventory equals the real parameter count."""
+        import numpy as np
+
+        config = BertConfig.tiny(vocab_size=100, num_labels=2)
+        model = BertForSequenceClassification(config, rng=np.random.default_rng(0))
+        inventory = parameter_inventory(config)
+        assert inventory.total == model.num_parameters()
+
+    def test_bert_base_around_110m(self):
+        inventory = parameter_inventory(BertConfig.base())
+        assert 105e6 < inventory.total < 115e6
+
+    def test_embeddings_dominate_memory_vs_task(self):
+        inventory = parameter_inventory(BertConfig.base())
+        assert inventory.embedding_weights > 20e6
+        assert inventory.matmul_weights > inventory.embedding_weights
+
+
+class TestCompression:
+    def test_paper_ratio_within_one_percent(self):
+        """Table I: 7.94x for the full FQ-BERT on BERT-base."""
+        ratio = compression_ratio(BertConfig.base(), QuantConfig.fq_bert())
+        assert ratio == pytest.approx(7.94, rel=0.01)
+
+    def test_float_config_is_identity(self):
+        ratio = compression_ratio(BertConfig.base(), QuantConfig.float_baseline())
+        assert ratio == pytest.approx(1.0, rel=0.01)
+
+    def test_8bit_weights_roughly_4x(self):
+        ratio = compression_ratio(
+            BertConfig.base(), QuantConfig.fq_bert(weight_bits=8, act_bits=8)
+        )
+        assert 3.5 < ratio < 4.1
+
+    def test_unquantized_embeddings_reduce_ratio(self):
+        from dataclasses import replace
+
+        full = QuantConfig.fq_bert()
+        no_emb = replace(full, quantize_embeddings=False)
+        assert compression_ratio(BertConfig.base(), no_emb) < compression_ratio(
+            BertConfig.base(), full
+        )
+
+    def test_sizes_consistent(self):
+        config = BertConfig.base()
+        qconfig = QuantConfig.fq_bert()
+        assert quantized_size_bytes(config, qconfig) < float_size_bytes(config)
+        report = size_report(config, qconfig)
+        assert report["fp32_megabytes"] > 400  # the paper's ">320MB"
+        assert report["compression_ratio"] == pytest.approx(
+            compression_ratio(config, qconfig)
+        )

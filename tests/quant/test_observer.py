@@ -1,0 +1,93 @@
+"""Range observers: EMA behaviour (Eq. 3), minmax, percentile."""
+
+import numpy as np
+import pytest
+
+from repro.quant import EMAObserver, MinMaxObserver, PercentileObserver, make_observer
+
+
+class TestEMAObserver:
+    def test_first_observation_initializes(self):
+        observer = EMAObserver(decay=0.9)
+        observer.observe(np.array([1.0, -3.0]))
+        assert observer.max_abs == pytest.approx(3.0)
+
+    def test_ema_update_rule(self):
+        observer = EMAObserver(decay=0.9)
+        observer.observe(np.array([10.0]))
+        observer.observe(np.array([0.0]))
+        assert observer.max_abs == pytest.approx(9.0)
+
+    def test_converges_to_stationary_max(self):
+        observer = EMAObserver(decay=0.5)
+        for _ in range(30):
+            observer.observe(np.array([4.0, -2.0]))
+        assert observer.max_abs == pytest.approx(4.0, rel=1e-6)
+
+    def test_scale_matches_eq3(self):
+        observer = EMAObserver()
+        observer.observe(np.array([2.0]))
+        assert observer.scale(8) == pytest.approx(127 / 2.0)
+
+    def test_scale_before_data_raises(self):
+        with pytest.raises(RuntimeError):
+            EMAObserver().scale(8)
+
+    def test_state_roundtrip(self):
+        observer = EMAObserver(decay=0.9)
+        observer.observe(np.array([5.0]))
+        clone = EMAObserver(decay=0.9)
+        clone.load_state(observer.state())
+        assert clone.max_abs == observer.max_abs
+        assert clone.initialized
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            EMAObserver(decay=1.0)
+
+    def test_empty_array_safe(self):
+        observer = EMAObserver()
+        observer.observe(np.array([]))
+        assert observer.max_abs == 0.0
+
+
+class TestMinMaxObserver:
+    def test_never_decays(self):
+        observer = MinMaxObserver()
+        observer.observe(np.array([10.0]))
+        observer.observe(np.array([1.0]))
+        assert observer.max_abs == 10.0
+
+    def test_empty_does_not_initialize(self):
+        observer = MinMaxObserver()
+        observer.observe(np.array([]))
+        assert not observer.initialized
+
+
+class TestPercentileObserver:
+    def test_ignores_outliers(self):
+        observer = PercentileObserver(percentile=90.0, decay=0.5)
+        data = np.ones(100)
+        data[0] = 1000.0
+        for _ in range(20):
+            observer.observe(data)
+        assert observer.max_abs < 10.0
+
+    def test_rejects_bad_percentile(self):
+        with pytest.raises(ValueError):
+            PercentileObserver(percentile=0.0)
+
+
+class TestFactory:
+    def test_all_kinds(self):
+        assert isinstance(make_observer("ema"), EMAObserver)
+        assert isinstance(make_observer("minmax"), MinMaxObserver)
+        assert isinstance(make_observer("percentile"), PercentileObserver)
+
+    def test_kwargs_forwarded(self):
+        observer = make_observer("ema", decay=0.5)
+        assert observer.decay == 0.5
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_observer("magic")

@@ -1,0 +1,125 @@
+"""Per-channel weight quantization (extension): QAT + integer engine."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.nn import Parameter
+from repro.bert import BertConfig, BertForSequenceClassification
+from repro.quant import (
+    QuantConfig,
+    VectorFixedPointMultiplier,
+    WeightQuantizer,
+    convert_to_integer,
+    quantize_model,
+)
+
+
+def per_channel_config(weight_bits: int = 4) -> QuantConfig:
+    return replace(
+        QuantConfig.fq_bert(weight_bits=weight_bits),
+        per_channel_weights=True,
+        use_clip=False,
+    )
+
+
+class TestVectorMultiplier:
+    def test_matches_scalar_per_channel(self, rng):
+        from repro.quant import FixedPointMultiplier
+
+        factors = rng.uniform(1e-4, 10.0, size=8)
+        vector = VectorFixedPointMultiplier.from_floats(factors)
+        acc = rng.integers(-100000, 100000, size=(5, 8))
+        out = vector.apply(acc)
+        for channel in range(8):
+            scalar = FixedPointMultiplier.from_float(float(factors[channel]))
+            np.testing.assert_array_equal(out[:, channel], scalar.apply(acc[:, channel]))
+
+    def test_roundtrip_floats(self, rng):
+        factors = rng.uniform(1e-3, 1e3, size=16)
+        vector = VectorFixedPointMultiplier.from_floats(factors)
+        np.testing.assert_allclose(vector.to_floats(), factors, rtol=1e-8)
+
+    def test_channel_mismatch_rejected(self):
+        vector = VectorFixedPointMultiplier.from_floats(np.ones(4))
+        with pytest.raises(ValueError):
+            vector.apply(np.zeros((2, 5), dtype=np.int64))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            VectorFixedPointMultiplier.from_floats(np.array([1.0, 0.0]))
+
+
+class TestPerChannelQuantizer:
+    def test_scale_per_output_row(self, rng):
+        weight = Parameter(
+            np.vstack([np.full(8, 0.1), np.full(8, 1.0)]).astype(np.float32)
+        )
+        quantizer = WeightQuantizer(weight, per_channel_config())
+        scales = quantizer.current_scale(weight)
+        assert scales.shape == (2, 1)
+        # Each row uses its own range: scale = 7 / row_max.
+        assert scales[0, 0] == pytest.approx(70.0, rel=0.02)
+        assert scales[1, 0] == pytest.approx(7.0, rel=0.02)
+
+    def test_per_channel_beats_per_tensor_with_outlier_row(self, rng):
+        """One outlier row ruins a per-tensor scale but not per-channel."""
+        weight = Parameter(rng.uniform(-0.1, 0.1, size=(8, 16)).astype(np.float32))
+        weight.data[0, 0] = 10.0  # outlier row
+
+        per_tensor = WeightQuantizer(
+            weight, replace(QuantConfig.fq_bert(), use_clip=False)
+        )
+        per_channel = WeightQuantizer(weight, per_channel_config())
+        wq_tensor, _ = per_tensor(weight)
+        wq_channel, _ = per_channel(weight)
+        # Error on the non-outlier rows:
+        error_tensor = np.abs(wq_tensor.data[1:] - weight.data[1:]).mean()
+        error_channel = np.abs(wq_channel.data[1:] - weight.data[1:]).mean()
+        assert error_channel < error_tensor / 4
+
+    def test_rejects_non_2d(self):
+        weight = Parameter(np.zeros((2, 3, 4), dtype=np.float32))
+        with pytest.raises(ValueError):
+            WeightQuantizer(weight, per_channel_config())
+
+    def test_gradient_flows(self, rng):
+        weight = Parameter(rng.standard_normal((4, 8)).astype(np.float32))
+        quantizer = WeightQuantizer(weight, per_channel_config())
+        out, _ = quantizer(weight)
+        out.sum().backward()
+        assert weight.grad is not None
+
+
+class TestPerChannelEndToEnd:
+    @pytest.fixture(scope="class")
+    def models(self):
+        rng = np.random.default_rng(5)
+        config = BertConfig.tiny(vocab_size=48, max_position_embeddings=12)
+        float_model = BertForSequenceClassification(config, rng=rng)
+        quant = quantize_model(float_model, per_channel_config(), rng=rng)
+        quant.train()
+        ids = rng.integers(0, 48, size=(4, 10))
+        for _ in range(3):
+            quant(ids, np.ones((4, 10), dtype=np.int64))
+        quant.eval()
+        return quant, convert_to_integer(quant), config, rng
+
+    def test_integer_agreement(self, models):
+        quant, integer, config, rng = models
+        ids = rng.integers(0, config.vocab_size, size=(6, 10))
+        mask = np.ones((6, 10), dtype=np.int64)
+        assert (quant.predict(ids, mask) == integer.predict(ids, mask)).mean() >= 0.9
+
+    def test_integer_linear_uses_vector_requant(self, models):
+        _, integer, _, _ = models
+        linear = integer.layers[0].ffn1
+        assert isinstance(linear.requant, VectorFixedPointMultiplier)
+        assert linear.requant.multipliers.shape[0] == linear.weight_codes.shape[0]
+
+    def test_weight_codes_in_4bit_range(self, models):
+        _, integer, _, _ = models
+        for layer in integer.layers:
+            assert np.abs(layer.ffn1.weight_codes).max() <= 7

@@ -1,0 +1,153 @@
+"""The fully quantized BERT model: structure, scale threading, conversion."""
+
+import numpy as np
+import pytest
+
+from repro.bert import BertConfig, BertForSequenceClassification
+from repro.quant import (
+    QuantBertForSequenceClassification,
+    QuantConfig,
+    QuantLinear,
+    quantize_model,
+)
+from repro.quant.qbert import QuantEmbedding
+
+
+@pytest.fixture
+def config():
+    return BertConfig.tiny(vocab_size=40, num_labels=2, max_position_embeddings=12)
+
+
+@pytest.fixture
+def inputs(config, rng):
+    ids = rng.integers(0, config.vocab_size, size=(2, 10))
+    mask = np.ones((2, 10), dtype=np.int64)
+    mask[1, 6:] = 0
+    return ids, mask
+
+
+class TestForward:
+    def test_logits_shape(self, config, inputs, rng):
+        model = QuantBertForSequenceClassification(config, QuantConfig.fq_bert(), rng=rng)
+        logits = model(*inputs)
+        assert logits.shape == (2, config.num_labels)
+
+    def test_all_quant_configs_run(self, config, inputs, rng):
+        """Every ablation/figure configuration must execute."""
+        configs = [
+            QuantConfig.fq_bert(),
+            QuantConfig.float_baseline(),
+            QuantConfig.weights_activations_only(),
+            QuantConfig.weights_activations_only().with_parts(scales=True),
+            QuantConfig.weights_activations_only().with_parts(scales=True, softmax=True),
+            QuantConfig.figure3(weight_bits=2, clip=True),
+            QuantConfig.figure3(weight_bits=2, clip=False),
+            QuantConfig.fq_bert(weight_bits=8, act_bits=8),
+        ]
+        for qconfig in configs:
+            model = QuantBertForSequenceClassification(config, qconfig, rng=rng)
+            logits = model(*inputs)
+            assert np.isfinite(logits.data).all(), qconfig
+
+    def test_scales_threaded_when_quantizing_activations(self, config, inputs, rng):
+        model = QuantBertForSequenceClassification(config, QuantConfig.fq_bert(), rng=rng)
+        model.train()
+        embedded, scale = model.embeddings(inputs[0])
+        assert scale is not None and scale > 0
+        encoded, out_scale = model.encoder(embedded, scale, inputs[1])
+        assert out_scale is not None and out_scale > 0
+
+    def test_no_scales_for_float_baseline(self, config, inputs, rng):
+        model = QuantBertForSequenceClassification(
+            config, QuantConfig.float_baseline(), rng=rng
+        )
+        _, scale = model.embeddings(inputs[0])
+        assert scale is None
+
+    def test_loss_and_gradients(self, config, inputs, rng):
+        model = QuantBertForSequenceClassification(config, QuantConfig.fq_bert(), rng=rng)
+        loss = model.loss(inputs[0], np.array([0, 1]), inputs[1])
+        loss.backward()
+        grads = [p.grad for _, p in model.named_parameters()]
+        assert all(g is not None for g in grads)
+        # Clip thresholds are trainable parameters too.
+        clip_names = [n for n, _ in model.named_parameters() if "clip_value" in n]
+        assert clip_names
+
+    def test_predict_interface(self, config, inputs, rng):
+        model = QuantBertForSequenceClassification(config, QuantConfig.fq_bert(), rng=rng)
+        preds = model.predict(*inputs)
+        assert preds.shape == (2,)
+
+
+class TestQuantEmbedding:
+    def test_embedding_weights_on_grid(self, rng):
+        qconfig = QuantConfig.fq_bert()
+        emb = QuantEmbedding(20, 8, qconfig, rng=rng)
+        out = emb(np.arange(5))
+        scale = emb.weight_quantizer.current_scale(emb.weight)
+        codes = out.data * scale
+        np.testing.assert_allclose(codes, np.rint(codes), atol=1e-3)
+
+    def test_disabled_when_config_says_so(self, rng):
+        qconfig = QuantConfig.float_baseline()
+        emb = QuantEmbedding(20, 8, qconfig, rng=rng)
+        assert not emb.enabled
+        out = emb(np.arange(3))
+        np.testing.assert_array_equal(out.data, emb.weight.data[:3])
+
+
+class TestConversion:
+    def test_quantize_model_copies_weights(self, config, rng):
+        float_model = BertForSequenceClassification(config, rng=rng)
+        quant_model = quantize_model(float_model, QuantConfig.fq_bert(), rng=rng)
+        np.testing.assert_array_equal(
+            quant_model.embeddings.word_embeddings.weight.data,
+            float_model.bert.embeddings.word_embeddings.weight.data,
+        )
+        np.testing.assert_array_equal(
+            quant_model.encoder.layers[0].attention.self_attention.query.weight.data,
+            float_model.bert.encoder.layers[0].attention.self_attention.query.weight.data,
+        )
+        np.testing.assert_array_equal(
+            quant_model.classifier.weight.data, float_model.classifier.weight.data
+        )
+
+    def test_converted_model_close_to_float_at_8bit(self, config, inputs, rng):
+        """Gentle quantization (8/8, no special parts) barely moves logits."""
+        float_model = BertForSequenceClassification(config, rng=rng)
+        float_model.eval()
+        qconfig = QuantConfig.weights_activations_only(weight_bits=8, act_bits=8)
+        quant_model = quantize_model(float_model, qconfig, rng=rng)
+        quant_model.eval()
+        from repro.autograd import no_grad
+
+        with no_grad():
+            float_logits = float_model(*inputs).data
+            quant_logits = quant_model(*inputs).data
+        np.testing.assert_allclose(quant_logits, float_logits, atol=0.15)
+
+    def test_quantize_model_without_clip(self, config, rng):
+        float_model = BertForSequenceClassification(config, rng=rng)
+        qconfig = QuantConfig.figure3(weight_bits=4, clip=False)
+        quant_model = quantize_model(float_model, qconfig, rng=rng)
+        logits = quant_model(np.zeros((1, 4), dtype=np.int64))
+        assert np.isfinite(logits.data).all()
+
+    def test_mapping_covers_all_float_parameters(self, config, rng):
+        from repro.quant.qbert import _parameter_name_mapping
+
+        float_model = BertForSequenceClassification(config, rng=rng)
+        mapping = _parameter_name_mapping(config)
+        float_names = {name for name, _ in float_model.named_parameters()}
+        assert set(mapping) == float_names
+
+    def test_state_dict_roundtrip(self, config, inputs, rng):
+        model = QuantBertForSequenceClassification(config, QuantConfig.fq_bert(), rng=rng)
+        model.train()
+        model(*inputs)  # initialize observers
+        state = model.state_dict()
+        clone = QuantBertForSequenceClassification(config, QuantConfig.fq_bert(), rng=rng)
+        clone.load_state_dict(state)
+        for (name, a), (_, b) in zip(clone.named_parameters(), model.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data, err_msg=name)

@@ -1,0 +1,199 @@
+"""Symmetric quantization math (Eqs. 1-5): exactness and properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quant import (
+    QuantParams,
+    bias_scale,
+    dequantize,
+    fake_quantize_array,
+    int_range,
+    quantize,
+    quantize_bias,
+    quantize_scale_to_8bit,
+    requant_factor,
+    symmetric_scale,
+    weight_scale,
+)
+
+
+class TestIntRange:
+    def test_symmetric_ranges(self):
+        assert int_range(8) == (-127, 127)
+        assert int_range(4) == (-7, 7)
+        assert int_range(2) == (-1, 1)
+
+    def test_unsigned(self):
+        assert int_range(8, signed=False) == (0, 255)
+
+    def test_rejects_too_few_bits(self):
+        with pytest.raises(ValueError):
+            int_range(1, signed=True)
+        with pytest.raises(ValueError):
+            int_range(0, signed=False)
+
+
+class TestScale:
+    def test_eq2_weight_scale(self):
+        """Eq. 2: s_w = (2^(k-1) - 1) / max|W|."""
+        weights = np.array([-0.5, 0.25, 0.1])
+        assert weight_scale(weights, 4) == pytest.approx(7 / 0.5)
+
+    def test_clip_overrides_max(self):
+        weights = np.array([-0.5, 0.25, 10.0])  # outlier
+        assert weight_scale(weights, 4, clip_max=0.5) == pytest.approx(14.0)
+
+    def test_zero_tensor_scale_is_safe(self):
+        scale = symmetric_scale(0.0, 8)
+        assert np.isfinite(scale) and scale > 0
+
+    def test_per_channel_scales(self):
+        maxes = np.array([1.0, 2.0, 4.0])
+        scales = symmetric_scale(maxes, 8)
+        np.testing.assert_allclose(scales, [127.0, 63.5, 31.75])
+
+
+class TestQuantizeDequantize:
+    def test_codes_in_range(self, rng):
+        x = rng.standard_normal(1000) * 10
+        codes = quantize(x, scale=weight_scale(x, 4), bits=4)
+        assert codes.min() >= -7 and codes.max() <= 7
+
+    def test_extremum_hits_qmax(self):
+        x = np.array([-2.0, 1.0, 2.0])
+        codes = quantize(x, weight_scale(x, 8), bits=8)
+        assert codes.max() == 127 or codes.min() == -127
+
+    def test_roundtrip_error_bound(self, rng):
+        """Eq. 1 guarantee: |x - x_q| <= 1/(2s) inside the clip range."""
+        x = rng.uniform(-1, 1, size=500)
+        scale = weight_scale(x, 8)
+        recovered = fake_quantize_array(x, scale, 8)
+        assert np.abs(recovered - x).max() <= 0.5 / scale + 1e-12
+
+    def test_saturation_clamps(self):
+        codes = quantize(np.array([100.0]), scale=10.0, bits=8)
+        assert codes[0] == 127
+
+    def test_round_half_to_even(self):
+        codes = quantize(np.array([0.5, 1.5, 2.5]), scale=1.0, bits=8)
+        np.testing.assert_array_equal(codes, [0, 2, 2])
+
+    def test_dequantize_inverse_on_grid(self):
+        codes = np.array([-7, 0, 7])
+        values = dequantize(codes, scale=14.0)
+        np.testing.assert_array_equal(quantize(values, 14.0, 4), codes)
+
+
+class TestBiasAndRequant:
+    def test_eq4_bias_scale(self):
+        assert bias_scale(4.0, 8.0) == 32.0
+
+    def test_eq4_bias_codes(self):
+        bias = np.array([0.5, -0.25])
+        codes = quantize_bias(bias, act_scale=4.0, w_scale=8.0)
+        np.testing.assert_array_equal(codes, [16, -8])
+
+    def test_bias_overflow_detected(self):
+        with pytest.raises(OverflowError):
+            quantize_bias(np.array([1e9]), act_scale=100.0, w_scale=100.0)
+
+    def test_eq5_requant_factor(self):
+        assert requant_factor(2.0, 4.0, 8.0) == pytest.approx(1 / 16)
+
+    def test_eq5_end_to_end(self, rng):
+        """Integer accumulate + requant == quantized float output (Eq. 5)."""
+        s_a, s_w = 32.0, 14.0
+        x = rng.uniform(-1, 1, size=16)
+        w = rng.uniform(-0.5, 0.5, size=16)
+        b = 0.3
+        x_q = quantize(x, s_a, 8)
+        w_q = quantize(w, s_w, 4)
+        b_q = quantize_bias(np.array([b]), s_a, s_w)[0]
+        acc = int(x_q @ w_q) + int(b_q)
+
+        y_exact = float(dequantize(x_q, s_a) @ dequantize(w_q, s_w) + b_q / (s_a * s_w))
+        s_y = 16.0
+        y_code_float = np.rint(y_exact * s_y)
+        y_code_int = np.rint(acc * requant_factor(s_y, s_a, s_w))
+        assert y_code_int == y_code_float
+
+
+class TestQuantParams:
+    def test_qmin_qmax(self):
+        params = QuantParams(scale=10.0, bits=4)
+        assert params.qmin == -7 and params.qmax == 7
+
+    def test_fake_quantize_consistent(self, rng):
+        params = QuantParams(scale=17.0, bits=8)
+        x = rng.standard_normal(100)
+        np.testing.assert_array_equal(
+            params.fake_quantize(x), params.dequantize(params.quantize(x))
+        )
+
+
+class TestScaleQuantization:
+    def test_power_of_two_exact(self):
+        for exponent in range(-10, 11):
+            scale = 2.0 ** exponent
+            assert quantize_scale_to_8bit(scale) == pytest.approx(scale)
+
+    def test_relative_error_bounded(self):
+        """8-bit mantissa: relative error at most 1/256."""
+        for scale in np.logspace(-6, 6, 200):
+            quantized = quantize_scale_to_8bit(float(scale))
+            assert abs(quantized - scale) / scale <= 1 / 256 + 1e-9
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            quantize_scale_to_8bit(0.0)
+
+
+# ----------------------------------------------------------------------
+# property-based invariants
+# ----------------------------------------------------------------------
+value_arrays = arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 64),
+    elements=st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(value_arrays, st.sampled_from([2, 4, 6, 8]))
+def test_quantize_always_in_range(x, bits):
+    scale = weight_scale(x, bits)
+    codes = quantize(x, scale, bits)
+    qmin, qmax = int_range(bits)
+    assert codes.min() >= qmin and codes.max() <= qmax
+
+
+@settings(max_examples=100, deadline=None)
+@given(value_arrays, st.sampled_from([4, 8]))
+def test_fake_quantize_idempotent(x, bits):
+    scale = weight_scale(x, bits)
+    once = fake_quantize_array(x, scale, bits)
+    twice = fake_quantize_array(once, scale, bits)
+    np.testing.assert_allclose(once, twice, atol=1e-12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(value_arrays)
+def test_quantization_is_monotone(x):
+    """x <= y implies Q(x) <= Q(y) — quantizers preserve order."""
+    scale = weight_scale(x, 8)
+    ordered = np.sort(x)
+    codes = quantize(ordered, scale, 8)
+    assert np.all(np.diff(codes) >= 0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(value_arrays)
+def test_symmetry(x):
+    """Symmetric quantization: Q(-x) == -Q(x) (no zero point)."""
+    scale = weight_scale(x, 8)
+    np.testing.assert_array_equal(quantize(-x, scale, 8), -quantize(x, scale, 8))

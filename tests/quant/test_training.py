@@ -1,0 +1,68 @@
+"""Training loops: float training, QAT fine-tuning, evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.quant import QuantConfig, evaluate, quantize_model, train_classifier
+
+
+class TestFloatTraining:
+    def test_beats_chance(self, trained_float_model, tiny_task):
+        _, _, dev, _ = tiny_task
+        accuracy = evaluate(trained_float_model, dev)
+        assert accuracy > 75.0
+
+    def test_history_recorded(self, tiny_task, tiny_config):
+        from repro.bert import BertForSequenceClassification
+
+        _, train, dev, _ = tiny_task
+        model = BertForSequenceClassification(tiny_config, rng=np.random.default_rng(5))
+        result = train_classifier(model, train, dev, epochs=2, lr=1e-3, seed=5)
+        assert len(result.epoch_accuracies) == 2
+        assert len(result.epoch_losses) == 2
+        assert result.best_accuracy >= max(result.epoch_accuracies) - 1e-9
+
+    def test_keep_best_restores(self, tiny_task, tiny_config):
+        from repro.bert import BertForSequenceClassification
+
+        _, train, dev, _ = tiny_task
+        model = BertForSequenceClassification(tiny_config, rng=np.random.default_rng(5))
+        result = train_classifier(
+            model, train, dev, epochs=2, lr=1e-3, seed=5, keep_best=True
+        )
+        assert result.final_accuracy == pytest.approx(result.best_accuracy, abs=2.0)
+
+    def test_deterministic_given_seed(self, tiny_task, tiny_config):
+        from repro.bert import BertForSequenceClassification
+
+        _, train, dev, _ = tiny_task
+        results = []
+        for _ in range(2):
+            model = BertForSequenceClassification(
+                tiny_config, rng=np.random.default_rng(11)
+            )
+            result = train_classifier(model, train, dev, epochs=1, lr=1e-3, seed=11)
+            results.append(result.final_accuracy)
+        assert results[0] == results[1]
+
+
+class TestQATTraining:
+    def test_qat_preserves_accuracy(self, trained_float_model, trained_quant_model, tiny_task):
+        """w4/a8 QAT stays within a few points of the float model."""
+        _, _, dev, _ = tiny_task
+        float_accuracy = evaluate(trained_float_model, dev)
+        quant_accuracy = evaluate(trained_quant_model, dev)
+        assert quant_accuracy >= float_accuracy - 8.0
+
+    def test_qat_improves_over_post_training_quant(self, trained_float_model, tiny_task):
+        """QAT fine-tuning should not hurt the freshly quantized model."""
+        _, train, dev, _ = tiny_task
+        qmodel = quantize_model(
+            trained_float_model,
+            QuantConfig.figure3(weight_bits=2, clip=False),
+            rng=np.random.default_rng(2),
+        )
+        before = evaluate(qmodel, dev)
+        train_classifier(qmodel, train, dev, epochs=1, lr=2e-4, seed=2)
+        after = evaluate(qmodel, dev)
+        assert after >= before - 3.0

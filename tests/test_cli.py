@@ -1,0 +1,86 @@
+"""CLI: every subcommand end to end (fast settings)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulate:
+    def test_default_design_point(self, capsys):
+        assert main(["simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out and "DSP48=1751" in out
+
+    def test_zcu111(self, capsys):
+        assert main(["simulate", "--device", "ZCU111", "--pes", "16"]) == 0
+        assert "ZCU111" in capsys.readouterr().out
+
+    def test_unknown_device(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--device", "VU9P"])
+
+
+class TestCompare:
+    def test_prints_table4(self, capsys):
+        assert main(["compare"]) == 0
+        out = capsys.readouterr().out
+        assert "CPU" in out and "ZCU111" in out and "fps/W" in out
+
+
+class TestTrainQuantizeEvaluate:
+    @pytest.fixture(scope="class")
+    def float_checkpoint(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "model.npz"
+        code = main(
+            ["train", "--task", "sst2", "--out", str(path), "--epochs", "2", "--seed", "3"]
+        )
+        assert code == 0
+        return path
+
+    def test_train_writes_checkpoint(self, float_checkpoint):
+        assert float_checkpoint.exists()
+
+    def test_evaluate_float(self, float_checkpoint, capsys):
+        assert main(["evaluate", "--checkpoint", str(float_checkpoint)]) == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_quantize_qat_and_integer_eval(self, float_checkpoint, tmp_path, capsys):
+        fq_path = tmp_path / "fq.npz"
+        assert (
+            main(
+                [
+                    "quantize", "--checkpoint", str(float_checkpoint),
+                    "--out", str(fq_path), "--epochs", "1",
+                ]
+            )
+            == 0
+        )
+        assert fq_path.exists()
+        assert main(["evaluate", "--checkpoint", str(fq_path), "--integer"]) == 0
+        assert "integer-engine accuracy" in capsys.readouterr().out
+
+    def test_quantize_ptq(self, float_checkpoint, tmp_path, capsys):
+        fq_path = tmp_path / "fq_ptq.npz"
+        assert (
+            main(
+                [
+                    "quantize", "--checkpoint", str(float_checkpoint),
+                    "--out", str(fq_path), "--ptq",
+                ]
+            )
+            == 0
+        )
+        assert "PTQ accuracy" in capsys.readouterr().out
+
+    def test_quantize_rejects_quant_checkpoint(self, float_checkpoint, tmp_path):
+        fq_path = tmp_path / "fq2.npz"
+        main(
+            ["quantize", "--checkpoint", str(float_checkpoint), "--out", str(fq_path), "--ptq"]
+        )
+        with pytest.raises(SystemExit):
+            main(["quantize", "--checkpoint", str(fq_path), "--out", str(tmp_path / "x.npz")])
+
+    def test_integer_eval_rejects_float_checkpoint(self, float_checkpoint):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--checkpoint", str(float_checkpoint), "--integer"])
