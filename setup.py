@@ -1,8 +1,45 @@
-"""Setup shim for environments whose pip lacks the wheel package.
+"""Packaging for the FQ-BERT reproduction.
 
-``pip install -e .`` with modern pyproject metadata requires the ``wheel``
-module; this shim lets ``python setup.py develop`` work as a fallback.
+Plain ``setup.py`` (no pyproject) so ``pip install -e .`` and the
+``python setup.py develop`` fallback both work in environments whose pip
+lacks the ``wheel`` module.
 """
-from setuptools import setup
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="fq-bert-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Liu, Li & Cheng (DATE 2021): fully quantized BERT, "
+        "FPGA accelerator simulator, and a dynamic-batching serving engine"
+    ),
+    long_description=(
+        "Numpy-only reproduction of 'Hardware Acceleration of Fully Quantized "
+        "BERT for Efficient Natural Language Processing' — QAT/PTQ quantization "
+        "flow, integer-only inference engine, cycle-level accelerator simulator, "
+        "and a request-level serving layer (repro.serve) with dynamic batching, "
+        "sequence-length bucketing, and multi-device routing."
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Artificial Intelligence",
+    ],
+)

@@ -10,6 +10,10 @@ Subpackages:
 - :mod:`repro.data` — synthetic GLUE-like tasks (SST-2-like, MNLI-like)
 - :mod:`repro.quant` — the FQ-BERT quantization flow (the paper's Sec. II)
 - :mod:`repro.accel` — the accelerator simulator (the paper's Sec. III)
+- :mod:`repro.serve` — dynamic-batching inference serving over the integer
+  model and simulated accelerator instances (LRU tokenization cache,
+  sequence-length-bucketed batching, multi-device routing, latency/SLO
+  accounting on a deterministic simulated clock)
 - :mod:`repro.baselines` — CPU/GPU roofline baselines (Table IV)
 - :mod:`repro.experiments` — drivers regenerating every table and figure
 """

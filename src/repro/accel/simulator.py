@@ -92,8 +92,18 @@ class AcceleratorSimulator:
         model: BertConfig,
         seq_len: int = 128,
         workload: Optional[EncoderWorkload] = None,
+        batch_size: int = 1,
     ) -> SimulationReport:
-        workload = workload or build_encoder_workload(model, seq_len=seq_len)
+        """Evaluate one design point on one (possibly batched) inference.
+
+        ``batch_size > 1`` builds a batch-aware workload: every op's vector
+        count scales with the batch while the weight stream stays fixed,
+        so the schedule reflects the amortization batching buys.  An
+        explicit ``workload`` overrides both ``seq_len`` and ``batch_size``.
+        """
+        workload = workload or build_encoder_workload(
+            model, seq_len=seq_len, batch_size=batch_size
+        )
         schedule = self.scheduler.schedule(workload)
         resources = estimate_resources(self.config, model, seq_len=seq_len, device=self.device)
         power = self.device.power(resources.dsp48)

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro.cli evaluate  --checkpoint fq.npz --task sst2 [--integer]
     python -m repro.cli simulate  --device ZCU102 --pes 8 --multipliers 16
     python -m repro.cli compare   # Table IV style platform comparison
+    python -m repro.cli serve     --requests 64 --batch-size 8 --num-devices 2
 
 Each subcommand is a thin wrapper over the library; anything the CLI does
 can be done in a few lines of Python (see examples/).
@@ -144,6 +145,86 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Trace-driven serving: dynamic batching over simulated accelerators."""
+    from .accel import FPGA_DEVICES
+    from .data import accuracy
+    from .quant import convert_to_integer
+    from .serve import ServingConfig, ServingEngine, generate_trace
+
+    device = FPGA_DEVICES.get(args.device)
+    if device is None:
+        raise SystemExit(f"unknown device {args.device!r}; choose {sorted(FPGA_DEVICES)}")
+    task, train, dev, tokenizer, max_length = _build_task(args.task, args.seed)
+
+    if args.checkpoint:
+        from .bert.io import load_checkpoint
+
+        quant, kind = load_checkpoint(args.checkpoint)
+        if kind != "quant":
+            raise SystemExit("serve expects a quantized checkpoint (kind 'quant')")
+    else:
+        # No checkpoint: calibration-only PTQ of a fresh model gives valid
+        # frozen scales in seconds — enough to exercise the serving path.
+        from .bert import BertConfig, BertForSequenceClassification
+        from .quant import QuantConfig
+        from .quant.ptq import post_training_quantize
+
+        config = BertConfig(
+            vocab_size=len(tokenizer.vocab),
+            hidden_size=16,
+            num_hidden_layers=2,
+            num_attention_heads=4,
+            intermediate_size=32,
+            max_position_embeddings=max_length,
+            hidden_dropout_prob=0.0,
+            attention_dropout_prob=0.0,
+            num_labels=task.num_labels,
+        )
+        model = BertForSequenceClassification(config, rng=np.random.default_rng(args.seed))
+        quant = post_training_quantize(
+            model, QuantConfig.fq_bert(), train, rng=np.random.default_rng(1)
+        )
+    quant.eval()
+    engine_model = convert_to_integer(quant)
+
+    buckets = tuple(
+        sorted({max(4, max_length // 4), max(4, max_length // 2), max_length})
+    )
+    engine = ServingEngine(
+        engine_model,
+        tokenizer,
+        ServingConfig(
+            max_batch_size=args.batch_size,
+            max_wait_ms=args.max_wait_ms,
+            buckets=buckets,
+            num_devices=args.num_devices,
+            cache_capacity=args.cache_capacity,
+            slo_ms=args.slo_ms,
+        ),
+        device=device,
+    )
+    pool = [(ex.text_a, ex.text_b) for ex in task.dev]
+    trace = generate_trace(
+        pool,
+        num_requests=args.requests,
+        mean_interarrival_ms=args.mean_gap_ms,
+        seed=args.seed,
+    )
+    results = engine.run_trace(trace)
+    stats = engine.stats()
+    print(
+        f"serving {args.requests} requests on {args.num_devices} x {device.name} "
+        f"(batch<= {args.batch_size}, wait<= {args.max_wait_ms}ms, buckets {buckets})"
+    )
+    print(stats.render())
+    labels = {(ex.text_a, ex.text_b): ex.label for ex in task.dev}
+    preds = np.array([r.prediction for r in results])
+    truth = np.array([labels[(t.text_a, t.text_b)] for t in sorted(trace, key=lambda t: t.arrival_ms)])
+    print(f"accuracy over trace: {accuracy(preds, truth):.2f}%")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -188,6 +269,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     compare = sub.add_parser("compare", help="Table IV platform comparison")
     compare.set_defaults(func=cmd_compare)
+
+    serve = sub.add_parser(
+        "serve", help="trace-driven dynamic-batching serving simulation"
+    )
+    serve.add_argument("--task", default="sst2")
+    serve.add_argument("--checkpoint", help="quantized checkpoint (else quick PTQ)")
+    serve.add_argument("--requests", type=int, default=64)
+    serve.add_argument("--batch-size", type=int, default=8)
+    serve.add_argument("--max-wait-ms", type=float, default=10.0)
+    serve.add_argument("--num-devices", type=int, default=1)
+    serve.add_argument("--mean-gap-ms", type=float, default=2.0)
+    serve.add_argument("--cache-capacity", type=int, default=256)
+    serve.add_argument("--slo-ms", type=float, default=None)
+    serve.add_argument("--device", default="ZCU102")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

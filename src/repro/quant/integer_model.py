@@ -243,23 +243,62 @@ class IntegerBertForSequenceClassification:
             codes = layer.forward(codes, attention_mask)
         return codes
 
+    def classify(self, codes: np.ndarray) -> np.ndarray:
+        """Host-side head on final encoder codes: dequantize, pool, classify.
+
+        Split out of :meth:`forward` so callers that batch the integer
+        encoder (e.g. the serving engine) can run the float head per row:
+        the encoder's integer arithmetic is exact and therefore invariant
+        to batch composition, while float BLAS reductions need not be.
+        """
+        final_scale = self.layers[-1].output_layernorm.out_scale if self.layers else self.input_scale
+        return self._head_fn(codes / final_scale)
+
     def forward(
         self,
         input_ids: np.ndarray,
         attention_mask: Optional[np.ndarray] = None,
         token_type_ids: Optional[np.ndarray] = None,
+        chunk_size: Optional[int] = None,
     ) -> np.ndarray:
-        codes = self.encode(input_ids, attention_mask, token_type_ids)
-        final_scale = self.layers[-1].output_layernorm.out_scale if self.layers else self.input_scale
-        return self._head_fn(codes / final_scale)
+        """Logits for a batch; ``chunk_size`` bounds the working-set size.
+
+        Chunking splits the *encoder* pass into groups of at most
+        ``chunk_size`` rows executed back to back — the encoder dominates
+        memory (attention is O(seq^2) per row) and its exact integer
+        arithmetic makes the codes bit-identical under any chunking.  The
+        (tiny) float head then runs once over all rows, so chunked and
+        unchunked calls return bit-identical logits.
+        """
+        if chunk_size is not None:
+            if chunk_size < 1:
+                raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+            input_ids = np.asarray(input_ids)
+            pieces = []
+            for start in range(0, input_ids.shape[0], chunk_size):
+                stop = start + chunk_size
+                pieces.append(
+                    self.encode(
+                        input_ids[start:stop],
+                        None if attention_mask is None else attention_mask[start:stop],
+                        None if token_type_ids is None else token_type_ids[start:stop],
+                    )
+                )
+            codes = np.concatenate(pieces, axis=0)
+        else:
+            codes = self.encode(input_ids, attention_mask, token_type_ids)
+        return self.classify(codes)
 
     def predict(
         self,
         input_ids: np.ndarray,
         attention_mask: Optional[np.ndarray] = None,
         token_type_ids: Optional[np.ndarray] = None,
+        chunk_size: Optional[int] = None,
     ) -> np.ndarray:
-        return self.forward(input_ids, attention_mask, token_type_ids).argmax(axis=-1)
+        return self.forward(
+            input_ids, attention_mask, token_type_ids, chunk_size=chunk_size
+        ).argmax(axis=-1)
 
 
 # ----------------------------------------------------------------------

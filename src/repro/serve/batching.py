@@ -1,0 +1,163 @@
+"""Dynamic batching with sequence-length bucketing.
+
+The accelerator's latency scales with the *padded* sequence length (every
+padded position streams through the PE array like a real token), so naive
+"pad everything to max_seq_len" batching wastes cycles proportional to the
+padding.  The batcher therefore keeps one queue per length bucket and only
+groups requests that pad to the same bucket — short requests never wait
+behind (or pad up to) a long outlier.
+
+Flush policy, the standard dynamic-batching contract:
+
+- **size**: a bucket queue reaching ``max_batch_size`` flushes immediately;
+- **deadline**: a queue whose *oldest* request has waited ``max_wait_ms``
+  flushes partially full (bounding queueing delay under light traffic).
+
+The batcher is purely a data structure — it never looks at a wall clock.
+The engine feeds it simulated timestamps, which keeps every run
+deterministic and unit-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """Knobs of the dynamic batcher."""
+
+    max_batch_size: int = 8
+    max_wait_ms: float = 10.0
+    buckets: Tuple[int, ...] = (16, 32, 48, 64, 96, 128)
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if not self.buckets:
+            raise ValueError("at least one length bucket is required")
+        if tuple(sorted(self.buckets)) != self.buckets or len(set(self.buckets)) != len(
+            self.buckets
+        ):
+            raise ValueError(f"buckets must be strictly increasing, got {self.buckets}")
+        if self.buckets[0] < 1:
+            raise ValueError(f"buckets must be positive, got {self.buckets}")
+
+    @property
+    def max_seq_len(self) -> int:
+        return self.buckets[-1]
+
+    def bucket_for(self, length: int) -> int:
+        """Smallest bucket holding ``length`` tokens.
+
+        Lengths beyond the largest bucket are the caller's error — the
+        engine truncates encodings to ``max_seq_len`` before batching.
+        """
+        if length < 1:
+            raise ValueError(f"sequence length must be >= 1, got {length}")
+        for bucket in self.buckets:
+            if length <= bucket:
+                return bucket
+        raise ValueError(
+            f"length {length} exceeds the largest bucket {self.buckets[-1]}"
+        )
+
+
+@dataclass
+class PendingRequest:
+    """One queued request: the engine's payload plus batching metadata."""
+
+    payload: object       # opaque to the batcher (the engine's Request)
+    length: int           # true (unpadded) token count
+    enqueue_ms: float
+
+
+@dataclass
+class Batch:
+    """A flushed group of same-bucket requests, ready for execution."""
+
+    bucket: int
+    requests: List[PendingRequest]
+    flush_ms: float       # simulated time the batch left the queue
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def real_tokens(self) -> int:
+        return sum(r.length for r in self.requests)
+
+    @property
+    def padded_tokens(self) -> int:
+        return self.bucket * self.size
+
+
+class DynamicBatcher:
+    """Per-bucket FIFO queues with size- and deadline-triggered flushes."""
+
+    def __init__(self, policy: BatchingPolicy):
+        self.policy = policy
+        self._queues: Dict[int, List[PendingRequest]] = {}
+
+    @property
+    def pending(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def add(self, pending: PendingRequest, now_ms: float) -> Optional[Batch]:
+        """Enqueue one request; return a batch iff its bucket filled up."""
+        bucket = self.policy.bucket_for(pending.length)
+        queue = self._queues.setdefault(bucket, [])
+        queue.append(pending)
+        if len(queue) >= self.policy.max_batch_size:
+            return self._flush_bucket(bucket, now_ms)
+        return None
+
+    def due_batches(self, now_ms: float) -> List[Batch]:
+        """Flush every bucket whose oldest request's deadline has passed.
+
+        Each flushed batch carries the *deadline* as its flush time (not
+        ``now_ms``): under the simulated clock the deadline is the instant
+        the flush would actually have fired.  Batches come out in deadline
+        order so downstream dispatch sees a causally ordered stream.
+        """
+        due: List[Tuple[float, int]] = []
+        for bucket, queue in self._queues.items():
+            if not queue:
+                continue
+            deadline = queue[0].enqueue_ms + self.policy.max_wait_ms
+            if deadline <= now_ms:
+                due.append((deadline, bucket))
+        due.sort()
+        return [self._flush_bucket(bucket, deadline) for deadline, bucket in due]
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest pending deadline, or ``None`` when idle."""
+        deadlines = [
+            queue[0].enqueue_ms + self.policy.max_wait_ms
+            for queue in self._queues.values()
+            if queue
+        ]
+        return min(deadlines) if deadlines else None
+
+    def flush_all(self, now_ms: float) -> List[Batch]:
+        """Drain every queue (end of trace), in deadline order."""
+        order = sorted(
+            (queue[0].enqueue_ms, bucket)
+            for bucket, queue in self._queues.items()
+            if queue
+        )
+        batches = []
+        for _, bucket in order:
+            while self._queues[bucket]:
+                batches.append(self._flush_bucket(bucket, now_ms))
+        return batches
+
+    def _flush_bucket(self, bucket: int, flush_ms: float) -> Batch:
+        queue = self._queues[bucket]
+        take = min(len(queue), self.policy.max_batch_size)
+        requests, self._queues[bucket] = queue[:take], queue[take:]
+        return Batch(bucket=bucket, requests=requests, flush_ms=flush_ms)

@@ -1,0 +1,69 @@
+"""LRU tokenization cache for the serving engine.
+
+Serving traffic is highly repetitive (health checks, trending queries,
+retried requests), so the engine caches tokenizer output keyed on the raw
+input text.  A hit skips the wordpiece pass entirely and — because the
+cached entry stores the *encoded* arrays — the batch assembler can slice
+the padded arrays straight into a bucket without re-encoding.
+
+The cache is a plain bounded LRU: ``get`` refreshes recency, ``put``
+evicts the least-recently-used entry once ``capacity`` is exceeded.
+Hit/miss/eviction counters feed :class:`repro.serve.metrics.ServingStats`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Optional, TypeVar
+
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class LRUCache(Generic[V]):
+    """Bounded least-recently-used mapping with hit/miss accounting."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, V]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test without touching recency or counters."""
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[V]:
+        """Return the cached value (refreshing recency) or ``None`` on miss."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: V) -> None:
+        """Insert/refresh ``key``; evict the LRU entry when over capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._entries.clear()

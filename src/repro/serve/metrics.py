@@ -1,0 +1,114 @@
+"""Serving statistics: latency percentiles, throughput, efficiency ratios.
+
+All times are simulated milliseconds from the engine's deterministic clock,
+so every number here is reproducible bit-for-bit across runs — the serving
+analogue of the simulator's cycle counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of ``values``.
+
+    Implemented here (rather than ``np.percentile``) so the metric is
+    dependency-light and its exact semantics are pinned for the tests.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    frac = rank - lower
+    return float(ordered[lower] * (1.0 - frac) + ordered[upper] * frac)
+
+
+@dataclass
+class ServingStats:
+    """Aggregate view of one serving run (the engine's ``stats()`` output)."""
+
+    num_requests: int
+    num_batches: int
+    makespan_ms: float          # first arrival -> last batch completion
+    p50_latency_ms: float
+    p95_latency_ms: float
+    p99_latency_ms: float
+    mean_latency_ms: float
+    max_latency_ms: float
+    mean_queue_ms: float
+    throughput_rps: float       # requests per simulated second
+    cache_hit_rate: float
+    padding_efficiency: float   # real tokens / padded tokens executed
+    mean_batch_size: float
+    slo_attainment: float       # fraction of requests meeting the SLO (1.0 if no SLO)
+    device_busy_ms: Dict[int, float] = field(default_factory=dict)
+
+    def device_utilization(self) -> Dict[int, float]:
+        """Busy fraction of the makespan, per device."""
+        if self.makespan_ms <= 0:
+            return {device: 0.0 for device in self.device_busy_ms}
+        return {
+            device: busy / self.makespan_ms
+            for device, busy in self.device_busy_ms.items()
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (CLI output)."""
+        lines = [
+            f"requests:           {self.num_requests}",
+            f"batches:            {self.num_batches}  (mean size {self.mean_batch_size:.2f})",
+            f"makespan:           {self.makespan_ms:.2f} ms",
+            f"throughput:         {self.throughput_rps:.2f} req/s",
+            f"latency p50/p95/p99: {self.p50_latency_ms:.2f} / "
+            f"{self.p95_latency_ms:.2f} / {self.p99_latency_ms:.2f} ms",
+            f"latency mean/max:   {self.mean_latency_ms:.2f} / {self.max_latency_ms:.2f} ms",
+            f"mean queue wait:    {self.mean_queue_ms:.2f} ms",
+            f"cache hit rate:     {self.cache_hit_rate * 100:.1f}%",
+            f"padding efficiency: {self.padding_efficiency * 100:.1f}%",
+            f"SLO attainment:     {self.slo_attainment * 100:.1f}%",
+        ]
+        for device, util in sorted(self.device_utilization().items()):
+            lines.append(f"device {device} utilization: {util * 100:.1f}%")
+        return "\n".join(lines)
+
+
+def build_stats(
+    latencies_ms: List[float],
+    queue_ms: List[float],
+    num_batches: int,
+    makespan_ms: float,
+    cache_hit_rate: float,
+    real_tokens: int,
+    padded_tokens: int,
+    slo_met: int,
+    device_busy_ms: Dict[int, float],
+) -> ServingStats:
+    """Assemble :class:`ServingStats` from the engine's raw tallies."""
+    n = len(latencies_ms)
+    if n == 0:
+        raise ValueError("no completed requests to summarize")
+    return ServingStats(
+        num_requests=n,
+        num_batches=num_batches,
+        makespan_ms=makespan_ms,
+        p50_latency_ms=percentile(latencies_ms, 50),
+        p95_latency_ms=percentile(latencies_ms, 95),
+        p99_latency_ms=percentile(latencies_ms, 99),
+        mean_latency_ms=sum(latencies_ms) / n,
+        max_latency_ms=max(latencies_ms),
+        mean_queue_ms=sum(queue_ms) / n if queue_ms else 0.0,
+        throughput_rps=n / (makespan_ms / 1000.0) if makespan_ms > 0 else float("inf"),
+        cache_hit_rate=cache_hit_rate,
+        padding_efficiency=real_tokens / padded_tokens if padded_tokens else 1.0,
+        mean_batch_size=n / num_batches if num_batches else 0.0,
+        slo_attainment=slo_met / n,
+        device_busy_ms=dict(device_busy_ms),
+    )

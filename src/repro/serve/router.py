@@ -1,0 +1,100 @@
+"""Load-balancing router over N simulated accelerator instances.
+
+Each device is one :class:`repro.accel.AcceleratorSimulator` (same design
+point, independent timeline).  Dispatch is earliest-available-device: the
+batch starts on the device whose queue drains first.  Service time comes
+from the simulator's cycle-level schedule for the batch's *padded* shape
+(``seq_len = bucket``, ``batch_size = len(batch)``), so SLO accounting and
+balancing both see the same latency model the paper's Tables III/IV use.
+
+Latency estimates are memoized per (device, seq_len, batch_size) — the
+scheduler is analytic, so a shape's latency never changes across calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..accel.config import AcceleratorConfig
+from ..accel.devices import FpgaDevice, ZCU102
+from ..accel.simulator import AcceleratorSimulator
+from ..bert.config import BertConfig
+
+
+@dataclass
+class DeviceState:
+    """One accelerator instance's timeline."""
+
+    device_id: int
+    simulator: AcceleratorSimulator
+    busy_until_ms: float = 0.0
+    busy_ms: float = 0.0
+    batches_served: int = 0
+    requests_served: int = 0
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """Where and when one batch executes."""
+
+    device_id: int
+    start_ms: float
+    finish_ms: float
+    service_ms: float
+
+
+class DeviceRouter:
+    """Earliest-available routing across homogeneous accelerator instances."""
+
+    def __init__(
+        self,
+        model_config: BertConfig,
+        num_devices: int = 1,
+        accel_config: AcceleratorConfig = None,
+        device: FpgaDevice = ZCU102,
+    ):
+        if num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+        accel_config = accel_config or AcceleratorConfig()
+        self.model_config = model_config
+        self.devices: List[DeviceState] = [
+            DeviceState(device_id=i, simulator=AcceleratorSimulator(accel_config, device))
+            for i in range(num_devices)
+        ]
+        self._latency_cache: Dict[Tuple[int, int], float] = {}
+
+    def estimate_latency_ms(self, seq_len: int, batch_size: int) -> float:
+        """Cycle-accurate latency of one (padded) batch on one device."""
+        key = (seq_len, batch_size)
+        cached = self._latency_cache.get(key)
+        if cached is None:
+            report = self.devices[0].simulator.simulate(
+                self.model_config, seq_len=seq_len, batch_size=batch_size
+            )
+            cached = self._latency_cache[key] = report.latency_ms
+        return cached
+
+    def dispatch(self, seq_len: int, batch_size: int, ready_ms: float) -> Dispatch:
+        """Place a batch on the earliest-available device and advance its clock."""
+        device = min(self.devices, key=lambda d: (d.busy_until_ms, d.device_id))
+        service_ms = self.estimate_latency_ms(seq_len, batch_size)
+        start_ms = max(ready_ms, device.busy_until_ms)
+        finish_ms = start_ms + service_ms
+        device.busy_until_ms = finish_ms
+        device.busy_ms += service_ms
+        device.batches_served += 1
+        device.requests_served += batch_size
+        return Dispatch(
+            device_id=device.device_id,
+            start_ms=start_ms,
+            finish_ms=finish_ms,
+            service_ms=service_ms,
+        )
+
+    def busy_ms_by_device(self) -> Dict[int, float]:
+        return {d.device_id: d.busy_ms for d in self.devices}
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)

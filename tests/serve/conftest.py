@@ -1,0 +1,24 @@
+"""Fixtures for the serving-engine tests: a frozen integer model + text pool."""
+
+import pytest
+
+from repro.quant import convert_to_integer
+
+
+@pytest.fixture(scope="session")
+def integer_model(trained_quant_model):
+    """The trained FQ-BERT frozen to the integer engine (session-cached)."""
+    return convert_to_integer(trained_quant_model)
+
+
+@pytest.fixture(scope="session")
+def serve_pool(tiny_task):
+    """(text_a, text_b) pool for trace generation, from the tiny task's dev set."""
+    task, _, _, _ = tiny_task
+    return [(ex.text_a, ex.text_b) for ex in task.dev]
+
+
+@pytest.fixture(scope="session")
+def serve_tokenizer(tiny_task):
+    _, _, _, tokenizer = tiny_task
+    return tokenizer

@@ -1,0 +1,141 @@
+"""Dynamic batcher invariants: size caps, deadline flushes, bucketing."""
+
+import pytest
+
+from repro.serve import BatchingPolicy, DynamicBatcher, PendingRequest
+
+
+def pending(length=8, at=0.0, tag=None):
+    return PendingRequest(payload=tag, length=length, enqueue_ms=at)
+
+
+class TestPolicy:
+    def test_bucket_for_picks_smallest_fit(self):
+        policy = BatchingPolicy(buckets=(8, 16, 32))
+        assert policy.bucket_for(1) == 8
+        assert policy.bucket_for(8) == 8
+        assert policy.bucket_for(9) == 16
+        assert policy.bucket_for(32) == 32
+
+    def test_bucket_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            BatchingPolicy(buckets=(8, 16)).bucket_for(17)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            BatchingPolicy().bucket_for(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch_size": 0},
+            {"max_wait_ms": -1.0},
+            {"buckets": ()},
+            {"buckets": (16, 8)},     # not increasing
+            {"buckets": (8, 8, 16)},  # duplicate
+            {"buckets": (0, 8)},      # non-positive
+        ],
+    )
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BatchingPolicy(**kwargs)
+
+    def test_max_seq_len_is_largest_bucket(self):
+        assert BatchingPolicy(buckets=(8, 48)).max_seq_len == 48
+
+
+class TestSizeFlush:
+    def test_flush_exactly_at_max_size(self):
+        batcher = DynamicBatcher(BatchingPolicy(max_batch_size=3, buckets=(16,)))
+        assert batcher.add(pending(), 0.0) is None
+        assert batcher.add(pending(), 1.0) is None
+        batch = batcher.add(pending(), 2.0)
+        assert batch is not None and batch.size == 3
+        assert batcher.pending == 0
+
+    def test_no_batch_ever_exceeds_max_size(self):
+        policy = BatchingPolicy(max_batch_size=4, max_wait_ms=5.0, buckets=(8, 16))
+        batcher = DynamicBatcher(policy)
+        batches = []
+        for i in range(37):
+            full = batcher.add(pending(length=8 if i % 3 else 16, at=float(i)), float(i))
+            if full:
+                batches.append(full)
+        batches.extend(batcher.flush_all(100.0))
+        assert batcher.pending == 0
+        assert all(b.size <= policy.max_batch_size for b in batches)
+        assert sum(b.size for b in batches) == 37
+
+    def test_full_batch_flushes_at_submit_time(self):
+        batcher = DynamicBatcher(BatchingPolicy(max_batch_size=2, buckets=(16,)))
+        batcher.add(pending(at=0.0), 0.0)
+        batch = batcher.add(pending(at=3.0), 3.0)
+        assert batch.flush_ms == 3.0
+
+
+class TestDeadlineFlush:
+    def test_partial_batch_flushes_at_deadline(self):
+        batcher = DynamicBatcher(
+            BatchingPolicy(max_batch_size=8, max_wait_ms=5.0, buckets=(16,))
+        )
+        batcher.add(pending(at=1.0), 1.0)
+        assert batcher.due_batches(5.9) == []          # deadline is 6.0
+        flushed = batcher.due_batches(6.0)
+        assert len(flushed) == 1 and flushed[0].size == 1
+        assert flushed[0].flush_ms == 6.0              # fired at the deadline
+
+    def test_deadline_is_oldest_requests(self):
+        batcher = DynamicBatcher(
+            BatchingPolicy(max_batch_size=8, max_wait_ms=5.0, buckets=(16,))
+        )
+        batcher.add(pending(at=0.0), 0.0)
+        batcher.add(pending(at=4.0), 4.0)
+        assert batcher.next_deadline() == 5.0
+        flushed = batcher.due_batches(5.0)
+        assert len(flushed) == 1 and flushed[0].size == 2
+
+    def test_due_batches_come_out_in_deadline_order(self):
+        batcher = DynamicBatcher(
+            BatchingPolicy(max_batch_size=8, max_wait_ms=5.0, buckets=(8, 16))
+        )
+        batcher.add(pending(length=16, at=0.0), 0.0)
+        batcher.add(pending(length=8, at=2.0), 2.0)
+        flushed = batcher.due_batches(10.0)
+        assert [b.flush_ms for b in flushed] == [5.0, 7.0]
+        assert [b.bucket for b in flushed] == [16, 8]
+
+    def test_next_deadline_none_when_idle(self):
+        batcher = DynamicBatcher(BatchingPolicy())
+        assert batcher.next_deadline() is None
+
+
+class TestBucketing:
+    def test_different_buckets_never_mix(self):
+        batcher = DynamicBatcher(
+            BatchingPolicy(max_batch_size=4, max_wait_ms=5.0, buckets=(8, 16))
+        )
+        for i, length in enumerate((3, 12, 5, 14)):
+            batcher.add(pending(length=length, at=float(i)), float(i))
+        flushed = batcher.flush_all(50.0)
+        assert sorted(b.bucket for b in flushed) == [8, 16]
+        for batch in flushed:
+            assert all(r.length <= batch.bucket for r in batch.requests)
+
+    def test_token_accounting(self):
+        batcher = DynamicBatcher(BatchingPolicy(max_batch_size=2, buckets=(16,)))
+        batch = None
+        for length in (5, 11):
+            batch = batcher.add(pending(length=length), 0.0) or batch
+        assert batch.real_tokens == 16
+        assert batch.padded_tokens == 32
+
+    def test_flush_all_empties_every_bucket(self):
+        batcher = DynamicBatcher(
+            BatchingPolicy(max_batch_size=8, buckets=(8, 16, 32))
+        )
+        for length in (4, 12, 20, 6):
+            batcher.add(pending(length=length), 0.0)
+        assert batcher.pending == 4
+        flushed = batcher.flush_all(1.0)
+        assert batcher.pending == 0
+        assert sum(b.size for b in flushed) == 4

@@ -1,0 +1,79 @@
+"""LRU tokenization cache: hits, recency, eviction."""
+
+import pytest
+
+from repro.serve import LRUCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_len_and_contains(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert len(cache) == 1 and "a" in cache and "b" not in cache
+        # __contains__ is a pure membership probe: no counter churn.
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_clear(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0 and cache.get("a") is None
+
+
+class TestEviction:
+    def test_lru_entry_evicted_first(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a", the least recently used
+        assert "a" not in cache and "b" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")      # "b" is now LRU
+        cache.put("c", 3)
+        assert "a" in cache and "b" not in cache
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert: no eviction
+        assert cache.evictions == 0
+        cache.put("c", 3)
+        assert "a" in cache and cache.get("a") == 10 and "b" not in cache
+
+    def test_eviction_chain(self):
+        cache = LRUCache(3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3
+        assert cache.evictions == 7
+        assert all(i in cache for i in (7, 8, 9))
+
+
+class TestHitRate:
+    def test_zero_when_untouched(self):
+        assert LRUCache(2).hit_rate == 0.0
+
+    def test_ratio(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("x")
+        assert cache.hit_rate == pytest.approx(2 / 3)

@@ -1,0 +1,77 @@
+"""Device router: latency estimates, load balancing, busy accounting."""
+
+import pytest
+
+from repro.bert import BertConfig
+from repro.serve import DeviceRouter
+
+
+@pytest.fixture(scope="module")
+def router2():
+    return DeviceRouter(BertConfig.tiny(), num_devices=2)
+
+
+class TestLatencyEstimates:
+    def test_positive_and_memoized(self):
+        router = DeviceRouter(BertConfig.tiny(), num_devices=1)
+        first = router.estimate_latency_ms(16, 4)
+        assert first > 0
+        assert router.estimate_latency_ms(16, 4) == first
+        assert (16, 4) in router._latency_cache
+
+    def test_batching_amortizes_weight_stream(self):
+        """Batch latency grows sublinearly: the resident weight tile serves
+        the whole batch, so latency(B) < B * latency(1)."""
+        router = DeviceRouter(BertConfig.tiny(), num_devices=1)
+        single = router.estimate_latency_ms(16, 1)
+        for batch in (2, 4, 8):
+            assert router.estimate_latency_ms(16, batch) < batch * single
+
+    def test_longer_sequences_cost_more(self):
+        router = DeviceRouter(BertConfig.tiny(), num_devices=1)
+        assert router.estimate_latency_ms(32, 1) > router.estimate_latency_ms(8, 1)
+
+    def test_invalid_device_count(self):
+        with pytest.raises(ValueError):
+            DeviceRouter(BertConfig.tiny(), num_devices=0)
+
+
+class TestDispatch:
+    def test_round_robins_idle_devices(self, router2):
+        a = router2.dispatch(16, 1, ready_ms=0.0)
+        b = router2.dispatch(16, 1, ready_ms=0.0)
+        assert {a.device_id, b.device_id} == {0, 1}
+        # Both start immediately: two devices, two batches.
+        assert a.start_ms == 0.0 and b.start_ms == 0.0
+
+    def test_queues_behind_busy_devices(self):
+        router = DeviceRouter(BertConfig.tiny(), num_devices=1)
+        first = router.dispatch(16, 1, ready_ms=0.0)
+        second = router.dispatch(16, 1, ready_ms=0.0)
+        assert second.start_ms == first.finish_ms
+        assert second.finish_ms == second.start_ms + second.service_ms
+
+    def test_ready_time_respected(self):
+        router = DeviceRouter(BertConfig.tiny(), num_devices=1)
+        dispatch = router.dispatch(16, 1, ready_ms=42.0)
+        assert dispatch.start_ms == 42.0
+
+    def test_busy_accounting(self):
+        router = DeviceRouter(BertConfig.tiny(), num_devices=2)
+        for _ in range(4):
+            router.dispatch(16, 2, ready_ms=0.0)
+        busy = router.busy_ms_by_device()
+        assert set(busy) == {0, 1}
+        expected = 2 * router.estimate_latency_ms(16, 2)
+        assert busy[0] == pytest.approx(expected)
+        assert busy[1] == pytest.approx(expected)
+        assert router.devices[0].batches_served == 2
+        assert router.devices[0].requests_served == 4
+
+    def test_two_devices_halve_makespan(self):
+        """N devices drain a backlog of identical batches ~N x faster."""
+        single = DeviceRouter(BertConfig.tiny(), num_devices=1)
+        dual = DeviceRouter(BertConfig.tiny(), num_devices=2)
+        finish_single = max(single.dispatch(16, 4, 0.0).finish_ms for _ in range(8))
+        finish_dual = max(dual.dispatch(16, 4, 0.0).finish_ms for _ in range(8))
+        assert finish_dual == pytest.approx(finish_single / 2)

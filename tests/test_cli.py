@@ -84,3 +84,26 @@ class TestTrainQuantizeEvaluate:
     def test_integer_eval_rejects_float_checkpoint(self, float_checkpoint):
         with pytest.raises(SystemExit):
             main(["evaluate", "--checkpoint", str(float_checkpoint), "--integer"])
+
+
+class TestServe:
+    def test_default_ptq_serving_run(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "--requests", "24", "--batch-size", "4",
+                    "--num-devices", "2", "--slo-ms", "50",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "p50" in out
+        assert "padding efficiency" in out
+        assert "accuracy over trace" in out
+        assert "2 x ZCU102" in out
+
+    def test_unknown_device(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--device", "VU9P", "--requests", "4"])
