@@ -1,0 +1,25 @@
+"""Optimized vs. seed integer kernels: the vectorization-pass scorecard.
+
+Runs the kernel bench suite (quick profile) and records the speedup table
+to ``benchmarks/results/vectorization_speedup.txt``.  The committed
+``BENCH_kernels.json`` at the repo root holds the full-profile baseline the
+regression gate (``repro.cli bench``) compares against.
+"""
+
+from repro.perf import render_result
+from repro.perf.bench import run_kernel_suite
+
+
+def test_bench_vectorization_speedup(record_table):
+    result = run_kernel_suite(quick=True, seed=0)
+    metrics = result["metrics"]
+
+    lines = ["Vectorization pass: optimized vs. seed kernels (quick profile)", ""]
+    lines.append(render_result(result))
+    record_table("vectorization_speedup", "\n".join(lines))
+
+    # The suite itself asserts bit-exactness before timing; here we pin the
+    # perf claim with CI-load headroom (the full profile documents >2x).
+    speedup = metrics["batched_forward_batch8_speedup_vs_reference"]["value"]
+    assert speedup > 1.3, f"batched forward speedup collapsed to {speedup:.2f}x"
+    assert metrics["integer_linear_ffn1_speedup_vs_reference"]["value"] > 1.3

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import List
+from functools import lru_cache
+from typing import Tuple
 
 from ..bert.config import BertConfig
 
@@ -59,11 +60,16 @@ class Op:
 
 @dataclass(frozen=True)
 class EncoderWorkload:
-    """The per-layer op stream plus the layer count."""
+    """The per-layer op stream plus the layer count.
+
+    Fully immutable (and therefore hashable): ``layer_ops`` is a tuple of
+    frozen :class:`Op` instances, which lets the scheduler memoize its
+    cycle accounting per workload.
+    """
 
     config: BertConfig
     seq_len: int
-    layer_ops: List[Op]
+    layer_ops: Tuple[Op, ...]
     num_layers: int
     batch_size: int = 1
 
@@ -94,6 +100,7 @@ class EncoderWorkload:
         return total * self.num_layers
 
 
+@lru_cache(maxsize=512)
 def build_encoder_workload(
     config: BertConfig,
     seq_len: int = 128,
@@ -110,6 +117,11 @@ def build_encoder_workload(
     traffic stays fixed — a resident weight tile serves the whole batch, so
     batching amortizes the off-chip stream (the paper evaluates batch 1
     latency; the batch-scaling bench quantifies the throughput headroom).
+
+    Memoized per ``(config, seq_len, weight_bits, batch_size)``: the serving
+    router asks for the same (config, seq-bucket) shapes on every batch, and
+    the derivation is pure, so repeated calls return the cached (immutable)
+    workload instead of re-deriving it.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -119,7 +131,7 @@ def build_encoder_workload(
     head_dim = config.head_dim
     tokens = seq_len * batch_size
 
-    ops = [
+    ops = (
         Op("X*W_Q", OpKind.MATMUL_W, tokens, hidden, hidden, weight_bits=weight_bits),
         Op("X*W_K", OpKind.MATMUL_W, tokens, hidden, hidden, weight_bits=weight_bits),
         Op("X*W_V", OpKind.MATMUL_W, tokens, hidden, hidden, weight_bits=weight_bits),
@@ -132,7 +144,7 @@ def build_encoder_workload(
         Op("GELU", OpKind.GELU, vectors=tokens, out_dim=inter),
         Op("FFN2", OpKind.MATMUL_W, tokens, hidden, inter, weight_bits=weight_bits),
         Op("Add&LN_2", OpKind.LAYERNORM, vectors=tokens, out_dim=hidden),
-    ]
+    )
     return EncoderWorkload(
         config=config,
         seq_len=seq_len,

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro.cli simulate  --device ZCU102 --pes 8 --multipliers 16
     python -m repro.cli compare   # Table IV style platform comparison
     python -m repro.cli serve     --requests 64 --batch-size 8 --num-devices 2
+    python -m repro.cli bench     [--quick] [--suite kernels|serve|all]
 
 Each subcommand is a thin wrapper over the library; anything the CLI does
 can be done in a few lines of Python (see examples/).
@@ -225,6 +226,67 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run the pinned perf suites; gate against committed BENCH_*.json.
+
+    For each suite the flow is: run → compare against the existing
+    ``BENCH_<suite>.json`` (if any, and unless ``--no-check``) → rewrite the
+    file with the fresh results.  Any gated metric more than ``--tolerance``
+    worse than the baseline fails the command with exit code 1 — the file
+    is still rewritten so ``git diff`` shows exactly what moved.  A
+    profile mismatch (e.g. a ``--quick`` run over a committed full-profile
+    baseline) leaves the baseline untouched: quick numbers must never
+    silently replace the full-profile gate (``--no-check`` overrides).
+    """
+    import pathlib
+
+    from .perf import bench, regression
+
+    suites = list(bench.SUITES) if args.suite == "all" else [args.suite]
+    out_dir = pathlib.Path(args.out_dir)
+    failures = []
+    skipped = []
+    for suite in suites:
+        result = bench.run_suite(suite, quick=args.quick)
+        print(bench.render_result(result))
+        path = bench.result_path(out_dir, suite)
+        baseline = bench.load_result(path)
+        write = True
+        if baseline is not None and not args.no_check:
+            try:
+                regressions = regression.compare_runs(
+                    baseline, result, tolerance=args.tolerance
+                )
+            except ValueError as mismatch:
+                write = False
+                skipped.append(suite)
+                print(
+                    f"[bench] {suite}: {mismatch}; leaving {path} untouched "
+                    "(use --no-check or another --out-dir to write anyway)"
+                )
+            else:
+                for item in regressions:
+                    print(f"[bench] REGRESSION ({suite}): {item.render()}")
+                failures.extend(regressions)
+        if write:
+            bench.write_result(result, path)
+            print(f"[bench] wrote {path}")
+    if failures:
+        print(
+            f"[bench] FAILED: {len(failures)} metric(s) regressed more than "
+            f"{args.tolerance * 100:.0f}% vs. the committed baseline"
+        )
+        return 1
+    if skipped:
+        print(
+            f"[bench] done, but the regression gate did NOT run for: "
+            f"{', '.join(skipped)} (baseline mismatch)"
+        )
+    else:
+        print("[bench] OK: no regressions beyond tolerance")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -285,6 +347,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--device", default="ZCU102")
     serve.add_argument("--seed", type=int, default=7)
     serve.set_defaults(func=cmd_serve)
+
+    bench = sub.add_parser(
+        "bench", help="pinned perf suites + regression gate (BENCH_*.json)"
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="small shapes / fewer repeats (CI smoke)"
+    )
+    bench.add_argument("--suite", choices=["kernels", "serve", "all"], default="all")
+    bench.add_argument(
+        "--out-dir", default=".", help="where BENCH_<suite>.json files live"
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed relative regression before failing (0.10 = 10%%)",
+    )
+    bench.add_argument(
+        "--no-check", action="store_true", help="emit results without gating"
+    )
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

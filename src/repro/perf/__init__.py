@@ -1,0 +1,76 @@
+"""Profiling, benchmarking, and perf-regression tooling.
+
+The subsystem behind ``repro.cli bench`` and the ROADMAP's "every PR makes
+a hot path measurably faster" rule:
+
+- :mod:`timer` — best-of-N wall-clock timing (:func:`time_callable`)
+- :mod:`profiler` — span-based wall-time attribution (:class:`Profiler`)
+- :mod:`reference` — the seed (pre-optimization) integer kernels, the
+  bit-exactness oracle every optimization is verified against
+- :mod:`workloads` — pinned synthetic integer models, tokenizer, and text
+  pools (deterministic, training-free)
+- :mod:`bench` — the ``kernels`` / ``serve`` suites emitting
+  ``BENCH_*.json`` baselines
+- :mod:`regression` — the >10%-worse gate against committed baselines
+
+See ``docs/performance.md`` for the workflow.
+"""
+
+from .bench import (
+    BENCH_BATCH,
+    SCHEMA,
+    SUITES,
+    load_result,
+    render_result,
+    result_path,
+    run_kernel_suite,
+    run_serve_suite,
+    run_suite,
+    write_result,
+)
+from .profiler import Profiler, SpanStats
+from .reference import (
+    reference_attention_forward,
+    reference_encode,
+    reference_forward,
+    reference_layer_forward,
+    reference_layernorm_forward,
+    reference_linear_forward,
+)
+from .regression import DEFAULT_TOLERANCE, Regression, compare_runs
+from .timer import TimingResult, time_callable
+from .workloads import HashTokenizer, bench_text_pool, build_synthetic_integer_model
+
+__all__ = [
+    # bench suites
+    "BENCH_BATCH",
+    "SCHEMA",
+    "SUITES",
+    "run_suite",
+    "run_kernel_suite",
+    "run_serve_suite",
+    "result_path",
+    "load_result",
+    "write_result",
+    "render_result",
+    # regression gate
+    "DEFAULT_TOLERANCE",
+    "Regression",
+    "compare_runs",
+    # timing / profiling
+    "TimingResult",
+    "time_callable",
+    "Profiler",
+    "SpanStats",
+    # reference kernels
+    "reference_linear_forward",
+    "reference_layernorm_forward",
+    "reference_attention_forward",
+    "reference_layer_forward",
+    "reference_encode",
+    "reference_forward",
+    # workloads
+    "build_synthetic_integer_model",
+    "HashTokenizer",
+    "bench_text_pool",
+]

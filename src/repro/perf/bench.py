@@ -1,0 +1,347 @@
+"""Pinned benchmark suites behind ``repro.cli bench``.
+
+Two suites, each emitting one JSON document designed to be committed as a
+regression baseline (``BENCH_kernels.json`` / ``BENCH_serve.json``):
+
+- **kernels** — the optimized integer kernels (linear, attention, Add&LN,
+  LUT softmax, and the full batched forward at batch=8) timed against the
+  seed implementations preserved in :mod:`repro.perf.reference`.  Before
+  timing, the suite *asserts bit-exact equivalence* between the two paths —
+  a speedup that changes an output bit is a bug, not a result.
+- **serve** — a pinned Poisson trace through the full
+  :class:`~repro.serve.ServingEngine`, reporting both wall-clock host cost
+  and the deterministic simulated serving statistics (which double as
+  functional regression canaries: they must reproduce exactly).
+
+JSON layout (``schema: repro-bench/1``)::
+
+    {"schema": "repro-bench/1", "suite": "kernels", "profile": "full",
+     "metrics": {"<name>": {"value": 1.23, "unit": "ms",
+                            "higher_is_better": false, "gated": false}},
+     "info": {...}}          # context, never regression-checked
+
+``metrics`` entries are what :mod:`repro.perf.regression` gates on.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..bert.config import BertConfig
+from ..serve import ServingConfig, ServingEngine, generate_trace
+from . import reference
+from .profiler import Profiler
+from .timer import time_callable
+from .workloads import HashTokenizer, bench_text_pool, build_synthetic_integer_model
+
+SCHEMA = "repro-bench/1"
+SUITES = ("kernels", "serve")
+BENCH_BATCH = 8  # the acceptance batch size for the batched forward
+
+
+def _metric(value: float, unit: str, higher_is_better: bool, gated: bool = True) -> Dict:
+    """One metric entry.  ``gated=False`` records machine-dependent raw
+    wall-clock values for context without subjecting them to the regression
+    tolerance — only machine-portable metrics (same-run speedup ratios,
+    deterministic simulated stats) gate by default."""
+    return {
+        "value": float(value),
+        "unit": unit,
+        "higher_is_better": higher_is_better,
+        "gated": gated,
+    }
+
+
+def _kernel_config(quick: bool) -> BertConfig:
+    """The pinned model shape of the kernel suite."""
+    if quick:
+        return BertConfig(
+            vocab_size=256,
+            hidden_size=96,
+            num_hidden_layers=2,
+            num_attention_heads=12,
+            intermediate_size=384,
+            max_position_embeddings=64,
+            num_labels=2,
+        )
+    return BertConfig(
+        vocab_size=512,
+        hidden_size=192,
+        num_hidden_layers=4,
+        num_attention_heads=12,
+        intermediate_size=768,
+        max_position_embeddings=128,
+        num_labels=2,
+    )
+
+
+def run_kernel_suite(quick: bool = False, seed: int = 0) -> Dict:
+    """Time optimized vs. seed kernels on a pinned synthetic model.
+
+    Args:
+        quick: Use the small shape / fewer repeats (CI smoke profile).
+        seed: Seed for the synthetic model and inputs.
+
+    Returns:
+        A ``repro-bench/1`` result document.
+
+    Raises:
+        RuntimeError: If any optimized kernel output differs from the seed
+            reference by even one bit (the equivalence gate).
+    """
+    config = _kernel_config(quick)
+    seq_len = 32 if quick else 64
+    repeats = 2 if quick else 5
+    model = build_synthetic_integer_model(config, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+
+    input_ids = rng.integers(0, config.vocab_size, size=(BENCH_BATCH, seq_len))
+    lengths = rng.integers(seq_len // 2, seq_len + 1, size=BENCH_BATCH)
+    mask = (np.arange(seq_len)[None, :] < lengths[:, None]).astype(np.int64)
+
+    # --- equivalence gate: the two paths must agree bit-for-bit ----------
+    opt_codes = model.encode(input_ids, mask)
+    ref_codes = reference.reference_encode(model, input_ids, mask)
+    if not np.array_equal(opt_codes, ref_codes):
+        raise RuntimeError(
+            "optimized encoder diverged from the seed reference — refusing to "
+            "benchmark a non-equivalent kernel"
+        )
+    if not np.array_equal(
+        model.forward(input_ids, mask), reference.reference_forward(model, input_ids, mask)
+    ):
+        raise RuntimeError("optimized forward diverged from the seed reference")
+
+    layer = model.layers[0]
+    flat = opt_codes.reshape(-1, config.hidden_size)
+
+    # (optimized, seed, gate_speedup): the speedup ratio is gated only for
+    # kernels with a claimed multi-x win — Add&LN was already vectorized in
+    # the seed, so its ~1.0x ratio is pure timing noise and gating it at
+    # 10% would fail spuriously.
+    pairs: Dict[str, tuple] = {
+        "batched_forward_batch8": (
+            lambda: model.forward(input_ids, mask),
+            lambda: reference.reference_forward(model, input_ids, mask),
+            True,
+        ),
+        "integer_linear_ffn1": (
+            lambda: layer.ffn1.forward(flat),
+            lambda: reference.reference_linear_forward(layer.ffn1, flat),
+            True,
+        ),
+        "attention_layer0": (
+            lambda: layer.attention.forward(opt_codes, mask),
+            lambda: reference.reference_attention_forward(layer.attention, opt_codes, mask),
+            True,
+        ),
+        "layernorm_layer0": (
+            lambda: layer.attention_layernorm.forward(opt_codes, ref_codes),
+            lambda: reference.reference_layernorm_forward(
+                layer.attention_layernorm, opt_codes, ref_codes
+            ),
+            False,
+        ),
+    }
+    metrics: Dict[str, Dict] = {}
+    for name, (optimized, seed_impl, gate_speedup) in pairs.items():
+        opt = time_callable(optimized, repeats=repeats)
+        ref = time_callable(seed_impl, repeats=repeats)
+        metrics[f"{name}_ms"] = _metric(
+            opt.best_ms, "ms", higher_is_better=False, gated=False
+        )
+        metrics[f"{name}_reference_ms"] = _metric(
+            ref.best_ms, "ms", higher_is_better=False, gated=False
+        )
+        # The speedup is a same-run ratio, so it transfers across machines
+        # far better than raw milliseconds do.
+        metrics[f"{name}_speedup_vs_reference"] = _metric(
+            ref.best_ms / opt.best_ms if opt.best_ms else float("inf"),
+            "x",
+            higher_is_better=True,
+            gated=gate_speedup,
+        )
+
+    return {
+        "schema": SCHEMA,
+        "suite": "kernels",
+        "profile": "quick" if quick else "full",
+        "metrics": metrics,
+        "info": {
+            "model": model.config.to_dict(),
+            "seq_len": seq_len,
+            "batch_size": BENCH_BATCH,
+            "repeats": repeats,
+            "seed": seed,
+        },
+    }
+
+
+def run_serve_suite(quick: bool = False, seed: int = 0) -> Dict:
+    """Run a pinned request trace through the serving engine and time it.
+
+    Args:
+        quick: Use the small model / short trace (CI smoke profile).
+        seed: Seed for the synthetic model, text pool, and trace.
+
+    Returns:
+        A ``repro-bench/1`` result document.  Wall metrics measure host
+        compute; the ``sim_*`` metrics come from the deterministic
+        simulated clock and must reproduce exactly across machines.
+    """
+    config = _kernel_config(quick)
+    num_requests = 32 if quick else 96
+    repeats = 2 if quick else 3
+    serving = ServingConfig(
+        max_batch_size=BENCH_BATCH,
+        max_wait_ms=8.0,
+        buckets=(16, 32, 64),
+        num_devices=2,
+        cache_capacity=256,
+        slo_ms=400.0,
+    )
+    tokenizer = HashTokenizer(vocab_size=config.vocab_size)
+    pool = bench_text_pool(48, seed=seed)
+    trace = generate_trace(pool, num_requests=num_requests, mean_interarrival_ms=2.0, seed=seed)
+
+    # One shared model across repeats: engine state must reset per run, but
+    # the frozen model (and its cached weight plans) is steady-state reuse —
+    # exactly what a serving process amortizes.
+    model = build_synthetic_integer_model(config, seed=seed)
+
+    def fresh_engine() -> ServingEngine:
+        return ServingEngine(model, tokenizer, serving)
+
+    def run_once() -> None:
+        fresh_engine().run_trace(trace)
+
+    wall = time_callable(run_once, repeats=repeats, warmup=1)
+
+    # One instrumented run for the stats + the span attribution.
+    profiler = Profiler()
+    engine = fresh_engine()
+    engine.model.encode = profiler.wrap("model.encode", engine.model.encode)
+    engine.model.classify_rows = profiler.wrap(
+        "model.classify_rows", engine.model.classify_rows
+    )
+    engine.tokenizer = _wrap_tokenizer(profiler, tokenizer)
+    with profiler.span("run_trace"):
+        engine.run_trace(trace)
+    stats = engine.stats()
+
+    metrics = {
+        "trace_wall_ms": _metric(wall.best_ms, "ms", higher_is_better=False, gated=False),
+        "wall_requests_per_s": _metric(
+            num_requests / (wall.best_ms / 1e3), "req/s", higher_is_better=True, gated=False
+        ),
+        "sim_p50_latency_ms": _metric(stats.p50_latency_ms, "ms", higher_is_better=False),
+        "sim_p95_latency_ms": _metric(stats.p95_latency_ms, "ms", higher_is_better=False),
+        "sim_throughput_rps": _metric(stats.throughput_rps, "req/s", higher_is_better=True),
+        "sim_mean_batch_size": _metric(stats.mean_batch_size, "req", higher_is_better=True),
+        "sim_cache_hit_rate": _metric(stats.cache_hit_rate, "", higher_is_better=True),
+        "sim_padding_efficiency": _metric(
+            stats.padding_efficiency, "", higher_is_better=True
+        ),
+    }
+    return {
+        "schema": SCHEMA,
+        "suite": "serve",
+        "profile": "quick" if quick else "full",
+        "metrics": metrics,
+        "info": {
+            "model": engine.model.config.to_dict(),
+            "num_requests": num_requests,
+            "repeats": repeats,
+            "seed": seed,
+            "serving": {
+                "max_batch_size": serving.max_batch_size,
+                "max_wait_ms": serving.max_wait_ms,
+                "buckets": list(serving.buckets),
+                "num_devices": serving.num_devices,
+                "slo_ms": serving.slo_ms,
+            },
+            "profile_spans": profiler.report(),
+        },
+    }
+
+
+def _wrap_tokenizer(profiler: Profiler, tokenizer: HashTokenizer):
+    """A tokenizer proxy whose ``encode`` is profiled."""
+
+    class _Proxy:
+        encode = staticmethod(profiler.wrap("tokenizer.encode", tokenizer.encode))
+
+    return _Proxy()
+
+
+_RUNNERS: Dict[str, Callable[..., Dict]] = {
+    "kernels": run_kernel_suite,
+    "serve": run_serve_suite,
+}
+
+
+def run_suite(suite: str, quick: bool = False, seed: int = 0) -> Dict:
+    """Run one named suite.
+
+    Args:
+        suite: ``"kernels"`` or ``"serve"``.
+        quick: CI smoke profile (smaller shapes, fewer repeats).
+        seed: Workload seed.
+
+    Returns:
+        The suite's ``repro-bench/1`` result document.
+    """
+    runner = _RUNNERS.get(suite)
+    if runner is None:
+        raise ValueError(f"unknown suite {suite!r}; choose from {sorted(_RUNNERS)}")
+    return runner(quick=quick, seed=seed)
+
+
+def result_path(out_dir: pathlib.Path, suite: str) -> pathlib.Path:
+    """The canonical baseline file of a suite (``BENCH_<suite>.json``)."""
+    return pathlib.Path(out_dir) / f"BENCH_{suite}.json"
+
+
+def write_result(result: Dict, path: pathlib.Path) -> None:
+    """Write one result document as stable, diff-friendly JSON.
+
+    Args:
+        result: A suite result document.
+        path: Destination file (parent directories are created).
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+
+def load_result(path: pathlib.Path) -> Optional[Dict]:
+    """Load a previously written result, or ``None`` if absent.
+
+    Args:
+        path: A ``BENCH_<suite>.json`` path.
+
+    Returns:
+        The parsed document, or ``None`` when the file does not exist.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def render_result(result: Dict) -> str:
+    """Human-readable metric table of one result document."""
+    lines = [f"suite: {result['suite']}  (profile: {result['profile']})"]
+    width = max(len(name) for name in result["metrics"])
+    for name, metric in result["metrics"].items():
+        unit = f" {metric['unit']}" if metric["unit"] else ""
+        arrow = "↑" if metric["higher_is_better"] else "↓"
+        gate = "" if metric.get("gated", True) else ", not gated"
+        lines.append(
+            f"  {name:<{width}}  {metric['value']:>12.4f}{unit}  ({arrow} better{gate})"
+        )
+    return "\n".join(lines)

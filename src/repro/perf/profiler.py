@@ -1,0 +1,115 @@
+"""A lightweight span profiler for attributing wall time to pipeline stages.
+
+``Profiler`` accumulates (call count, total time) per named span.  It is
+deliberately tiny — a context manager around ``time.perf_counter`` — so it
+can wrap hot-path stages (tokenize / encode / classify / dispatch) without
+perturbing what it measures.  The bench harness uses it to attribute serve
+wall time; it is also usable standalone::
+
+    profiler = Profiler()
+    with profiler.span("encode"):
+        model.encode(ids, mask)
+    print(profiler.render())
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator
+
+
+@dataclass
+class SpanStats:
+    """Accumulated statistics of one named span.
+
+    Attributes:
+        calls: Number of completed span entries.
+        total_ms: Total wall milliseconds across all entries.
+    """
+
+    calls: int = 0
+    total_ms: float = 0.0
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean wall milliseconds per call (0.0 before any call)."""
+        return self.total_ms / self.calls if self.calls else 0.0
+
+
+@dataclass
+class Profiler:
+    """Accumulates wall time per named span.
+
+    Attributes:
+        spans: Mapping of span name to its accumulated :class:`SpanStats`,
+            in first-entered order.
+    """
+
+    spans: Dict[str, SpanStats] = field(default_factory=dict)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time one entry of span ``name`` (re-entrant across calls).
+
+        Args:
+            name: Span label; repeated entries accumulate.
+        """
+        stats = self.spans.setdefault(name, SpanStats())
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            stats.calls += 1
+            stats.total_ms += (time.perf_counter() - start) * 1e3
+
+    def wrap(self, name: str, fn: Callable) -> Callable:
+        """Return ``fn`` wrapped so every call is recorded under ``name``.
+
+        Args:
+            name: Span label.
+            fn: Callable to instrument.
+
+        Returns:
+            A callable with the same signature as ``fn``.
+        """
+
+        def wrapped(*args, **kwargs):
+            with self.span(name):
+                return fn(*args, **kwargs)
+
+        return wrapped
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        """Span statistics as plain dicts (JSON-ready).
+
+        Returns:
+            ``{name: {"calls": n, "total_ms": t, "mean_ms": m}}`` per span.
+        """
+        return {
+            name: {
+                "calls": stats.calls,
+                "total_ms": stats.total_ms,
+                "mean_ms": stats.mean_ms,
+            }
+            for name, stats in self.spans.items()
+        }
+
+    def render(self) -> str:
+        """Human-readable table, spans sorted by total time descending."""
+        if not self.spans:
+            return "(no spans recorded)"
+        ordered = sorted(self.spans.items(), key=lambda kv: -kv[1].total_ms)
+        width = max(len(name) for name, _ in ordered)
+        lines = [f"{'span':<{width}}  {'calls':>6}  {'total ms':>10}  {'mean ms':>9}"]
+        for name, stats in ordered:
+            lines.append(
+                f"{name:<{width}}  {stats.calls:>6}  {stats.total_ms:>10.2f}  "
+                f"{stats.mean_ms:>9.3f}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop all accumulated spans."""
+        self.spans.clear()

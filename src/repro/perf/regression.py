@@ -1,0 +1,104 @@
+"""The bench-regression gate: compare a run against a committed baseline.
+
+``repro.cli bench`` writes ``BENCH_<suite>.json`` files that get committed
+with the code; on the next run, each fresh result is compared against the
+committed document and any metric that moved in its *bad* direction by more
+than the tolerance (default 10%) fails the run.  Direction comes from each
+metric's ``higher_is_better`` flag, so latency and throughput are both
+gated by the same machinery.
+
+Improvements are never flagged — the gate is one-sided by design: it stops
+silent decay, not progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+DEFAULT_TOLERANCE = 0.10
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that got worse beyond tolerance.
+
+    Attributes:
+        metric: Metric name (a key of the result's ``metrics``).
+        baseline: The committed baseline value.
+        current: The fresh run's value.
+        relative_change: Signed relative change ``(current-baseline)/baseline``.
+        higher_is_better: The metric's good direction.
+    """
+
+    metric: str
+    baseline: float
+    current: float
+    relative_change: float
+    higher_is_better: bool
+
+    def render(self) -> str:
+        """One-line human-readable description."""
+        direction = "dropped" if self.higher_is_better else "rose"
+        return (
+            f"{self.metric}: {direction} {abs(self.relative_change) * 100:.1f}% "
+            f"(baseline {self.baseline:.4f} -> current {self.current:.4f})"
+        )
+
+
+def compare_runs(
+    baseline: Dict, current: Dict, tolerance: float = DEFAULT_TOLERANCE
+) -> List[Regression]:
+    """Find metrics that regressed beyond ``tolerance``.
+
+    Args:
+        baseline: The committed ``repro-bench/1`` document.
+        current: The fresh run's document (same suite and profile).
+        tolerance: Allowed relative slack in the bad direction (0.10 = 10%).
+
+    Returns:
+        One :class:`Regression` per out-of-tolerance metric, ordered by the
+        baseline document's metric order.  Metrics present on only one side
+        are ignored (adding or retiring metrics is not a regression), as
+        are metrics marked ``"gated": false`` — raw wall-clock values are
+        machine-dependent context, not a cross-machine contract.
+
+    Raises:
+        ValueError: If the documents disagree on suite or profile — a
+            quick-profile run must never be gated against a full-profile
+            baseline (different pinned shapes).
+    """
+    if not 0.0 <= tolerance:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    for key in ("suite", "profile"):
+        if baseline.get(key) != current.get(key):
+            raise ValueError(
+                f"baseline/current {key} mismatch: "
+                f"{baseline.get(key)!r} vs {current.get(key)!r}"
+            )
+    regressions: List[Regression] = []
+    current_metrics = current.get("metrics", {})
+    for name, base in baseline.get("metrics", {}).items():
+        cur = current_metrics.get(name)
+        if cur is None:
+            continue
+        if not (base.get("gated", True) and cur.get("gated", True)):
+            continue
+        base_value = float(base["value"])
+        cur_value = float(cur["value"])
+        higher_is_better = bool(base.get("higher_is_better", False))
+        if base_value == 0.0:
+            continue  # no meaningful relative change
+        change = (cur_value - base_value) / abs(base_value)
+        worse = change < -tolerance if higher_is_better else change > tolerance
+        if worse:
+            regressions.append(
+                Regression(
+                    metric=name,
+                    baseline=base_value,
+                    current=cur_value,
+                    relative_change=change,
+                    higher_is_better=higher_is_better,
+                )
+            )
+    return regressions

@@ -11,12 +11,33 @@ The conversion consumes a trained
 :class:`repro.quant.qbert.QuantBertForSequenceClassification` and the engine
 is validated against it: predictions must agree because the fake-quant
 forward was designed to follow this exact datapath.
+
+The engine is the serving hot path, so its kernels are fully batched and
+tuned without changing a single output bit:
+
+- every matmul runs through :mod:`repro.quant.intgemm`, which certifies a
+  magnitude bound and executes on the float64 BLAS path (exact on small
+  integers) instead of numpy's slow native int64 loop;
+- weight operands are transposed and cast **once per model** at conversion
+  (:class:`~repro.quant.intgemm.CachedMatmul`), not per forward call;
+- the softmax-exp and GELU lookup tables are built once per distinct scale
+  and shared across layers;
+- layer-norm parameter codes are pre-widened once instead of per call.
+
+``tests/perf/test_reference_equivalence.py`` locks every kernel to the seed
+implementation (kept in :mod:`repro.perf.reference`) bit-for-bit.
+
+The inference surface is split for serving: :meth:`encode` runs the batched
+integer encoder, :meth:`classify` / :meth:`classify_rows` run the float
+host head, and :meth:`forward` composes them (optionally chunking the
+encoder pass — the integer arithmetic makes any chunking bit-identical).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from functools import cached_property
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -31,6 +52,7 @@ from .fixedpoint import (
     integer_isqrt,
     saturate,
 )
+from .intgemm import CachedMatmul, exact_matmul
 from .qat import QuantConfig
 from .qbert import QuantBertForSequenceClassification
 from .quantizer import int_range
@@ -47,6 +69,11 @@ class IntegerLinear:
     ``forward`` computes Eq. 5 exactly:
     ``y_I = clamp(requant(acc), -127, 127)`` with
     ``acc = x_I @ W_I^T + b_I`` in int32/int64 arithmetic.
+
+    ``weight_codes`` is treated as frozen after the first forward call: the
+    transposed operand is cached (:class:`~repro.quant.intgemm.CachedMatmul`)
+    so the per-call transpose copy and dtype cast of the seed implementation
+    happen once per model instead of once per batch.
     """
 
     weight_codes: np.ndarray          # (out, in) integer weight codes
@@ -57,8 +84,30 @@ class IntegerLinear:
     out_scale: float
     out_bits: int = ACT_BITS
 
+    @cached_property
+    def _matmul(self) -> CachedMatmul:
+        """The frozen ``x @ W^T`` plan (built lazily, reused every call)."""
+        return CachedMatmul(np.asarray(self.weight_codes, dtype=np.int64).T)
+
+    def invalidate_cache(self) -> None:
+        """Drop the cached matmul plan after an in-place ``weight_codes`` edit.
+
+        Only needed by callers that deliberately mutate frozen parameters
+        (e.g. failure injection); normal inference never requires it.
+        """
+        self.__dict__.pop("_matmul", None)
+
     def forward(self, x_codes: np.ndarray) -> np.ndarray:
-        acc = x_codes.astype(np.int64) @ self.weight_codes.T.astype(np.int64)
+        """Apply the layer to activation codes.
+
+        Args:
+            x_codes: Integer activation codes, shape ``(..., in_features)``.
+
+        Returns:
+            Output codes saturated to ``out_bits``, bit-identical to the
+            seed int64 implementation.
+        """
+        acc = self._matmul(x_codes)
         if self.bias_codes is not None:
             acc = acc + self.bias_codes
         return saturate(self.requant.apply(acc), self.out_bits)
@@ -88,7 +137,35 @@ class IntegerLayerNorm:
     out_scale: float
     eps_fx: int
 
+    @cached_property
+    def _gamma_i64(self) -> np.ndarray:
+        """Gamma codes pre-widened to int64 (frozen after first forward)."""
+        return np.asarray(self.gamma_codes, dtype=np.int64)
+
+    @cached_property
+    def _beta_aligned(self) -> np.ndarray:
+        """Beta codes pre-shifted onto the Q.(15+4) accumulator grid."""
+        return np.asarray(self.beta_codes, dtype=np.int64) << LN_FRAC_BITS
+
+    def invalidate_cache(self) -> None:
+        """Drop pre-widened parameter caches after an in-place gamma/beta edit.
+
+        Only needed by callers that deliberately mutate frozen parameters
+        (e.g. failure injection); normal inference never requires it.
+        """
+        self.__dict__.pop("_gamma_i64", None)
+        self.__dict__.pop("_beta_aligned", None)
+
     def forward(self, codes_a: np.ndarray, codes_b: np.ndarray) -> np.ndarray:
+        """Fused Add&LN over the last axis of a code batch.
+
+        Args:
+            codes_a: Integer codes of the first addend (any leading shape).
+            codes_b: Integer codes of the second addend, same shape.
+
+        Returns:
+            8-bit output codes, bit-identical to the seed implementation.
+        """
         # Stage 1: align and add, then the row mean.
         v = self.align_a.apply(codes_a.astype(np.int64)) + self.align_b.apply(
             codes_b.astype(np.int64)
@@ -102,9 +179,7 @@ class IntegerLayerNorm:
         std = integer_isqrt(var + self.eps_fx)  # back to LN_FRAC_BITS frac
         # Stage 3: normalize, scale by gamma, add beta, requantize.
         normalized = (centered << LN_FRAC_BITS) // np.maximum(std, 1)
-        scaled = normalized * self.gamma_codes.astype(np.int64)
-        beta_aligned = self.beta_codes.astype(np.int64) << LN_FRAC_BITS
-        acc = scaled + beta_aligned
+        acc = normalized * self._gamma_i64 + self._beta_aligned
         return saturate(self.out_requant.apply(acc), ACT_BITS)
 
 
@@ -157,7 +232,14 @@ class GeluLUT:
 
 @dataclass
 class IntegerSelfAttention:
-    """Integer multi-head attention with LUT softmax."""
+    """Integer multi-head attention with LUT softmax.
+
+    ``exp_lut`` may be *shared* between layers whose score scales are
+    equal (:func:`convert_to_integer` builds each distinct table once), so
+    an in-place edit of one layer's table — e.g. failure injection —
+    affects every layer aliasing it; assign a fresh array to mutate one
+    layer independently.
+    """
 
     query: IntegerLinear
     key: IntegerLinear
@@ -172,11 +254,20 @@ class IntegerSelfAttention:
     def forward(
         self, x_codes: np.ndarray, attention_mask: Optional[np.ndarray]
     ) -> np.ndarray:
+        """Batched attention over all heads and rows at once.
+
+        Args:
+            x_codes: Integer hidden codes, shape ``(batch, seq, hidden)``.
+            attention_mask: Optional 0/1 validity mask, ``(batch, seq)``.
+
+        Returns:
+            Context codes, shape ``(batch, seq, hidden)``.
+        """
         q = _split_heads_np(self.query.forward(x_codes), self.num_heads)
         k = _split_heads_np(self.key.forward(x_codes), self.num_heads)
         v = _split_heads_np(self.value.forward(x_codes), self.num_heads)
 
-        score_acc = q.astype(np.int64) @ k.swapaxes(-1, -2).astype(np.int64)
+        score_acc = exact_matmul(q, k.swapaxes(-1, -2))
         score_codes = saturate(self.score_requant.apply(score_acc), ACT_BITS)
 
         mask = attention_mask[:, None, None, :] if attention_mask is not None else None
@@ -184,7 +275,7 @@ class IntegerSelfAttention:
             score_codes, self.score_scale, lut=self.exp_lut, mask=mask
         )
 
-        context_acc = prob_codes.astype(np.int64) @ v.astype(np.int64)
+        context_acc = exact_matmul(prob_codes, v)
         context_codes = saturate(self.context_requant.apply(context_acc), ACT_BITS)
         return _merge_heads_np(context_codes)
 
@@ -253,6 +344,28 @@ class IntegerBertForSequenceClassification:
         """
         final_scale = self.layers[-1].output_layernorm.out_scale if self.layers else self.input_scale
         return self._head_fn(codes / final_scale)
+
+    def classify_rows(self, codes: np.ndarray) -> np.ndarray:
+        """Run the float host head independently on each encoder row.
+
+        Args:
+            codes: Final encoder codes, shape ``(batch, seq, hidden)``.
+
+        Returns:
+            Logits of shape ``(batch, num_labels)``; row ``i`` is
+            bit-identical to ``classify(codes[i:i+1])[0]``.
+
+        The serving engine uses this instead of :meth:`classify` on the
+        whole batch: float BLAS reductions need not be invariant to batch
+        composition, so per-row head execution is what keeps served logits
+        bit-identical to one-at-a-time inference.  Dequantization is
+        elementwise (hence batch-invariant) and hoisted out of the loop.
+        """
+        final_scale = self.layers[-1].output_layernorm.out_scale if self.layers else self.input_scale
+        hidden = codes / final_scale
+        return np.concatenate(
+            [self._head_fn(hidden[i : i + 1]) for i in range(hidden.shape[0])]
+        )
 
     def forward(
         self,
@@ -391,6 +504,12 @@ def convert_to_integer(
 
     Requires activation quantization to have been enabled during QAT (the
     engine needs a frozen scale at every buffer point).
+
+    Lookup tables depend only on their scales, so each distinct exp/GELU
+    table is built once and *shared by reference* across layers with equal
+    scales (they are read-only in the forward pass).  Callers that mutate
+    a layer's LUT in place (failure injection) should assign that layer a
+    fresh copy first.
     """
     qconfig: QuantConfig = qmodel.qconfig
     if not qconfig.quantize_activations:
@@ -404,6 +523,24 @@ def convert_to_integer(
     input_scale = qmodel.embeddings.layer_norm.output_quantizer.scale
     layers: List[IntegerBertLayer] = []
     current_scale = input_scale
+
+    # LUTs depend only on their scales; build each distinct table once and
+    # share it across layers (they are read-only in the forward pass).
+    exp_luts: Dict[float, np.ndarray] = {}
+    gelu_luts: Dict[Tuple[float, float], GeluLUT] = {}
+
+    def shared_exp_lut(score_scale: float) -> np.ndarray:
+        lut = exp_luts.get(score_scale)
+        if lut is None:
+            lut = exp_luts[score_scale] = build_exp_lut(score_scale)
+        return lut
+
+    def shared_gelu_lut(in_scale: float, out_scale: float) -> GeluLUT:
+        key = (in_scale, out_scale)
+        lut = gelu_luts.get(key)
+        if lut is None:
+            lut = gelu_luts[key] = GeluLUT.build(in_scale, out_scale)
+        return lut
 
     for qlayer in qmodel.encoder.layers:
         attn = qlayer.attention.self_attention
@@ -427,7 +564,7 @@ def convert_to_integer(
             num_heads=attn.num_heads,
             score_requant=score_requant,
             score_scale=score_scale,
-            exp_lut=build_exp_lut(score_scale),
+            exp_lut=shared_exp_lut(score_scale),
             context_requant=context_requant,
             context_scale=context_scale,
         )
@@ -440,7 +577,7 @@ def convert_to_integer(
 
         ffn1 = _convert_linear(qlayer.feed_forward.ffn1, attended_scale)
         gelu_scale = qlayer.feed_forward.gelu_quantizer.scale
-        gelu = GeluLUT.build(ffn1.out_scale, gelu_scale)
+        gelu = shared_gelu_lut(ffn1.out_scale, gelu_scale)
         ffn2 = _convert_linear(qlayer.feed_forward.ffn2, gelu_scale)
         out_ln = _convert_layernorm(
             qlayer.feed_forward.layer_norm, ffn2.out_scale, attended_scale

@@ -55,6 +55,15 @@ class BatchingPolicy:
 
         Lengths beyond the largest bucket are the caller's error — the
         engine truncates encodings to ``max_seq_len`` before batching.
+
+        Args:
+            length: True (unpadded) token count, >= 1.
+
+        Returns:
+            The bucket's padded sequence length.
+
+        Raises:
+            ValueError: If ``length`` is < 1 or exceeds the largest bucket.
         """
         if length < 1:
             raise ValueError(f"sequence length must be >= 1, got {length}")
@@ -108,7 +117,17 @@ class DynamicBatcher:
         return sum(len(q) for q in self._queues.values())
 
     def add(self, pending: PendingRequest, now_ms: float) -> Optional[Batch]:
-        """Enqueue one request; return a batch iff its bucket filled up."""
+        """Enqueue one request.
+
+        Args:
+            pending: The request plus its batching metadata.
+            now_ms: Current simulated time (the flush time if this add
+                fills the bucket).
+
+        Returns:
+            A full :class:`Batch` iff the request's bucket reached
+            ``max_batch_size``, else ``None``.
+        """
         bucket = self.policy.bucket_for(pending.length)
         queue = self._queues.setdefault(bucket, [])
         queue.append(pending)
@@ -123,6 +142,12 @@ class DynamicBatcher:
         ``now_ms``): under the simulated clock the deadline is the instant
         the flush would actually have fired.  Batches come out in deadline
         order so downstream dispatch sees a causally ordered stream.
+
+        Args:
+            now_ms: Current simulated time.
+
+        Returns:
+            Flushed batches in deadline order (possibly empty).
         """
         due: List[Tuple[float, int]] = []
         for bucket, queue in self._queues.items():

@@ -41,7 +41,14 @@ class LRUCache(Generic[V]):
         return key in self._entries
 
     def get(self, key: Hashable) -> Optional[V]:
-        """Return the cached value (refreshing recency) or ``None`` on miss."""
+        """Look one key up, refreshing its recency.
+
+        Args:
+            key: Cache key.
+
+        Returns:
+            The cached value, or ``None`` on a miss (counted).
+        """
         value = self._entries.get(key, _MISSING)
         if value is _MISSING:
             self.misses += 1
@@ -51,7 +58,13 @@ class LRUCache(Generic[V]):
         return value
 
     def put(self, key: Hashable, value: V) -> None:
-        """Insert/refresh ``key``; evict the LRU entry when over capacity."""
+        """Insert or refresh one entry.
+
+        Args:
+            key: Cache key.
+            value: Value to store; evicts the least-recently-used entry
+                when capacity is exceeded.
+        """
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = value

@@ -12,10 +12,20 @@ from typing import Dict, List, Sequence
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolation percentile (``q`` in [0, 100]) of ``values``.
+    """Linear-interpolation percentile of ``values``.
 
     Implemented here (rather than ``np.percentile``) so the metric is
     dependency-light and its exact semantics are pinned for the tests.
+
+    Args:
+        values: Non-empty sequence of samples (any order).
+        q: Percentile rank in [0, 100].
+
+    Returns:
+        The linearly interpolated percentile value.
+
+    Raises:
+        ValueError: If ``q`` is out of range or ``values`` is empty.
     """
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
@@ -91,7 +101,25 @@ def build_stats(
     slo_met: int,
     device_busy_ms: Dict[int, float],
 ) -> ServingStats:
-    """Assemble :class:`ServingStats` from the engine's raw tallies."""
+    """Assemble :class:`ServingStats` from the engine's raw tallies.
+
+    Args:
+        latencies_ms: Per-request end-to-end latency (arrival -> finish).
+        queue_ms: Per-request queueing delay (arrival -> execution start).
+        num_batches: Number of executed batches.
+        makespan_ms: First arrival -> last batch completion.
+        cache_hit_rate: Tokenization-cache hit fraction.
+        real_tokens: Total true tokens executed.
+        padded_tokens: Total padded tokens executed.
+        slo_met: Count of requests that met the SLO.
+        device_busy_ms: Busy milliseconds per device id.
+
+    Returns:
+        The aggregated :class:`ServingStats`.
+
+    Raises:
+        ValueError: If no request completed.
+    """
     n = len(latencies_ms)
     if n == 0:
         raise ValueError("no completed requests to summarize")

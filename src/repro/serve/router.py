@@ -65,7 +65,18 @@ class DeviceRouter:
         self._latency_cache: Dict[Tuple[int, int], float] = {}
 
     def estimate_latency_ms(self, seq_len: int, batch_size: int) -> float:
-        """Cycle-accurate latency of one (padded) batch on one device."""
+        """Cycle-accurate latency of one (padded) batch on one device.
+
+        Args:
+            seq_len: Padded sequence length (the batch's bucket).
+            batch_size: Number of rows in the batch.
+
+        Returns:
+            Service milliseconds from the simulator's cycle-level schedule,
+            memoized per ``(seq_len, batch_size)`` — and cheap even on a
+            miss, because the workload derivation and the scheduler's own
+            results are memoized underneath.
+        """
         key = (seq_len, batch_size)
         cached = self._latency_cache.get(key)
         if cached is None:
@@ -76,7 +87,16 @@ class DeviceRouter:
         return cached
 
     def dispatch(self, seq_len: int, batch_size: int, ready_ms: float) -> Dispatch:
-        """Place a batch on the earliest-available device and advance its clock."""
+        """Place a batch on the earliest-available device and advance its clock.
+
+        Args:
+            seq_len: Padded sequence length (the batch's bucket).
+            batch_size: Number of rows in the batch.
+            ready_ms: Simulated time the batch became ready to run.
+
+        Returns:
+            The :class:`Dispatch` record (device, start/finish/service times).
+        """
         device = min(self.devices, key=lambda d: (d.busy_until_ms, d.device_id))
         service_ms = self.estimate_latency_ms(seq_len, batch_size)
         start_ms = max(ready_ms, device.busy_until_ms)
@@ -93,6 +113,7 @@ class DeviceRouter:
         )
 
     def busy_ms_by_device(self) -> Dict[int, float]:
+        """Total busy milliseconds accumulated per device id."""
         return {d.device_id: d.busy_ms for d in self.devices}
 
     @property

@@ -28,8 +28,10 @@ class TestWeightCorruption:
         # Corrupt one weight code of FFN1 in layer 0 (stay in 4-bit range).
         original = engine.layers[0].ffn1.weight_codes[0, 0]
         engine.layers[0].ffn1.weight_codes[0, 0] = -original if original else 7
+        engine.layers[0].ffn1.invalidate_cache()  # in-place edit of frozen codes
         corrupted = engine.forward(ids, mask)
         engine.layers[0].ffn1.weight_codes[0, 0] = original
+        engine.layers[0].ffn1.invalidate_cache()
         assert not np.array_equal(baseline, corrupted)
 
     def test_pe_array_tracks_corruption(self, deployed):

@@ -1,0 +1,65 @@
+"""Docs health: relative links resolve, fenced examples execute.
+
+This is the test-suite half of the CI docs job; the workflow additionally
+runs ``python -m doctest docs/*.md`` directly so the examples can't rot
+even if pytest collection changes.
+"""
+
+import doctest
+import pathlib
+import re
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+DOCS_DIR = REPO_ROOT / "docs"
+
+MARKDOWN_FILES = sorted(DOCS_DIR.glob("*.md")) + [REPO_ROOT / "README.md"]
+
+# [text](target) — excluding images and in-page anchors-only targets.
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _relative_links(markdown: pathlib.Path):
+    for match in _LINK.finditer(markdown.read_text()):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target
+
+
+class TestDocsExist:
+    def test_docs_suite_present(self):
+        assert (DOCS_DIR / "architecture.md").exists()
+        assert (DOCS_DIR / "performance.md").exists()
+
+
+class TestLinks:
+    @pytest.mark.parametrize(
+        "markdown", MARKDOWN_FILES, ids=[p.name for p in MARKDOWN_FILES]
+    )
+    def test_relative_links_resolve(self, markdown):
+        broken = []
+        for target in _relative_links(markdown):
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (markdown.parent / path).resolve().exists():
+                broken.append(target)
+        assert not broken, f"{markdown.name}: broken relative links {broken}"
+
+
+class TestDoctests:
+    @pytest.mark.parametrize(
+        "markdown",
+        sorted(DOCS_DIR.glob("*.md")),
+        ids=[p.name for p in sorted(DOCS_DIR.glob("*.md"))],
+    )
+    def test_fenced_examples_run(self, markdown):
+        failures, attempted = doctest.testfile(
+            str(markdown),
+            module_relative=False,
+            optionflags=doctest.NORMALIZE_WHITESPACE,
+        )
+        assert failures == 0, f"{markdown.name}: {failures} doctest failure(s)"
+        assert attempted > 0, f"{markdown.name} should carry runnable examples"

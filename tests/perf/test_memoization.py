@@ -1,0 +1,62 @@
+"""Workload and schedule memoization: cached, identical, and safe."""
+
+import numpy as np
+
+from repro.accel.config import AcceleratorConfig
+from repro.accel.scheduler import Scheduler
+from repro.accel.workload import build_encoder_workload
+from repro.bert.config import BertConfig
+
+
+class TestWorkloadMemoization:
+    def test_same_args_return_cached_object(self):
+        config = BertConfig.tiny()
+        first = build_encoder_workload(config, seq_len=32)
+        second = build_encoder_workload(config, seq_len=32)
+        assert first is second
+
+    def test_distinct_args_distinct_workloads(self):
+        config = BertConfig.tiny()
+        assert build_encoder_workload(config, seq_len=32) is not build_encoder_workload(
+            config, seq_len=64
+        )
+        assert build_encoder_workload(
+            config, seq_len=32, batch_size=2
+        ) is not build_encoder_workload(config, seq_len=32)
+
+    def test_workload_is_hashable_and_immutable(self):
+        workload = build_encoder_workload(BertConfig.tiny(), seq_len=16)
+        assert hash(workload) == hash(
+            build_encoder_workload(BertConfig.tiny(), seq_len=16)
+        )
+        assert isinstance(workload.layer_ops, tuple)
+
+
+class TestScheduleMemoization:
+    def test_second_call_returns_cached_result(self):
+        scheduler = Scheduler(AcceleratorConfig())
+        workload = build_encoder_workload(BertConfig.tiny(), seq_len=32)
+        assert scheduler.schedule(workload) is scheduler.schedule(workload)
+
+    def test_cached_result_equals_fresh_scheduler(self):
+        config = AcceleratorConfig()
+        workload = build_encoder_workload(BertConfig.base(), seq_len=64)
+        warm = Scheduler(config)
+        warm.schedule(workload)  # populate
+        cached = warm.schedule(workload)
+        fresh = Scheduler(config).schedule(workload)
+        assert cached.total_cycles == fresh.total_cycles
+        assert cached.breakdown() == fresh.breakdown()
+        assert np.isclose(cached.latency_ms, fresh.latency_ms)
+
+    def test_distinct_workloads_not_conflated(self):
+        scheduler = Scheduler(AcceleratorConfig())
+        short = scheduler.schedule(build_encoder_workload(BertConfig.base(), seq_len=32))
+        long = scheduler.schedule(build_encoder_workload(BertConfig.base(), seq_len=128))
+        assert short.total_cycles < long.total_cycles
+
+    def test_loop_order_schedulers_do_not_share_cache(self):
+        workload = build_encoder_workload(BertConfig.base(), seq_len=64)
+        ws = Scheduler(AcceleratorConfig(), loop_order="weight_stationary").schedule(workload)
+        ts = Scheduler(AcceleratorConfig(), loop_order="token_stationary").schedule(workload)
+        assert ws.total_cycles != ts.total_cycles

@@ -1,0 +1,66 @@
+"""Timer and profiler primitives."""
+
+import time
+
+import pytest
+
+from repro.perf import Profiler, time_callable
+
+
+class TestTimer:
+    def test_best_not_above_mean(self):
+        result = time_callable(lambda: sum(range(2000)), repeats=5)
+        assert result.repeats == 5
+        assert 0 < result.best_ms <= result.mean_ms
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError, match="repeats"):
+            time_callable(lambda: None, repeats=0)
+
+    def test_warmup_calls_run(self):
+        calls = []
+        time_callable(lambda: calls.append(1), repeats=2, warmup=3)
+        assert len(calls) == 5
+
+
+class TestProfiler:
+    def test_spans_accumulate(self):
+        profiler = Profiler()
+        for _ in range(3):
+            with profiler.span("work"):
+                time.sleep(0.001)
+        stats = profiler.spans["work"]
+        assert stats.calls == 3
+        assert stats.total_ms >= 3 * 0.5
+        assert stats.mean_ms == pytest.approx(stats.total_ms / 3)
+
+    def test_span_records_on_exception(self):
+        profiler = Profiler()
+        with pytest.raises(RuntimeError):
+            with profiler.span("boom"):
+                raise RuntimeError("x")
+        assert profiler.spans["boom"].calls == 1
+
+    def test_wrap_passes_through(self):
+        profiler = Profiler()
+        add = profiler.wrap("add", lambda a, b=0: a + b)
+        assert add(2, b=3) == 5
+        assert profiler.spans["add"].calls == 1
+
+    def test_report_and_render(self):
+        profiler = Profiler()
+        with profiler.span("alpha"):
+            pass
+        report = profiler.report()
+        assert set(report["alpha"]) == {"calls", "total_ms", "mean_ms"}
+        assert "alpha" in profiler.render()
+
+    def test_render_empty(self):
+        assert "no spans" in Profiler().render()
+
+    def test_reset(self):
+        profiler = Profiler()
+        with profiler.span("x"):
+            pass
+        profiler.reset()
+        assert profiler.spans == {}

@@ -1,0 +1,62 @@
+"""Batch-level encoding dedup must be invisible in results and timing."""
+
+import numpy as np
+
+from repro.perf import HashTokenizer, build_synthetic_integer_model
+from repro.serve import ServingConfig, ServingEngine
+
+
+def _engine(**overrides):
+    model = build_synthetic_integer_model(seed=2)
+    config = ServingConfig(
+        max_batch_size=8,
+        max_wait_ms=5.0,
+        buckets=(8, 16),
+        cache_capacity=64,
+        **overrides,
+    )
+    return ServingEngine(model, HashTokenizer(model.config.vocab_size), config), model
+
+
+class TestEngineDedup:
+    def test_duplicate_requests_get_bit_identical_logits(self):
+        engine, model = _engine()
+        texts = ["alpha beta gamma", "alpha beta gamma", "delta", "alpha beta gamma"]
+        for i, text in enumerate(texts):
+            engine.submit(text, arrival_ms=float(i) * 0.1)
+        results = engine.drain()
+        assert len(results) == 4
+        np.testing.assert_array_equal(results[0].logits, results[1].logits)
+        np.testing.assert_array_equal(results[0].logits, results[3].logits)
+        assert not np.array_equal(results[0].logits, results[2].logits)
+
+    def test_deduped_logits_match_one_at_a_time_forward(self):
+        engine, model = _engine()
+        texts = ["one two three", "one two three", "four five", "six"]
+        for i, text in enumerate(texts):
+            engine.submit(text, arrival_ms=float(i) * 0.1)
+        results = {r.request_id: r for r in engine.drain()}
+        tokenizer = HashTokenizer(model.config.vocab_size)
+        for request_id, text in enumerate(texts):
+            bucket = results[request_id].bucket
+            ids, mask, segments = tokenizer.encode(text, max_length=16)
+            expected = model.forward(
+                ids[None, :bucket], mask[None, :bucket], segments[None, :bucket]
+            )[0]
+            np.testing.assert_array_equal(results[request_id].logits, expected)
+
+    def test_timing_still_models_full_flushed_batch(self):
+        """Dedup saves host compute only — simulated service time must see
+        the full padded batch the accelerator would run."""
+        dup_engine, _ = _engine()
+        for i in range(4):
+            dup_engine.submit("same text", arrival_ms=0.0 if i == 0 else 0.01 * i)
+        dup_results = dup_engine.drain()
+
+        distinct_engine, _ = _engine()
+        for i, text in enumerate(["a0", "a1", "a2", "a3"]):
+            distinct_engine.submit(text, arrival_ms=0.0 if i == 0 else 0.01 * i)
+        distinct_results = distinct_engine.drain()
+
+        assert dup_results[0].batch_size == distinct_results[0].batch_size == 4
+        assert dup_results[0].service_ms == distinct_results[0].service_ms
