@@ -14,8 +14,14 @@ Subpackages:
   model and simulated accelerator instances (LRU tokenization cache,
   sequence-length-bucketed batching, multi-device routing, latency/SLO
   accounting on a deterministic simulated clock)
+- :mod:`repro.fleet` — cluster-scale serving simulation over
+  :mod:`repro.serve`: scenario workload generation, heterogeneous replica
+  fleets with SLO-aware routing and load shedding, autoscaling, and
+  replica failure injection/recovery
+- :mod:`repro.perf` — profiling, pinned benchmark suites, and the
+  bench-regression gate
 - :mod:`repro.baselines` — CPU/GPU roofline baselines (Table IV)
 - :mod:`repro.experiments` — drivers regenerating every table and figure
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

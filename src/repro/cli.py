@@ -8,7 +8,8 @@ Subcommands::
     python -m repro.cli simulate  --device ZCU102 --pes 8 --multipliers 16
     python -m repro.cli compare   # Table IV style platform comparison
     python -m repro.cli serve     --requests 64 --batch-size 8 --num-devices 2
-    python -m repro.cli bench     [--quick] [--suite kernels|serve|all]
+    python -m repro.cli loadtest  --scenario flash-crowd --replicas 2 [--autoscale]
+    python -m repro.cli bench     [--quick] [--suite kernels|serve|cluster|all]
 
 Each subcommand is a thin wrapper over the library; anything the CLI does
 can be done in a few lines of Python (see examples/).
@@ -18,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import Optional
 
 import numpy as np
 
@@ -146,6 +148,19 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _parse_buckets(spec: Optional[str]):
+    """Parse a ``--buckets`` flag ("16,32,64") into a sorted int tuple."""
+    if spec is None:
+        return None
+    try:
+        buckets = tuple(int(b) for b in spec.split(",") if b.strip())
+    except ValueError:
+        raise SystemExit(f"--buckets expects comma-separated integers, got {spec!r}")
+    if not buckets:
+        raise SystemExit("--buckets needs at least one length")
+    return tuple(sorted(set(buckets)))
+
+
 def cmd_serve(args) -> int:
     """Trace-driven serving: dynamic batching over simulated accelerators."""
     from .accel import FPGA_DEVICES
@@ -189,7 +204,7 @@ def cmd_serve(args) -> int:
     quant.eval()
     engine_model = convert_to_integer(quant)
 
-    buckets = tuple(
+    buckets = _parse_buckets(args.buckets) or tuple(
         sorted({max(4, max_length // 4), max(4, max_length // 2), max_length})
     )
     engine = ServingEngine(
@@ -200,7 +215,7 @@ def cmd_serve(args) -> int:
             max_wait_ms=args.max_wait_ms,
             buckets=buckets,
             num_devices=args.num_devices,
-            cache_capacity=args.cache_capacity,
+            cache_capacity=args.cache_size,
             slo_ms=args.slo_ms,
         ),
         device=device,
@@ -223,6 +238,138 @@ def cmd_serve(args) -> int:
     preds = np.array([r.prediction for r in results])
     truth = np.array([labels[(t.text_a, t.text_b)] for t in sorted(trace, key=lambda t: t.arrival_ms)])
     print(f"accuracy over trace: {accuracy(preds, truth):.2f}%")
+    return 0
+
+
+def _parse_failures(specs):
+    """Parse ``--fail REPLICA@FAIL_MS[:RECOVER_MS]`` flags."""
+    from .fleet import FailureEvent
+
+    failures = []
+    for spec in specs or ():
+        try:
+            replica_part, times = spec.split("@", 1)
+            fail_part, _, recover_part = times.partition(":")
+            failures.append(
+                FailureEvent(
+                    replica_id=int(replica_part),
+                    fail_ms=float(fail_part),
+                    recover_ms=float(recover_part) if recover_part else None,
+                )
+            )
+        except (ValueError, IndexError):
+            raise SystemExit(
+                f"--fail expects REPLICA@FAIL_MS[:RECOVER_MS], got {spec!r}"
+            )
+    return failures
+
+
+def cmd_loadtest(args) -> int:
+    """Cluster-scale serving simulation: scenarios, autoscaling, failures.
+
+    Runs a built-in traffic scenario through a fleet of simulated
+    accelerator replicas serving a frozen synthetic integer model (no
+    training — the subject is fleet dynamics, and the synthetic model is
+    bit-deterministic).  Same seed, byte-identical report.
+    """
+    from .accel import AcceleratorConfig, FPGA_DEVICES
+    from .fleet import (
+        AutoscalePolicy,
+        FleetConfig,
+        ReplicaSpec,
+        builtin_scenarios,
+        run_scenario,
+    )
+    from .perf.bench import cluster_model_config
+    from .perf.workloads import HashTokenizer, build_synthetic_integer_model
+    from .serve import ServingConfig
+
+    catalog = builtin_scenarios()
+    names = sorted(catalog) if args.scenario == "all" else [args.scenario]
+    unknown = [n for n in names if n not in catalog]
+    if unknown:
+        raise SystemExit(
+            f"unknown scenario {unknown[0]!r}; choose from {sorted(catalog) + ['all']}"
+        )
+    if args.replicas < 1:
+        raise SystemExit(f"--replicas must be >= 1, got {args.replicas}")
+
+    device_names = [d.strip() for d in args.devices.split(",") if d.strip()]
+    for name in device_names:
+        if name not in FPGA_DEVICES:
+            raise SystemExit(f"unknown device {name!r}; choose {sorted(FPGA_DEVICES)}")
+    accel_config = AcceleratorConfig(
+        num_pus=args.pus, num_pes=args.pes, num_multipliers=args.multipliers
+    )
+    specs = [
+        ReplicaSpec(accel_config=accel_config, device=FPGA_DEVICES[device_names[i % len(device_names)]])
+        for i in range(args.replicas)
+    ]
+
+    buckets = _parse_buckets(args.buckets) or (16, 32, 64)
+    model_config = cluster_model_config(max_position_embeddings=buckets[-1])
+    model = build_synthetic_integer_model(model_config, seed=args.seed)
+    tokenizer = HashTokenizer(vocab_size=model_config.vocab_size)
+    fleet_config = FleetConfig(
+        serving=ServingConfig(
+            max_batch_size=args.batch_size,
+            max_wait_ms=args.max_wait_ms,
+            buckets=buckets,
+            num_devices=1,
+            cache_capacity=args.cache_size,
+        ),
+        admit_slo_factor=args.admit_slo_factor,
+    )
+    autoscale = (
+        AutoscalePolicy(
+            min_replicas=args.min_replicas,
+            max_replicas=args.max_replicas,
+            interval_ms=args.scale_interval_ms,
+        )
+        if args.autoscale
+        else None
+    )
+    failures = _parse_failures(args.fail)
+    # In a fixed fleet the replica ids are exactly 0..replicas-1, so an id
+    # beyond that is a typo.  With --autoscale, churn mints fresh ids
+    # without bound (ids are never reused), so any id may come to exist;
+    # failing one that never does is a documented no-op.
+    if not args.autoscale:
+        for failure in failures:
+            if failure.replica_id >= args.replicas:
+                raise SystemExit(
+                    f"--fail targets replica {failure.replica_id}, but at most "
+                    f"{args.replicas} replica(s) can exist in this run"
+                )
+
+    reports = []
+    for name in names:
+        report = run_scenario(
+            name,
+            model,
+            tokenizer,
+            specs,
+            fleet_config,
+            autoscale=autoscale,
+            failures=failures,
+            seed=args.seed,
+            rate_scale=args.rate_scale,
+            duration_scale=args.duration_scale,
+        )
+        print(report.render())
+        print()
+        reports.append(report)
+    if args.json:
+        import json
+        import pathlib
+
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Always a list, so consumers see one shape regardless of how many
+        # scenarios ran.
+        docs = [json.loads(r.to_json()) for r in reports]
+        path.write_text(json.dumps(docs, indent=2, sort_keys=True) + "\n")
+        print(f"[loadtest] wrote {path}")
     return 0
 
 
@@ -287,6 +434,28 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _add_serving_flags(parser, max_wait_ms: float = 10.0, cache_size: int = 256):
+    """The shared serving-policy surface of ``serve`` and ``loadtest``.
+
+    One flag set configures :class:`~repro.serve.ServingConfig` wherever a
+    serving engine appears — per-node (``serve``) or per-replica
+    (``loadtest``).
+    """
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=max_wait_ms,
+        help="batching deadline: max queueing before a partial flush",
+    )
+    parser.add_argument(
+        "--buckets", default=None,
+        help="comma-separated padded sequence lengths, e.g. 16,32,64",
+    )
+    parser.add_argument(
+        "--cache-size", "--cache-capacity", dest="cache_size", type=int,
+        default=cache_size, help="LRU tokenization cache entries",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -338,15 +507,49 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--task", default="sst2")
     serve.add_argument("--checkpoint", help="quantized checkpoint (else quick PTQ)")
     serve.add_argument("--requests", type=int, default=64)
-    serve.add_argument("--batch-size", type=int, default=8)
-    serve.add_argument("--max-wait-ms", type=float, default=10.0)
+    _add_serving_flags(serve)
     serve.add_argument("--num-devices", type=int, default=1)
     serve.add_argument("--mean-gap-ms", type=float, default=2.0)
-    serve.add_argument("--cache-capacity", type=int, default=256)
     serve.add_argument("--slo-ms", type=float, default=None)
     serve.add_argument("--device", default="ZCU102")
     serve.add_argument("--seed", type=int, default=7)
     serve.set_defaults(func=cmd_serve)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="cluster-scale serving simulation: scenarios, autoscaling, failures",
+    )
+    loadtest.add_argument(
+        "--scenario", default="steady",
+        help="built-in scenario name (steady / diurnal / flash-crowd / ramp / "
+        "multi-tenant) or 'all'",
+    )
+    loadtest.add_argument("--replicas", type=int, default=2)
+    loadtest.add_argument(
+        "--devices", default="ZCU102",
+        help="comma-separated FPGA parts cycled over replicas (e.g. ZCU102,ZCU111)",
+    )
+    loadtest.add_argument("--pus", type=int, default=12)
+    loadtest.add_argument("--pes", type=int, default=8)
+    loadtest.add_argument("--multipliers", type=int, default=16)
+    _add_serving_flags(loadtest, max_wait_ms=5.0, cache_size=512)
+    loadtest.add_argument(
+        "--admit-slo-factor", type=float, default=2.0,
+        help="shed when projected latency exceeds this multiple of the tenant SLO",
+    )
+    loadtest.add_argument("--autoscale", action="store_true")
+    loadtest.add_argument("--min-replicas", type=int, default=1)
+    loadtest.add_argument("--max-replicas", type=int, default=6)
+    loadtest.add_argument("--scale-interval-ms", type=float, default=20.0)
+    loadtest.add_argument(
+        "--fail", action="append", metavar="REPLICA@FAIL_MS[:RECOVER_MS]",
+        help="inject a replica failure (repeatable)",
+    )
+    loadtest.add_argument("--rate-scale", type=float, default=1.0)
+    loadtest.add_argument("--duration-scale", type=float, default=1.0)
+    loadtest.add_argument("--json", help="also write the report as JSON here")
+    loadtest.add_argument("--seed", type=int, default=7)
+    loadtest.set_defaults(func=cmd_loadtest)
 
     bench = sub.add_parser(
         "bench", help="pinned perf suites + regression gate (BENCH_*.json)"
@@ -354,7 +557,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--quick", action="store_true", help="small shapes / fewer repeats (CI smoke)"
     )
-    bench.add_argument("--suite", choices=["kernels", "serve", "all"], default="all")
+    bench.add_argument(
+        "--suite", choices=["kernels", "serve", "cluster", "all"], default="all"
+    )
     bench.add_argument(
         "--out-dir", default=".", help="where BENCH_<suite>.json files live"
     )

@@ -1,0 +1,75 @@
+"""Cluster-scale serving simulation over the single-node serving engine.
+
+The top layer of the stack: where :mod:`repro.serve` answers "what does
+one node do with this trace", ``repro.fleet`` answers the scale-out
+questions — how a *cluster* of heterogeneous accelerator replicas behaves
+under realistic traffic shapes, what gets shed under overload, how fast an
+autoscaler recovers the tail, and what a replica failure costs.
+
+- :mod:`scenarios` — seeded workload generator (Poisson steady state,
+  diurnal, flash-crowd, ramp, multi-tenant) with per-tenant SLOs and
+  length distributions
+- :mod:`fleet` — N replicas over heterogeneous design points with
+  SLO-aware routing, admission control / load shedding, and failure
+  injection + drain/recovery
+- :mod:`autoscale` — utilization + p99 driven replica scaling with
+  simulator-priced cold starts
+- :mod:`metrics` — empty-safe per-tenant / per-replica aggregation,
+  goodput, shed rates
+- :mod:`runner` — the deterministic event loop behind
+  ``repro.cli loadtest`` and the ``cluster`` bench suite
+
+Everything runs on the simulated clock: same seed, byte-identical report.
+"""
+
+from .autoscale import AutoscalePolicy, Autoscaler, ScaleEvent
+from .fleet import (
+    Fleet,
+    FleetConfig,
+    Replica,
+    ReplicaSpec,
+    RequestRecord,
+    SHED_NO_CAPACITY,
+    SHED_OVERLOAD,
+)
+from .metrics import (
+    FleetStats,
+    ReplicaStats,
+    TenantStats,
+    build_fleet_stats,
+    safe_percentile,
+)
+from .runner import FailureEvent, FleetReport, run_scenario
+from .scenarios import (
+    SCENARIO_NAMES,
+    FleetRequest,
+    Scenario,
+    TenantSpec,
+    builtin_scenarios,
+)
+
+__all__ = [
+    "AutoscalePolicy",
+    "Autoscaler",
+    "ScaleEvent",
+    "Fleet",
+    "FleetConfig",
+    "Replica",
+    "ReplicaSpec",
+    "RequestRecord",
+    "SHED_NO_CAPACITY",
+    "SHED_OVERLOAD",
+    "FleetStats",
+    "ReplicaStats",
+    "TenantStats",
+    "build_fleet_stats",
+    "safe_percentile",
+    "FailureEvent",
+    "FleetReport",
+    "run_scenario",
+    "SCENARIO_NAMES",
+    "FleetRequest",
+    "Scenario",
+    "TenantSpec",
+    "builtin_scenarios",
+]

@@ -1,0 +1,437 @@
+"""The fleet: N serving replicas behind SLO-aware routing and admission.
+
+A :class:`Fleet` owns a set of :class:`Replica` objects — each one a full
+:class:`~repro.serve.ServingEngine` over its own simulated accelerator —
+and places every arriving :class:`~repro.fleet.scenarios.FleetRequest` on
+the replica projected to finish it soonest.  Replicas may be heterogeneous:
+each :class:`ReplicaSpec` names its own ``(AcceleratorConfig, FpgaDevice)``
+design point, so a ZCU102 (8, 16) can serve next to a ZCU111 (16, 16) and
+the router's projections price each accordingly.
+
+Three cluster behaviors the single-node engine cannot express:
+
+- **Admission control / load shedding.**  Before accepting a request the
+  fleet projects its completion latency on the best replica (device
+  backlog + queued batches x the simulator's batch service time).  If even
+  the best projection exceeds ``admit_slo_factor`` x the tenant's SLO, the
+  request is *shed* — a fast, explicit rejection instead of a doomed queue
+  entry, the standard overload posture of production serving systems.
+
+- **Failure injection + drain/recovery.**  ``fail_replica`` fail-stops a
+  replica on the simulated clock: its queued-but-unflushed requests are
+  evicted and *migrate* to the surviving replicas (batches already
+  dispatched to the accelerator complete — the failure model is node-level
+  drain/failover, so no accepted request is ever lost while a live replica
+  remains).  ``recover_replica`` brings it back after a cold start.
+
+- **Elastic capacity.**  ``add_replica`` / ``remove_replica`` grow and
+  shrink the fleet mid-trace (the autoscaler's levers).  A new replica
+  pays a cold-start penalty derived from the simulator's own schedule —
+  ``cold_start_batches`` full-size batch times, modeling bitstream/weight
+  load plus warm-up — before its first batch can start.
+
+Everything runs on the shared simulated clock, so a fleet run is exactly
+reproducible: same trace, same decisions, same numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..accel.config import AcceleratorConfig
+from ..accel.devices import FpgaDevice, ZCU102
+from ..serve.engine import ServingConfig, ServingEngine
+from .scenarios import FleetRequest
+
+SHED_OVERLOAD = "overload"          # projected latency beyond the admit bound
+SHED_NO_CAPACITY = "no-capacity"    # no live replica at all
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """One replica's design point (the heterogeneous-fleet unit)."""
+
+    accel_config: AcceleratorConfig = AcceleratorConfig()
+    device: FpgaDevice = ZCU102
+    name: str = ""
+
+    @property
+    def label(self) -> str:
+        """Human-readable design-point label (used in reports)."""
+        if self.name:
+            return self.name
+        return (
+            f"{self.device.name}/H{self.accel_config.num_pus}"
+            f"N{self.accel_config.num_pes}M{self.accel_config.num_multipliers}"
+        )
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Cluster-level policy: per-replica serving config plus admission."""
+
+    serving: ServingConfig = ServingConfig(num_devices=1)
+    admit_slo_factor: float = 2.0   # shed if projected > factor * tenant SLO
+    cold_start_batches: int = 2     # warm-up passes making up the cold start
+
+    def __post_init__(self):
+        if self.serving.num_devices != 1:
+            raise ValueError(
+                "fleet replicas are single-device engines; scale with "
+                "replicas, not num_devices"
+            )
+        if self.admit_slo_factor <= 0:
+            raise ValueError(f"admit_slo_factor must be > 0, got {self.admit_slo_factor}")
+        if self.cold_start_batches < 0:
+            raise ValueError(f"cold_start_batches must be >= 0, got {self.cold_start_batches}")
+
+
+@dataclass
+class Replica:
+    """One serving engine plus its fleet-level lifecycle state."""
+
+    replica_id: int
+    spec: ReplicaSpec
+    engine: ServingEngine
+    added_ms: float
+    live: bool = True
+    retired_ms: Optional[float] = None
+    failures: int = 0
+    downtime_ms: float = 0.0   # cumulative failed time (excluded from live time)
+    # engine request id -> fleet record index, for failover remapping
+    record_of: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class RequestRecord:
+    """Fleet-level accounting for one submitted request.
+
+    Latency is measured from the *original* fleet arrival — a migrated
+    request keeps its first arrival time, so failover never hides queueing
+    delay.
+    """
+
+    index: int
+    tenant: str
+    slo_ms: float
+    arrival_ms: float
+    shed: bool = False
+    shed_reason: str = ""
+    replica_id: int = -1
+    migrations: int = 0
+    # filled by Fleet.collect() after the trace drains:
+    finish_ms: float = 0.0
+    latency_ms: float = 0.0
+    slo_met: bool = False
+    completed: bool = False
+
+
+class Fleet:
+    """N serving replicas, one shared simulated clock, SLO-aware routing."""
+
+    def __init__(
+        self,
+        model,
+        tokenizer,
+        specs: List[ReplicaSpec],
+        config: FleetConfig = FleetConfig(),
+    ):
+        """Args:
+            model: The frozen integer model every replica serves (shared —
+                engines never mutate it, and sharing amortizes its cached
+                weight plans across the fleet).
+            tokenizer: Tokenizer shared by every replica's engine.
+            specs: Initial replica design points (at least one).
+            config: Cluster policy.
+
+        Raises:
+            ValueError: If ``specs`` is empty.
+        """
+        if not specs:
+            raise ValueError("a fleet needs at least one initial replica")
+        self.model = model
+        self.tokenizer = tokenizer
+        self.config = config
+        self.replicas: Dict[int, Replica] = {}
+        self.records: List[RequestRecord] = []
+        self.now_ms = 0.0
+        self.migrations = 0
+        # Tightest SLO among accepted requests so far — the autoscaler's
+        # p99 floor, maintained incrementally so ticks stay O(replicas).
+        self.min_accepted_slo_ms: Optional[float] = None
+        self._next_replica_id = 0
+        # The reference shape admission projections are priced at: the
+        # middle bucket at full batch (a representative queued batch).
+        buckets = config.serving.buckets
+        self._ref_bucket = buckets[len(buckets) // 2]
+        for spec in specs:
+            self.add_replica(spec, now_ms=0.0, cold=False)
+
+    # ------------------------------------------------------------------
+    # replica lifecycle
+    # ------------------------------------------------------------------
+    def add_replica(self, spec: ReplicaSpec, now_ms: float, cold: bool = True) -> Replica:
+        """Attach a new replica, optionally behind a cold-start window.
+
+        Args:
+            spec: The replica's design point.
+            now_ms: Simulated attach time.
+            cold: Apply the cold-start penalty (initial replicas at t=0
+                are assumed pre-warmed).
+
+        Returns:
+            The new :class:`Replica` (already routable; a cold replica is
+            simply projected as busy until its warm-up completes).
+        """
+        engine = ServingEngine(
+            self.model,
+            self.tokenizer,
+            self.config.serving,
+            accel_config=spec.accel_config,
+            device=spec.device,
+        )
+        engine.advance(now_ms)
+        replica = Replica(
+            replica_id=self._next_replica_id,
+            spec=spec,
+            engine=engine,
+            added_ms=now_ms,
+        )
+        self._next_replica_id += 1
+        if cold:
+            engine.router.block_until(now_ms + self.cold_start_ms(replica))
+        self.replicas[replica.replica_id] = replica
+        return replica
+
+    def cold_start_ms(self, replica: Replica) -> float:
+        """The replica's cold-start penalty, from the simulator's schedule.
+
+        Modeled as ``cold_start_batches`` executions of the largest-bucket,
+        full-size batch — the bitstream/weight load plus warm-up passes a
+        real node spends before serving, priced by the same cycle-level
+        schedule as the traffic itself (a slower design point also boots
+        slower).
+        """
+        policy = self.config.serving
+        return self.config.cold_start_batches * replica.engine.router.estimate_latency_ms(
+            policy.max_seq_len, policy.max_batch_size
+        )
+
+    def remove_replica(self, replica_id: int, now_ms: float) -> None:
+        """Gracefully drain one replica out of the fleet (scale-down).
+
+        Its queued requests migrate to the remaining replicas; batches the
+        accelerator already started complete and keep their results.
+
+        Args:
+            replica_id: Which replica to retire.
+            now_ms: Simulated removal time.
+
+        Raises:
+            KeyError: If the replica does not exist.
+            ValueError: If it is not live, or it is the last live replica.
+        """
+        replica = self.replicas[replica_id]
+        if not replica.live:
+            raise ValueError(f"replica {replica_id} is not live")
+        if len(self.live_replicas()) == 1:
+            raise ValueError("refusing to remove the last live replica")
+        replica.live = False
+        replica.retired_ms = now_ms
+        self._migrate_pending(replica, now_ms)
+
+    def fail_replica(self, replica_id: int, now_ms: float) -> None:
+        """Fail-stop one replica: stop routing to it, migrate its queue.
+
+        No accepted request is lost: queued work moves to the survivors
+        (or is shed with reason ``no-capacity`` if none remain), and
+        already-dispatched batches complete under the node-level
+        drain/failover model described in the module docstring.
+
+        Failing a replica that does not exist (yet) or is already down is
+        a no-op — a failure plan may legitimately target a replica the
+        autoscaler never got around to creating.
+
+        Args:
+            replica_id: Which replica fails.
+            now_ms: Simulated failure time.
+        """
+        replica = self.replicas.get(replica_id)
+        if replica is None or not replica.live:
+            return  # unknown or already down (or scaled away) — no-op
+        replica.live = False
+        replica.retired_ms = now_ms
+        replica.failures += 1
+        self._migrate_pending(replica, now_ms)
+
+    def recover_replica(self, replica_id: int, now_ms: float) -> None:
+        """Bring a failed replica back behind a fresh cold-start window.
+
+        Args:
+            replica_id: Which replica recovers.
+            now_ms: Simulated recovery time.
+        """
+        replica = self.replicas.get(replica_id)
+        if replica is None or replica.live or replica.failures == 0:
+            return  # unknown or never failed (e.g. scaled away) — no-op
+        replica.engine.advance(now_ms)
+        replica.engine.router.block_until(now_ms + self.cold_start_ms(replica))
+        replica.live = True
+        if replica.retired_ms is not None:
+            replica.downtime_ms += now_ms - replica.retired_ms
+        replica.retired_ms = None
+
+    def live_replicas(self) -> List[Replica]:
+        """Live replicas in id order (deterministic routing order)."""
+        return [r for rid, r in sorted(self.replicas.items()) if r.live]
+
+    # ------------------------------------------------------------------
+    # clock + request path
+    # ------------------------------------------------------------------
+    def advance(self, now_ms: float) -> None:
+        """Advance every live replica's engine to the shared clock."""
+        for replica in self.live_replicas():
+            replica.engine.advance(now_ms)
+        self.now_ms = max(self.now_ms, now_ms)
+
+    def projected_latency_ms(self, replica: Replica, now_ms: float) -> float:
+        """Admission projection: completion latency of one more request here.
+
+        Device backlog (time until the accelerator frees up), plus the
+        simulator-priced service of the batches already queued — per
+        bucket, from the batcher's real queue depths — plus one
+        reference-shape batch for the incoming request and the batching
+        deadline it may wait out.  A cheap queue-state heuristic: it only
+        has to *rank* replicas and flag overload, not predict exact
+        latencies.
+        """
+        engine = replica.engine
+        policy = self.config.serving
+        backlog = max(
+            0.0,
+            min(d.busy_until_ms for d in engine.router.devices) - now_ms,
+        )
+        queued = 0.0
+        for bucket, depth in engine.batcher.queued_by_bucket().items():
+            queued += math.ceil(depth / policy.max_batch_size) * (
+                engine.router.estimate_latency_ms(bucket, policy.max_batch_size)
+            )
+        incoming = engine.router.estimate_latency_ms(
+            self._ref_bucket, policy.max_batch_size
+        )
+        return backlog + queued + incoming + policy.max_wait_ms
+
+    def submit(self, request: FleetRequest) -> RequestRecord:
+        """Route one arrival: admit to the best replica, or shed.
+
+        Args:
+            request: The arriving request (its ``arrival_ms`` must be at or
+                after the fleet clock; call :meth:`advance` first).
+
+        Returns:
+            The request's :class:`RequestRecord` (``shed`` set if rejected).
+        """
+        now_ms = request.arrival_ms
+        record = RequestRecord(
+            index=len(self.records),
+            tenant=request.tenant,
+            slo_ms=request.slo_ms,
+            arrival_ms=now_ms,
+        )
+        self.records.append(record)
+        live = self.live_replicas()
+        if not live:
+            record.shed = True
+            record.shed_reason = SHED_NO_CAPACITY
+            return record
+        projected, _, best = min(
+            (self.projected_latency_ms(r, now_ms), r.replica_id, r) for r in live
+        )
+        if projected > self.config.admit_slo_factor * request.slo_ms:
+            record.shed = True
+            record.shed_reason = SHED_OVERLOAD
+            return record
+        engine_rid = best.engine.submit(
+            request.text_a, request.text_b, arrival_ms=now_ms
+        )
+        best.record_of[engine_rid] = record.index
+        record.replica_id = best.replica_id
+        if self.min_accepted_slo_ms is None or request.slo_ms < self.min_accepted_slo_ms:
+            self.min_accepted_slo_ms = request.slo_ms
+        return record
+
+    def _migrate_pending(self, replica: Replica, now_ms: float) -> None:
+        """Move a dead/draining replica's queued requests to the survivors.
+
+        Migrated requests keep their original arrival time in the fleet
+        record but re-enter another replica's queue at ``now_ms`` — exactly
+        what a failover proxy would do.  Admission control does not re-run:
+        the requests were already accepted, and accepted work is never
+        shed while a live replica remains.
+        """
+        evicted = replica.engine.evict_pending()
+        if not evicted:
+            return
+        survivors = self.live_replicas()
+        for request in evicted:
+            record = self.records[replica.record_of.pop(request.request_id)]
+            if not survivors:
+                record.shed = True
+                record.shed_reason = SHED_NO_CAPACITY
+                record.replica_id = -1
+                continue
+            target = min(
+                survivors,
+                key=lambda r: (self.projected_latency_ms(r, now_ms), r.replica_id),
+            )
+            engine_rid = target.engine.submit(
+                request.text_a, request.text_b, arrival_ms=now_ms
+            )
+            target.record_of[engine_rid] = record.index
+            record.replica_id = target.replica_id
+            record.migrations += 1
+            self.migrations += 1
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Flush every replica's remaining queued work (end of trace)."""
+        for replica in sorted(self.replicas.values(), key=lambda r: r.replica_id):
+            replica.engine.drain()
+
+    def collect(self) -> List[RequestRecord]:
+        """Fill every accepted record from its engine's results.
+
+        Call after :meth:`drain`.  Latency is finish minus the *original*
+        fleet arrival, so migrated requests carry their full wait.
+
+        Returns:
+            All records, in submission order.
+
+        Raises:
+            RuntimeError: If an accepted request never completed — that
+                would mean the fleet lost work, which the failover
+                machinery exists to prevent.
+        """
+        for replica in self.replicas.values():
+            for engine_rid, index in replica.record_of.items():
+                result = replica.engine.results.get(engine_rid)
+                record = self.records[index]
+                if result is None:
+                    raise RuntimeError(
+                        f"accepted request {index} vanished on replica "
+                        f"{replica.replica_id} — fleet lost accepted work"
+                    )
+                record.finish_ms = result.finish_ms
+                record.latency_ms = result.finish_ms - record.arrival_ms
+                record.slo_met = record.latency_ms <= record.slo_ms
+                record.completed = True
+        lost = [
+            r.index for r in self.records if not r.shed and not r.completed
+        ]
+        if lost:
+            raise RuntimeError(f"accepted requests never completed: {lost[:10]}")
+        return self.records

@@ -1,0 +1,293 @@
+"""Fleet-level metrics: per-tenant and per-replica views, goodput, sheds.
+
+Every aggregate here is **empty-safe**: a trace where everything was shed
+(or nothing arrived) summarizes to zeros instead of raising — degenerate
+traces are legitimate outcomes of overload scenarios, and the report must
+describe them, not crash on them.  All quantities come from the simulated
+clock, so reports are byte-identical across runs of the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..serve.metrics import percentile
+from .autoscale import ScaleEvent
+from .fleet import Replica, RequestRecord
+
+
+def safe_percentile(values: Sequence[float], q: float) -> float:
+    """:func:`repro.serve.metrics.percentile`, but 0.0 for an empty input."""
+    if not values:
+        return 0.0
+    return percentile(values, q)
+
+
+@dataclass
+class TenantStats:
+    """One tenant's slice of a fleet run."""
+
+    tenant: str
+    submitted: int
+    completed: int
+    shed: int
+    slo_met: int
+    p50_latency_ms: float
+    p95_latency_ms: float
+    p99_latency_ms: float
+    mean_latency_ms: float
+    goodput_rps: float          # SLO-met completions per simulated second
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.submitted if self.submitted else 0.0
+
+    @property
+    def slo_attainment(self) -> float:
+        """SLO-met fraction of *submitted* traffic (sheds count against it)."""
+        return self.slo_met / self.submitted if self.submitted else 1.0
+
+
+@dataclass
+class ReplicaStats:
+    """One replica's service record over the run."""
+
+    replica_id: int
+    spec_label: str
+    added_ms: float
+    retired_ms: float           # < 0 when still live at the end
+    failures: int
+    busy_ms: float
+    batches_served: int
+    requests_served: int
+    utilization: float          # busy fraction of its live time
+
+
+@dataclass
+class FleetStats:
+    """Aggregate view of one fleet run (the runner's report payload)."""
+
+    duration_ms: float
+    submitted: int
+    completed: int
+    shed: int
+    migrations: int
+    slo_met: int
+    p50_latency_ms: float
+    p95_latency_ms: float
+    p99_latency_ms: float
+    mean_latency_ms: float
+    max_latency_ms: float
+    throughput_rps: float       # completions per simulated second
+    goodput_rps: float          # SLO-met completions per simulated second
+    shed_by_reason: Dict[str, int] = field(default_factory=dict)
+    tenants: Dict[str, TenantStats] = field(default_factory=dict)
+    replicas: List[ReplicaStats] = field(default_factory=list)
+    scale_events: List[ScaleEvent] = field(default_factory=list)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.submitted if self.submitted else 0.0
+
+    @property
+    def slo_attainment(self) -> float:
+        return self.slo_met / self.submitted if self.submitted else 1.0
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Deterministic human-readable report (the loadtest CLI output)."""
+        lines = [
+            f"requests:       {self.submitted} submitted, {self.completed} "
+            f"completed, {self.shed} shed ({self.shed_rate * 100:.1f}%)",
+            f"migrations:     {self.migrations}",
+            f"duration:       {self.duration_ms:.2f} ms (simulated)",
+            f"throughput:     {self.throughput_rps:.2f} req/s",
+            f"goodput:        {self.goodput_rps:.2f} req/s (SLO-met completions)",
+            f"SLO attainment: {self.slo_attainment * 100:.1f}% of submitted",
+            f"latency p50/p95/p99: {self.p50_latency_ms:.2f} / "
+            f"{self.p95_latency_ms:.2f} / {self.p99_latency_ms:.2f} ms",
+            f"latency mean/max:    {self.mean_latency_ms:.2f} / "
+            f"{self.max_latency_ms:.2f} ms",
+        ]
+        for reason in sorted(self.shed_by_reason):
+            lines.append(f"shed[{reason}]:  {self.shed_by_reason[reason]}")
+        for name in sorted(self.tenants):
+            t = self.tenants[name]
+            lines.append(
+                f"tenant {name}: {t.submitted} req, shed {t.shed_rate * 100:.1f}%, "
+                f"p99 {t.p99_latency_ms:.2f} ms, goodput {t.goodput_rps:.2f} req/s, "
+                f"SLO {t.slo_attainment * 100:.1f}%"
+            )
+        for r in self.replicas:
+            state = "live" if r.retired_ms < 0 else f"retired@{r.retired_ms:.2f}"
+            lines.append(
+                f"replica {r.replica_id} [{r.spec_label}] {state}: "
+                f"{r.requests_served} req in {r.batches_served} batches, "
+                f"util {r.utilization * 100:.1f}%, failures {r.failures}"
+            )
+        for event in self.scale_events:
+            lines.append(event.render())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        """JSON-ready stable dict (sorted keys downstream)."""
+        return {
+            "duration_ms": self.duration_ms,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "shed_by_reason": dict(sorted(self.shed_by_reason.items())),
+            "migrations": self.migrations,
+            "slo_met": self.slo_met,
+            "slo_attainment": self.slo_attainment,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p95_latency_ms": self.p95_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "mean_latency_ms": self.mean_latency_ms,
+            "max_latency_ms": self.max_latency_ms,
+            "throughput_rps": self.throughput_rps,
+            "goodput_rps": self.goodput_rps,
+            "tenants": {
+                name: {
+                    "submitted": t.submitted,
+                    "completed": t.completed,
+                    "shed": t.shed,
+                    "shed_rate": t.shed_rate,
+                    "slo_met": t.slo_met,
+                    "slo_attainment": t.slo_attainment,
+                    "p50_latency_ms": t.p50_latency_ms,
+                    "p95_latency_ms": t.p95_latency_ms,
+                    "p99_latency_ms": t.p99_latency_ms,
+                    "mean_latency_ms": t.mean_latency_ms,
+                    "goodput_rps": t.goodput_rps,
+                }
+                for name, t in sorted(self.tenants.items())
+            },
+            "replicas": [
+                {
+                    "replica_id": r.replica_id,
+                    "spec": r.spec_label,
+                    "added_ms": r.added_ms,
+                    "retired_ms": r.retired_ms,
+                    "failures": r.failures,
+                    "busy_ms": r.busy_ms,
+                    "batches_served": r.batches_served,
+                    "requests_served": r.requests_served,
+                    "utilization": r.utilization,
+                }
+                for r in self.replicas
+            ],
+            "scale_events": [
+                {
+                    "time_ms": e.time_ms,
+                    "action": e.action,
+                    "reason": e.reason,
+                    "replicas_after": e.replicas_after,
+                }
+                for e in self.scale_events
+            ],
+        }
+
+
+def _latency_block(latencies: List[float]) -> Dict[str, float]:
+    return {
+        "p50": safe_percentile(latencies, 50),
+        "p95": safe_percentile(latencies, 95),
+        "p99": safe_percentile(latencies, 99),
+        "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+        "max": max(latencies) if latencies else 0.0,
+    }
+
+
+def build_fleet_stats(
+    records: List[RequestRecord],
+    replicas: List[Replica],
+    scale_events: List[ScaleEvent],
+    duration_ms: float,
+) -> FleetStats:
+    """Aggregate a finished fleet run into :class:`FleetStats`.
+
+    Args:
+        records: All request records (collected — completions filled in).
+        replicas: Every replica that ever existed (live and retired).
+        scale_events: The autoscaler's audit trail (empty if disabled).
+        duration_ms: Denominator for throughput/goodput — the scenario
+            duration or the last completion, whichever is later.
+
+    Returns:
+        The empty-safe :class:`FleetStats`.
+    """
+    completed = [r for r in records if r.completed]
+    shed = [r for r in records if r.shed]
+    latencies = [r.latency_ms for r in completed]
+    overall = _latency_block(latencies)
+    seconds = duration_ms / 1000.0 if duration_ms > 0 else 0.0
+    slo_met = sum(r.slo_met for r in completed)
+
+    shed_by_reason: Dict[str, int] = {}
+    for r in shed:
+        shed_by_reason[r.shed_reason] = shed_by_reason.get(r.shed_reason, 0) + 1
+
+    tenants: Dict[str, TenantStats] = {}
+    for name in sorted({r.tenant for r in records}):
+        t_records = [r for r in records if r.tenant == name]
+        t_completed = [r for r in t_records if r.completed]
+        t_latencies = [r.latency_ms for r in t_completed]
+        t_block = _latency_block(t_latencies)
+        t_slo_met = sum(r.slo_met for r in t_completed)
+        tenants[name] = TenantStats(
+            tenant=name,
+            submitted=len(t_records),
+            completed=len(t_completed),
+            shed=sum(r.shed for r in t_records),
+            slo_met=t_slo_met,
+            p50_latency_ms=t_block["p50"],
+            p95_latency_ms=t_block["p95"],
+            p99_latency_ms=t_block["p99"],
+            mean_latency_ms=t_block["mean"],
+            goodput_rps=t_slo_met / seconds if seconds else 0.0,
+        )
+
+    replica_stats: List[ReplicaStats] = []
+    for replica in sorted(replicas, key=lambda r: r.replica_id):
+        devices = replica.engine.router.devices
+        busy = sum(d.busy_ms for d in devices)
+        end = replica.retired_ms if replica.retired_ms is not None else duration_ms
+        # Failure downtime is not live time — a replica down for a third of
+        # the run should not have its utilization diluted by the outage.
+        lifetime = max(0.0, end - replica.added_ms - replica.downtime_ms)
+        replica_stats.append(
+            ReplicaStats(
+                replica_id=replica.replica_id,
+                spec_label=replica.spec.label,
+                added_ms=replica.added_ms,
+                retired_ms=replica.retired_ms if replica.retired_ms is not None else -1.0,
+                failures=replica.failures,
+                busy_ms=busy,
+                batches_served=sum(d.batches_served for d in devices),
+                requests_served=sum(d.requests_served for d in devices),
+                utilization=min(1.0, busy / lifetime) if lifetime > 0 else 0.0,
+            )
+        )
+
+    return FleetStats(
+        duration_ms=duration_ms,
+        submitted=len(records),
+        completed=len(completed),
+        shed=len(shed),
+        migrations=sum(r.migrations for r in records),
+        slo_met=slo_met,
+        p50_latency_ms=overall["p50"],
+        p95_latency_ms=overall["p95"],
+        p99_latency_ms=overall["p99"],
+        mean_latency_ms=overall["mean"],
+        max_latency_ms=overall["max"],
+        throughput_rps=len(completed) / seconds if seconds else 0.0,
+        goodput_rps=slo_met / seconds if seconds else 0.0,
+        shed_by_reason=shed_by_reason,
+        tenants=tenants,
+        replicas=replica_stats,
+        scale_events=list(scale_events),
+    )

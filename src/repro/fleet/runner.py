@@ -1,0 +1,184 @@
+"""The scenario runner: one event loop over arrivals, ticks, and failures.
+
+``run_scenario`` merges three event streams onto the shared simulated
+clock — request arrivals from the scenario trace, autoscaler evaluation
+ticks, and the failure plan's fail/recover points — processes them in
+deterministic time order, drains the fleet, and aggregates a
+:class:`FleetReport`.  Same seed, same inputs, byte-identical report.
+
+Event ordering at equal timestamps is fixed (recover < fail < arrival <
+tick) so a replica recovering exactly when a request arrives is routable
+for it, and a tick sees the state *after* the traffic of its instant.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from .autoscale import AutoscalePolicy, Autoscaler
+from .fleet import Fleet, FleetConfig, ReplicaSpec
+from .metrics import FleetStats, build_fleet_stats
+from .scenarios import FleetRequest, Scenario, builtin_scenarios
+
+# event kinds, in same-timestamp processing order
+_RECOVER, _FAIL, _ARRIVAL, _TICK = 0, 1, 2, 3
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One replica's planned fail-stop (and optional recovery)."""
+
+    replica_id: int
+    fail_ms: float
+    recover_ms: Optional[float] = None
+
+    def __post_init__(self):
+        if self.replica_id < 0:
+            raise ValueError(f"replica_id must be >= 0, got {self.replica_id}")
+        if self.fail_ms < 0:
+            raise ValueError(f"fail_ms must be >= 0, got {self.fail_ms}")
+        if self.recover_ms is not None and self.recover_ms <= self.fail_ms:
+            raise ValueError("recover_ms must come after fail_ms")
+
+
+@dataclass
+class FleetReport:
+    """One fleet run's full result: config echo plus aggregate stats."""
+
+    scenario: str
+    seed: int
+    num_initial_replicas: int
+    autoscaled: bool
+    stats: FleetStats
+
+    def render(self) -> str:
+        """Deterministic human-readable report."""
+        header = (
+            f"scenario: {self.scenario}  (seed {self.seed}, "
+            f"{self.num_initial_replicas} initial replica(s), "
+            f"autoscale {'on' if self.autoscaled else 'off'})"
+        )
+        return header + "\n" + self.stats.render()
+
+    def to_json(self) -> str:
+        """Stable JSON (sorted keys) for files and byte-compare tests."""
+        doc = {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "num_initial_replicas": self.num_initial_replicas,
+            "autoscaled": self.autoscaled,
+            "stats": self.stats.to_dict(),
+        }
+        return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def run_scenario(
+    scenario: Union[str, Scenario, Sequence[FleetRequest]],
+    model,
+    tokenizer,
+    specs: List[ReplicaSpec],
+    fleet_config: FleetConfig = FleetConfig(),
+    autoscale: Optional[AutoscalePolicy] = None,
+    scale_spec: Optional[ReplicaSpec] = None,
+    failures: Sequence[FailureEvent] = (),
+    seed: int = 0,
+    rate_scale: float = 1.0,
+    duration_scale: float = 1.0,
+) -> FleetReport:
+    """Run one scenario through a fleet and aggregate the report.
+
+    Args:
+        scenario: A built-in scenario name, a :class:`Scenario`, or an
+            already generated trace (a sequence of :class:`FleetRequest`).
+        model: Frozen integer model shared by every replica.
+        tokenizer: Tokenizer shared by every replica.
+        specs: Initial replica design points.
+        fleet_config: Cluster policy (per-replica serving config, admission).
+        autoscale: Enable the autoscaler with this policy (``None`` = fixed
+            fleet).
+        scale_spec: Design point for scale-up replicas (default: first spec).
+        failures: Planned replica failures/recoveries.
+        seed: Trace seed (ignored when ``scenario`` is a pre-built trace).
+        rate_scale: Rate multiplier passed to scenario generation.
+        duration_scale: Duration multiplier passed to scenario generation.
+
+    Returns:
+        The :class:`FleetReport` (deterministic for equal arguments).
+    """
+    if isinstance(scenario, str):
+        catalog = builtin_scenarios()
+        if scenario not in catalog:
+            raise ValueError(
+                f"unknown scenario {scenario!r}; choose from {sorted(catalog)}"
+            )
+        scenario = catalog[scenario]
+    if isinstance(scenario, Scenario):
+        name = scenario.name
+        duration_ms = scenario.duration_ms * duration_scale
+        trace = scenario.generate(
+            seed=seed, rate_scale=rate_scale, duration_scale=duration_scale
+        )
+    else:
+        trace = sorted(scenario, key=lambda r: r.arrival_ms)
+        name = "custom-trace"
+        duration_ms = trace[-1].arrival_ms if trace else 0.0
+
+    fleet = Fleet(model, tokenizer, specs, fleet_config)
+    autoscaler = (
+        Autoscaler(fleet, autoscale, scale_spec=scale_spec) if autoscale else None
+    )
+
+    # ------------------------------------------------------------------
+    # merge the event streams: (time, kind, seq, payload)
+    # ------------------------------------------------------------------
+    events: List = []
+    seq = 0
+    for request in trace:
+        heapq.heappush(events, (request.arrival_ms, _ARRIVAL, seq, request))
+        seq += 1
+    if autoscaler is not None:
+        tick = autoscale.interval_ms
+        while tick <= duration_ms:
+            heapq.heappush(events, (tick, _TICK, seq, None))
+            seq += 1
+            tick += autoscale.interval_ms
+    for failure in failures:
+        heapq.heappush(events, (failure.fail_ms, _FAIL, seq, failure.replica_id))
+        seq += 1
+        if failure.recover_ms is not None:
+            heapq.heappush(
+                events, (failure.recover_ms, _RECOVER, seq, failure.replica_id)
+            )
+            seq += 1
+
+    while events:
+        time_ms, kind, _, payload = heapq.heappop(events)
+        fleet.advance(time_ms)
+        if kind == _ARRIVAL:
+            fleet.submit(payload)
+        elif kind == _TICK:
+            autoscaler.tick(time_ms)
+        elif kind == _FAIL:
+            fleet.fail_replica(payload, time_ms)
+        else:  # _RECOVER
+            fleet.recover_replica(payload, time_ms)
+
+    fleet.drain()
+    records = fleet.collect()
+    last_finish = max((r.finish_ms for r in records if r.completed), default=0.0)
+    stats = build_fleet_stats(
+        records,
+        replicas=list(fleet.replicas.values()),
+        scale_events=autoscaler.events if autoscaler else [],
+        duration_ms=max(duration_ms, last_finish),
+    )
+    return FleetReport(
+        scenario=name,
+        seed=seed,
+        num_initial_replicas=len(specs),
+        autoscaled=autoscaler is not None,
+        stats=stats,
+    )

@@ -1,0 +1,308 @@
+"""Scenario workload generator: seeded request traces for cluster serving.
+
+A :class:`Scenario` describes *traffic shape* (a time-varying arrival rate)
+and *traffic content* (a mix of tenants, each with its own SLO, text-length
+distribution, and pool of distinct texts).  ``generate(seed)`` turns it
+into a concrete, fully deterministic list of :class:`FleetRequest` — same
+seed, same trace, byte for byte, on every machine.
+
+Arrival sampling uses Poisson thinning: draw a homogeneous Poisson process
+at the scenario's peak rate, then keep each arrival with probability
+``rate(t) / peak``.  That one mechanism covers every built-in shape:
+
+- ``steady``       — constant-rate Poisson (the classic M/G/k feed)
+- ``diurnal``      — a sinusoidal day/night curve, compressed to ms scale
+- ``flash-crowd``  — steady baseline with a step burst window (the
+  overload / load-shedding scenario)
+- ``ramp``         — linearly growing rate (the autoscaler's bread and
+  butter)
+- ``multi-tenant`` — steady aggregate over three tenants with different
+  SLOs and sequence-length distributions
+
+Timescale note: these are *simulated* milliseconds.  A "diurnal" period of
+60 ms is a day compressed a few million-fold — the queueing dynamics are
+identical, and the traces stay cheap enough to run in tests and CI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One traffic class: share of arrivals, SLO, and text shape."""
+
+    name: str
+    share: float = 1.0          # relative traffic weight within the scenario
+    slo_ms: float = 150.0       # end-to-end latency target for this tenant
+    min_words: int = 4          # shortest text, in whitespace words
+    max_words: int = 24         # longest text (tokens ~= words + [CLS])
+    pool_size: int = 32         # distinct texts (repetition -> cache hits)
+
+    def __post_init__(self):
+        if self.share <= 0:
+            raise ValueError(f"tenant share must be > 0, got {self.share}")
+        if self.slo_ms <= 0:
+            raise ValueError(f"slo_ms must be > 0, got {self.slo_ms}")
+        if not 1 <= self.min_words <= self.max_words:
+            raise ValueError(
+                f"need 1 <= min_words <= max_words, got "
+                f"({self.min_words}, {self.max_words})"
+            )
+        if self.pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {self.pool_size}")
+
+
+@dataclass(frozen=True)
+class FleetRequest:
+    """One arrival of a cluster trace: a trace request plus tenancy."""
+
+    tenant: str
+    slo_ms: float
+    text_a: str
+    text_b: Optional[str]
+    arrival_ms: float
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named traffic shape over a tenant mix.
+
+    ``profile`` selects the rate curve; the ``diurnal_*`` / ``flash_*`` /
+    ``ramp_*`` fields parameterize it (unused ones are ignored).  Rates are
+    the *aggregate* across tenants; each arrival is assigned a tenant by
+    sampling the tenants' ``share`` weights.
+    """
+
+    name: str
+    description: str
+    duration_ms: float
+    base_rate_rps: float                    # aggregate requests per second
+    tenants: Tuple[TenantSpec, ...] = (TenantSpec(name="default"),)
+    profile: str = "steady"                 # steady | diurnal | flash | ramp
+    diurnal_amplitude: float = 0.0          # rate swing as a fraction of base
+    diurnal_period_ms: float = 0.0
+    flash_start_ms: float = 0.0
+    flash_end_ms: float = 0.0
+    flash_multiplier: float = 1.0
+    ramp_end_multiplier: float = 1.0
+
+    def __post_init__(self):
+        if self.duration_ms <= 0:
+            raise ValueError(f"duration_ms must be > 0, got {self.duration_ms}")
+        if self.base_rate_rps <= 0:
+            raise ValueError(f"base_rate_rps must be > 0, got {self.base_rate_rps}")
+        if not self.tenants:
+            raise ValueError("a scenario needs at least one tenant")
+        if self.profile not in ("steady", "diurnal", "flash", "ramp"):
+            raise ValueError(f"unknown rate profile {self.profile!r}")
+        if self.profile == "diurnal" and not (
+            0.0 <= self.diurnal_amplitude < 1.0 and self.diurnal_period_ms > 0
+        ):
+            raise ValueError("diurnal needs 0 <= amplitude < 1 and period > 0")
+        if self.profile == "flash" and not (
+            0.0 <= self.flash_start_ms < self.flash_end_ms <= self.duration_ms
+            and self.flash_multiplier >= 1.0
+        ):
+            raise ValueError("flash needs start < end within duration, multiplier >= 1")
+        if self.profile == "ramp" and self.ramp_end_multiplier < 1.0:
+            raise ValueError("ramp_end_multiplier must be >= 1")
+
+    # ------------------------------------------------------------------
+    # rate curve
+    # ------------------------------------------------------------------
+    def rate_rps(self, t_ms: float) -> float:
+        """Instantaneous aggregate arrival rate (requests/second) at ``t_ms``."""
+        if self.profile == "steady":
+            return self.base_rate_rps
+        if self.profile == "diurnal":
+            phase = 2.0 * math.pi * t_ms / self.diurnal_period_ms
+            return self.base_rate_rps * (1.0 + self.diurnal_amplitude * math.sin(phase))
+        if self.profile == "flash":
+            if self.flash_start_ms <= t_ms < self.flash_end_ms:
+                return self.base_rate_rps * self.flash_multiplier
+            return self.base_rate_rps
+        # ramp
+        frac = min(1.0, t_ms / self.duration_ms)
+        return self.base_rate_rps * (1.0 + (self.ramp_end_multiplier - 1.0) * frac)
+
+    def peak_rate_rps(self) -> float:
+        """The curve's maximum (the thinning envelope)."""
+        if self.profile == "diurnal":
+            return self.base_rate_rps * (1.0 + self.diurnal_amplitude)
+        if self.profile == "flash":
+            return self.base_rate_rps * self.flash_multiplier
+        if self.profile == "ramp":
+            return self.base_rate_rps * self.ramp_end_multiplier
+        return self.base_rate_rps
+
+    # ------------------------------------------------------------------
+    # trace generation
+    # ------------------------------------------------------------------
+    def generate(
+        self, seed: int = 0, rate_scale: float = 1.0, duration_scale: float = 1.0
+    ) -> List[FleetRequest]:
+        """Sample one deterministic trace of this scenario.
+
+        Args:
+            seed: RNG seed; equal arguments give byte-identical traces.
+            rate_scale: Multiplier on the whole rate curve (lets tests and
+                quick profiles shrink a scenario without reshaping it).
+            duration_scale: Multiplier on the scenario duration.
+
+        Returns:
+            Arrival-ordered :class:`FleetRequest` list (possibly empty for
+            tiny scales — degenerate traces are legal fleet inputs).
+        """
+        if rate_scale <= 0 or duration_scale <= 0:
+            raise ValueError("rate_scale and duration_scale must be > 0")
+        rng = np.random.default_rng([seed, _stable_hash(self.name)])
+        duration = self.duration_ms * duration_scale
+        # Stretch the curve's time axis with the duration so a scaled
+        # flash-crowd keeps its burst in the same relative window.
+        peak_per_ms = self.peak_rate_rps() * rate_scale / 1000.0
+        pools = [_tenant_pool(t, seed) for t in self.tenants]
+        shares = np.array([t.share for t in self.tenants], dtype=float)
+        shares /= shares.sum()
+
+        trace: List[FleetRequest] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / peak_per_ms))
+            if t >= duration:
+                break
+            rate = self.rate_rps(t / duration_scale) * rate_scale / 1000.0
+            if float(rng.uniform()) * peak_per_ms > rate:
+                continue  # thinned away
+            tenant_idx = int(rng.choice(len(self.tenants), p=shares))
+            tenant = self.tenants[tenant_idx]
+            pool = pools[tenant_idx]
+            text = pool[int(rng.integers(len(pool)))]
+            trace.append(
+                FleetRequest(
+                    tenant=tenant.name,
+                    slo_ms=tenant.slo_ms,
+                    text_a=text,
+                    text_b=None,
+                    arrival_ms=t,
+                )
+            )
+        return trace
+
+    def scaled(self, **overrides) -> "Scenario":
+        """A copy with fields replaced (tests tweak rates without rebuilding)."""
+        return replace(self, **overrides)
+
+
+def _stable_hash(name: str) -> int:
+    """A platform-stable 32-bit hash of the scenario name (seeds the rng)."""
+    import zlib
+
+    return zlib.crc32(name.encode("utf-8"))
+
+
+def _tenant_pool(tenant: TenantSpec, seed: int) -> List[str]:
+    """The tenant's deterministic pool of distinct texts.
+
+    Word counts are drawn uniformly from the tenant's range; words come
+    from a compact synthetic vocabulary, prefixed with the tenant name so
+    no two tenants collide in the fleet-wide tokenization caches.
+    """
+    rng = np.random.default_rng([seed, _stable_hash(tenant.name), 1])
+    pool = []
+    for _ in range(tenant.pool_size):
+        words = int(rng.integers(tenant.min_words, tenant.max_words + 1))
+        pool.append(
+            " ".join(f"{tenant.name}w{int(rng.integers(0, 500))}" for _ in range(words))
+        )
+    return pool
+
+
+# ----------------------------------------------------------------------
+# the built-in scenario catalog
+# ----------------------------------------------------------------------
+def builtin_scenarios() -> Dict[str, Scenario]:
+    """The scenario catalog behind ``repro.cli loadtest --scenario``.
+
+    Rates are sized for a handful of simulated ZCU102-class replicas of a
+    small model; ``rate_scale`` shrinks or grows any of them without
+    changing shape.
+    """
+    return {
+        s.name: s
+        for s in (
+            Scenario(
+                name="steady",
+                description="constant-rate Poisson steady state",
+                duration_ms=240.0,
+                base_rate_rps=900.0,
+            ),
+            Scenario(
+                name="diurnal",
+                description="sinusoidal day/night curve (compressed to ms)",
+                duration_ms=240.0,
+                base_rate_rps=800.0,
+                profile="diurnal",
+                diurnal_amplitude=0.7,
+                diurnal_period_ms=120.0,
+            ),
+            Scenario(
+                name="flash-crowd",
+                description="steady baseline with an 8x burst window",
+                duration_ms=300.0,
+                base_rate_rps=300.0,
+                profile="flash",
+                flash_start_ms=80.0,
+                flash_end_ms=150.0,
+                flash_multiplier=8.0,
+            ),
+            Scenario(
+                name="ramp",
+                description="linear ramp to 5x the starting rate",
+                duration_ms=240.0,
+                base_rate_rps=400.0,
+                profile="ramp",
+                ramp_end_multiplier=5.0,
+            ),
+            Scenario(
+                name="multi-tenant",
+                description="three tenants with distinct SLOs and lengths",
+                duration_ms=240.0,
+                base_rate_rps=900.0,
+                tenants=(
+                    TenantSpec(
+                        name="interactive",
+                        share=0.5,
+                        slo_ms=60.0,
+                        min_words=3,
+                        max_words=10,
+                        pool_size=24,
+                    ),
+                    TenantSpec(
+                        name="standard",
+                        share=0.3,
+                        slo_ms=150.0,
+                        min_words=8,
+                        max_words=24,
+                        pool_size=32,
+                    ),
+                    TenantSpec(
+                        name="batch",
+                        share=0.2,
+                        slo_ms=600.0,
+                        min_words=24,
+                        max_words=56,
+                        pool_size=16,
+                    ),
+                ),
+            ),
+        )
+    }
+
+
+SCENARIO_NAMES: Tuple[str, ...] = tuple(sorted(builtin_scenarios()))

@@ -1,7 +1,8 @@
 """Pinned benchmark suites behind ``repro.cli bench``.
 
-Two suites, each emitting one JSON document designed to be committed as a
-regression baseline (``BENCH_kernels.json`` / ``BENCH_serve.json``):
+Three suites, each emitting one JSON document designed to be committed as
+a regression baseline (``BENCH_kernels.json`` / ``BENCH_serve.json`` /
+``BENCH_cluster.json``):
 
 - **kernels** — the optimized integer kernels (linear, attention, Add&LN,
   LUT softmax, and the full batched forward at batch=8) timed against the
@@ -12,6 +13,12 @@ regression baseline (``BENCH_kernels.json`` / ``BENCH_serve.json``):
   :class:`~repro.serve.ServingEngine`, reporting both wall-clock host cost
   and the deterministic simulated serving statistics (which double as
   functional regression canaries: they must reproduce exactly).
+- **cluster** — a pinned flash-crowd scenario through the
+  :mod:`repro.fleet` cluster simulator, fixed fleet vs. autoscaled, plus a
+  heterogeneous steady-state fleet.  Before timing, the suite *asserts the
+  scale-out contract* — shedding engages on the fixed fleet and the
+  autoscaler strictly improves goodput — then gates on the deterministic
+  goodput / shed-rate / tail-latency numbers.
 
 JSON layout (``schema: repro-bench/1``)::
 
@@ -39,7 +46,7 @@ from .timer import time_callable
 from .workloads import HashTokenizer, bench_text_pool, build_synthetic_integer_model
 
 SCHEMA = "repro-bench/1"
-SUITES = ("kernels", "serve")
+SUITES = ("kernels", "serve", "cluster")
 BENCH_BATCH = 8  # the acceptance batch size for the batched forward
 
 
@@ -269,6 +276,194 @@ def run_serve_suite(quick: bool = False, seed: int = 0) -> Dict:
     }
 
 
+def cluster_model_config(max_position_embeddings: int = 64) -> BertConfig:
+    """The pinned (small) model shape of the cluster suite and loadtest CLI.
+
+    Smaller than the kernel shape on purpose: the cluster suite's cost is
+    trace length x host forward, and its subject is fleet dynamics, not
+    kernel speed.  One definition keeps CLI loadtest runs comparable with
+    the gated ``BENCH_cluster.json`` baselines.
+    """
+    return BertConfig(
+        vocab_size=512,
+        hidden_size=64,
+        num_hidden_layers=2,
+        num_attention_heads=4,
+        intermediate_size=128,
+        max_position_embeddings=max_position_embeddings,
+        num_labels=2,
+    )
+
+
+def run_cluster_suite(quick: bool = False, seed: int = 0) -> Dict:
+    """Run the pinned cluster scenarios through the fleet simulator.
+
+    Three deterministic runs over one frozen synthetic model:
+
+    1. **flash-crowd, fixed fleet** — one deliberately weak replica (a
+       scaled-down design point) against a 3x-rate burst, so admission
+       control must shed;
+    2. **flash-crowd, autoscaled** — same trace, autoscaler on, which must
+       strictly improve goodput (asserted, like the kernel equivalence
+       gate: a cluster layer that can't beat a fixed fleet under burst is
+       a bug, not a result);
+    3. **steady, heterogeneous fleet** — a ZCU102 (8, 16) next to a
+       ZCU111 (16, 16) replica, exercising per-design-point routing.
+
+    Args:
+        quick: Shrink the traces (CI smoke profile).
+        seed: Workload seed.
+
+    Returns:
+        A ``repro-bench/1`` result document.  All ``sim_*`` metrics come
+        from the simulated clock and must reproduce exactly across
+        machines.
+
+    Raises:
+        RuntimeError: If shedding fails to engage on the fixed fleet, or
+            the autoscaler fails to strictly improve goodput.
+    """
+    from ..accel.config import AcceleratorConfig
+    from ..accel.devices import ZCU111
+    from ..fleet import (
+        AutoscalePolicy,
+        FleetConfig,
+        ReplicaSpec,
+        run_scenario,
+    )
+
+    config = cluster_model_config()
+    model = build_synthetic_integer_model(config, seed=seed)
+    tokenizer = HashTokenizer(vocab_size=config.vocab_size)
+    serving = ServingConfig(
+        max_batch_size=BENCH_BATCH,
+        max_wait_ms=5.0,
+        buckets=(16, 32, 64),
+        num_devices=1,
+        cache_capacity=512,
+    )
+    # A deliberately weak design point: overload must be reachable with a
+    # few hundred requests, not a few hundred thousand.
+    weak = ReplicaSpec(
+        accel_config=AcceleratorConfig(num_pus=2, num_pes=2, num_multipliers=4),
+        name="weak",
+    )
+    fleet_config = FleetConfig(serving=serving, admit_slo_factor=1.0)
+    rate_scale = 1.5 if quick else 3.0
+    duration_scale = 0.5 if quick else 1.0
+
+    def run_flash(autoscale):
+        return run_scenario(
+            "flash-crowd",
+            model,
+            tokenizer,
+            [weak],
+            fleet_config,
+            autoscale=autoscale,
+            seed=seed,
+            rate_scale=rate_scale,
+            duration_scale=duration_scale,
+        )
+
+    policy = AutoscalePolicy(min_replicas=1, max_replicas=5, interval_ms=15.0)
+    # One timed cold run whose report is also the result — the scenario is
+    # the suite's most expensive run, so it executes exactly once.
+    captured = {}
+    wall = time_callable(
+        lambda: captured.setdefault("fixed", run_flash(None)), repeats=1, warmup=0
+    )
+    fixed = captured["fixed"]
+    autoscaled = run_flash(policy)
+
+    # --- the scale-out contract, asserted before anything is recorded ---
+    if not quick and fixed.stats.shed == 0:
+        raise RuntimeError(
+            "flash-crowd failed to trigger load shedding on the fixed fleet — "
+            "the overload scenario no longer overloads; refusing to benchmark"
+        )
+    if autoscaled.stats.goodput_rps <= fixed.stats.goodput_rps:
+        raise RuntimeError(
+            "autoscaler failed to strictly improve goodput over the fixed "
+            f"fleet ({autoscaled.stats.goodput_rps:.2f} <= "
+            f"{fixed.stats.goodput_rps:.2f}); refusing to benchmark"
+        )
+
+    hetero = run_scenario(
+        "steady",
+        model,
+        tokenizer,
+        [
+            ReplicaSpec(accel_config=AcceleratorConfig.zcu102_n8_m16()),
+            ReplicaSpec(accel_config=AcceleratorConfig.zcu111_n16_m16(), device=ZCU111),
+        ],
+        FleetConfig(serving=serving),
+        seed=seed,
+        rate_scale=rate_scale,
+        duration_scale=duration_scale,
+    )
+    if hetero.stats.shed or hetero.stats.completed != hetero.stats.submitted:
+        raise RuntimeError(
+            "heterogeneous steady-state fleet unexpectedly shed or lost traffic"
+        )
+
+    metrics = {
+        "cluster_wall_ms": _metric(wall.best_ms, "ms", higher_is_better=False, gated=False),
+        "sim_fixed_goodput_rps": _metric(
+            fixed.stats.goodput_rps, "req/s", higher_is_better=True
+        ),
+        "sim_fixed_shed_rate": _metric(
+            fixed.stats.shed_rate, "", higher_is_better=False
+        ),
+        "sim_fixed_p99_latency_ms": _metric(
+            fixed.stats.p99_latency_ms, "ms", higher_is_better=False
+        ),
+        "sim_auto_goodput_rps": _metric(
+            autoscaled.stats.goodput_rps, "req/s", higher_is_better=True
+        ),
+        "sim_auto_p99_latency_ms": _metric(
+            autoscaled.stats.p99_latency_ms, "ms", higher_is_better=False
+        ),
+        "sim_auto_slo_attainment": _metric(
+            autoscaled.stats.slo_attainment, "", higher_is_better=True
+        ),
+        "sim_auto_scale_ups": _metric(
+            sum(e.action == "up" for e in autoscaled.stats.scale_events),
+            "events",
+            higher_is_better=False,
+            gated=False,
+        ),
+        "sim_hetero_p99_latency_ms": _metric(
+            hetero.stats.p99_latency_ms, "ms", higher_is_better=False
+        ),
+        "sim_hetero_throughput_rps": _metric(
+            hetero.stats.throughput_rps, "req/s", higher_is_better=True
+        ),
+    }
+    return {
+        "schema": SCHEMA,
+        "suite": "cluster",
+        "profile": "quick" if quick else "full",
+        "metrics": metrics,
+        "info": {
+            "model": config.to_dict(),
+            "seed": seed,
+            "rate_scale": rate_scale,
+            "duration_scale": duration_scale,
+            "submitted": {
+                "fixed": fixed.stats.submitted,
+                "autoscaled": autoscaled.stats.submitted,
+                "hetero": hetero.stats.submitted,
+            },
+            "fixed_shed": fixed.stats.shed,
+            "auto_shed": autoscaled.stats.shed,
+            "scale_events": [
+                {"time_ms": e.time_ms, "action": e.action, "replicas_after": e.replicas_after}
+                for e in autoscaled.stats.scale_events
+            ],
+        },
+    }
+
+
 def _wrap_tokenizer(profiler: Profiler, tokenizer: HashTokenizer):
     """A tokenizer proxy whose ``encode`` is profiled."""
 
@@ -281,6 +476,7 @@ def _wrap_tokenizer(profiler: Profiler, tokenizer: HashTokenizer):
 _RUNNERS: Dict[str, Callable[..., Dict]] = {
     "kernels": run_kernel_suite,
     "serve": run_serve_suite,
+    "cluster": run_cluster_suite,
 }
 
 
@@ -288,7 +484,7 @@ def run_suite(suite: str, quick: bool = False, seed: int = 0) -> Dict:
     """Run one named suite.
 
     Args:
-        suite: ``"kernels"`` or ``"serve"``.
+        suite: ``"kernels"``, ``"serve"``, or ``"cluster"``.
         quick: CI smoke profile (smaller shapes, fewer repeats).
         seed: Workload seed.
 

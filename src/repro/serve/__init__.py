@@ -27,7 +27,7 @@ from .engine import (
     generate_trace,
 )
 from .metrics import ServingStats, build_stats, percentile
-from .router import DeviceRouter, DeviceState, Dispatch
+from .router import DeviceRouter, DeviceSpec, DeviceState, Dispatch
 
 __all__ = [
     "Batch",
@@ -46,6 +46,7 @@ __all__ = [
     "build_stats",
     "percentile",
     "DeviceRouter",
+    "DeviceSpec",
     "DeviceState",
     "Dispatch",
 ]

@@ -116,6 +116,10 @@ class DynamicBatcher:
     def pending(self) -> int:
         return sum(len(q) for q in self._queues.values())
 
+    def queued_by_bucket(self) -> Dict[int, int]:
+        """Non-empty queue depths keyed by bucket (load-projection hook)."""
+        return {bucket: len(q) for bucket, q in self._queues.items() if q}
+
     def add(self, pending: PendingRequest, now_ms: float) -> Optional[Batch]:
         """Enqueue one request.
 
@@ -167,6 +171,25 @@ class DynamicBatcher:
             if queue
         ]
         return min(deadlines) if deadlines else None
+
+    def evict_all(self) -> List[PendingRequest]:
+        """Remove every queued request *without* executing anything.
+
+        The failover primitive: when a replica fails (or drains for
+        scale-down), its queued-but-unflushed requests migrate to another
+        replica instead of flushing here.  Requests come back in enqueue
+        order across buckets so the caller can resubmit them in the same
+        causal order they arrived.
+
+        Returns:
+            Every pending request, oldest first; the queues are left empty.
+        """
+        evicted: List[PendingRequest] = []
+        for queue in self._queues.values():
+            evicted.extend(queue)
+            queue.clear()
+        evicted.sort(key=lambda p: p.enqueue_ms)
+        return evicted
 
     def flush_all(self, now_ms: float) -> List[Batch]:
         """Drain every queue (end of trace), in deadline order."""

@@ -126,6 +126,7 @@ class ServingEngine:
         config: ServingConfig = ServingConfig(),
         accel_config: Optional[AcceleratorConfig] = None,
         device: FpgaDevice = ZCU102,
+        device_specs: Optional[Sequence[Tuple[AcceleratorConfig, FpgaDevice]]] = None,
     ):
         if config.max_seq_len > model.config.max_position_embeddings:
             raise ValueError(
@@ -141,6 +142,7 @@ class ServingEngine:
             num_devices=config.num_devices,
             accel_config=accel_config,
             device=device,
+            specs=device_specs,
         )
         self.cache: LRUCache[Encoding] = LRUCache(config.cache_capacity)
         self.now_ms = 0.0
@@ -207,6 +209,34 @@ class ServingEngine:
         if full is not None:
             self._execute(full)
         return request.request_id
+
+    def advance(self, now_ms: float) -> None:
+        """Advance the simulated clock, firing every due batching deadline.
+
+        The cluster-layer hook: a fleet drives many engines off one shared
+        clock, and an idle replica must still flush a partially full batch
+        whose deadline passed even if it never sees another ``submit``.
+        Advancing backwards is a no-op (the clock is monotonic).
+
+        Args:
+            now_ms: Target simulated time.
+        """
+        for batch in self.batcher.due_batches(now_ms):
+            self._execute(batch)
+        self.now_ms = max(self.now_ms, now_ms)
+
+    def evict_pending(self) -> List[Request]:
+        """Pull every queued-but-unexecuted request out of the batcher.
+
+        The failover hook: when this engine's replica fails or drains for
+        scale-down, its queued requests migrate to another replica instead
+        of executing here.  Results for already-executed batches are kept —
+        only unflushed queue contents move.
+
+        Returns:
+            The evicted :class:`Request` objects, oldest first.
+        """
+        return [pending.payload for pending in self.batcher.evict_all()]
 
     def drain(self) -> List[RequestResult]:
         """Complete all pending work (deadlines fire in order).

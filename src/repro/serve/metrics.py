@@ -61,6 +61,32 @@ class ServingStats:
     slo_attainment: float       # fraction of requests meeting the SLO (1.0 if no SLO)
     device_busy_ms: Dict[int, float] = field(default_factory=dict)
 
+    @classmethod
+    def empty(cls) -> "ServingStats":
+        """The well-defined zero-requests stats object.
+
+        A degenerate trace — everything shed, or nothing submitted — must
+        still summarize cleanly: every count is 0, every latency/ratio is
+        0.0, and ``slo_attainment`` is 1.0 (no request missed its SLO).
+        """
+        return cls(
+            num_requests=0,
+            num_batches=0,
+            makespan_ms=0.0,
+            p50_latency_ms=0.0,
+            p95_latency_ms=0.0,
+            p99_latency_ms=0.0,
+            mean_latency_ms=0.0,
+            max_latency_ms=0.0,
+            mean_queue_ms=0.0,
+            throughput_rps=0.0,
+            cache_hit_rate=0.0,
+            padding_efficiency=1.0,
+            mean_batch_size=0.0,
+            slo_attainment=1.0,
+            device_busy_ms={},
+        )
+
     def device_utilization(self) -> Dict[int, float]:
         """Busy fraction of the makespan, per device."""
         if self.makespan_ms <= 0:
@@ -115,14 +141,13 @@ def build_stats(
         device_busy_ms: Busy milliseconds per device id.
 
     Returns:
-        The aggregated :class:`ServingStats`.
-
-    Raises:
-        ValueError: If no request completed.
+        The aggregated :class:`ServingStats`; when no request completed
+        (a fully shed trace is a legitimate outcome at the fleet layer),
+        the well-defined :meth:`ServingStats.empty` object.
     """
     n = len(latencies_ms)
     if n == 0:
-        raise ValueError("no completed requests to summarize")
+        return ServingStats.empty()
     return ServingStats(
         num_requests=n,
         num_batches=num_batches,

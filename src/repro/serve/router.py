@@ -1,25 +1,35 @@
 """Load-balancing router over N simulated accelerator instances.
 
-Each device is one :class:`repro.accel.AcceleratorSimulator` (same design
-point, independent timeline).  Dispatch is earliest-available-device: the
-batch starts on the device whose queue drains first.  Service time comes
-from the simulator's cycle-level schedule for the batch's *padded* shape
-(``seq_len = bucket``, ``batch_size = len(batch)``), so SLO accounting and
-balancing both see the same latency model the paper's Tables III/IV use.
+Each device is one :class:`repro.accel.AcceleratorSimulator`.  The fleet
+may be *homogeneous* (the default: ``num_devices`` copies of one design
+point) or *heterogeneous* — pass ``specs`` with one
+``(AcceleratorConfig, FpgaDevice)`` pair per instance to mix design
+points (e.g. a ZCU102 (8, 16) next to a ZCU111 (16, 16)).
 
-Latency estimates are memoized per (device, seq_len, batch_size) — the
-scheduler is analytic, so a shape's latency never changes across calls.
+Dispatch is earliest-*finish*: a batch runs on the device that completes
+it soonest, accounting for both the device's queue and its design point's
+service time for the batch's *padded* shape (``seq_len = bucket``,
+``batch_size = len(batch)``).  For homogeneous fleets this degenerates to
+the classic earliest-available rule.  Service times come from the
+simulator's cycle-level schedule, so SLO accounting and balancing both see
+the same latency model the paper's Tables III/IV use.
+
+Latency estimates are memoized per (design point, seq_len, batch_size) —
+the scheduler is analytic, so a shape's latency never changes across
+calls, and identical design points share cache entries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..accel.config import AcceleratorConfig
 from ..accel.devices import FpgaDevice, ZCU102
 from ..accel.simulator import AcceleratorSimulator
 from ..bert.config import BertConfig
+
+DeviceSpec = Tuple[AcceleratorConfig, FpgaDevice]
 
 
 @dataclass
@@ -28,6 +38,7 @@ class DeviceState:
 
     device_id: int
     simulator: AcceleratorSimulator
+    spec: DeviceSpec
     busy_until_ms: float = 0.0
     busy_ms: float = 0.0
     batches_served: int = 0
@@ -45,7 +56,7 @@ class Dispatch:
 
 
 class DeviceRouter:
-    """Earliest-available routing across homogeneous accelerator instances."""
+    """Earliest-finish routing across (possibly heterogeneous) accelerators."""
 
     def __init__(
         self,
@@ -53,41 +64,72 @@ class DeviceRouter:
         num_devices: int = 1,
         accel_config: AcceleratorConfig = None,
         device: FpgaDevice = ZCU102,
+        specs: Optional[Sequence[DeviceSpec]] = None,
     ):
-        if num_devices < 1:
-            raise ValueError(f"num_devices must be >= 1, got {num_devices}")
-        accel_config = accel_config or AcceleratorConfig()
+        """Args:
+            model_config: Served model architecture (drives the schedule).
+            num_devices: Fleet size for the homogeneous case (ignored when
+                ``specs`` is given).
+            accel_config: Design point of the homogeneous fleet.
+            device: FPGA part of the homogeneous fleet.
+            specs: Optional explicit per-instance ``(config, device)``
+                pairs — the heterogeneous fleet constructor.
+
+        Raises:
+            ValueError: If the fleet would be empty.
+        """
+        if specs is None:
+            if num_devices < 1:
+                raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+            specs = [(accel_config or AcceleratorConfig(), device)] * num_devices
+        specs = list(specs)
+        if not specs:
+            raise ValueError("specs must name at least one device")
         self.model_config = model_config
         self.devices: List[DeviceState] = [
-            DeviceState(device_id=i, simulator=AcceleratorSimulator(accel_config, device))
-            for i in range(num_devices)
+            DeviceState(
+                device_id=i,
+                simulator=AcceleratorSimulator(cfg, dev),
+                spec=(cfg, dev),
+            )
+            for i, (cfg, dev) in enumerate(specs)
         ]
-        self._latency_cache: Dict[Tuple[int, int], float] = {}
+        self._latency_cache: Dict[Tuple[DeviceSpec, int, int], float] = {}
 
-    def estimate_latency_ms(self, seq_len: int, batch_size: int) -> float:
+    def estimate_latency_ms(
+        self, seq_len: int, batch_size: int, device_id: int = 0
+    ) -> float:
         """Cycle-accurate latency of one (padded) batch on one device.
 
         Args:
             seq_len: Padded sequence length (the batch's bucket).
             batch_size: Number of rows in the batch.
+            device_id: Which instance's design point to price (instances
+                sharing a design point share cache entries).
 
         Returns:
             Service milliseconds from the simulator's cycle-level schedule,
-            memoized per ``(seq_len, batch_size)`` — and cheap even on a
-            miss, because the workload derivation and the scheduler's own
-            results are memoized underneath.
+            memoized per ``(design point, seq_len, batch_size)`` — and cheap
+            even on a miss, because the workload derivation and the
+            scheduler's own results are memoized underneath.
         """
-        key = (seq_len, batch_size)
+        state = self.devices[device_id]
+        key = (state.spec, seq_len, batch_size)
         cached = self._latency_cache.get(key)
         if cached is None:
-            report = self.devices[0].simulator.simulate(
+            report = state.simulator.simulate(
                 self.model_config, seq_len=seq_len, batch_size=batch_size
             )
             cached = self._latency_cache[key] = report.latency_ms
         return cached
 
     def dispatch(self, seq_len: int, batch_size: int, ready_ms: float) -> Dispatch:
-        """Place a batch on the earliest-available device and advance its clock.
+        """Place a batch on the earliest-finishing device; advance its clock.
+
+        A slow-but-idle device can lose to a fast-but-queued one: the rule
+        minimizes ``max(ready, busy_until) + service``, with ties broken by
+        lower ``busy_until`` then device id — which reduces exactly to
+        earliest-available for homogeneous fleets.
 
         Args:
             seq_len: Padded sequence length (the batch's bucket).
@@ -97,8 +139,14 @@ class DeviceRouter:
         Returns:
             The :class:`Dispatch` record (device, start/finish/service times).
         """
-        device = min(self.devices, key=lambda d: (d.busy_until_ms, d.device_id))
-        service_ms = self.estimate_latency_ms(seq_len, batch_size)
+
+        def finish_key(state: DeviceState) -> Tuple[float, float, int]:
+            service = self.estimate_latency_ms(seq_len, batch_size, state.device_id)
+            start = max(ready_ms, state.busy_until_ms)
+            return (start + service, state.busy_until_ms, state.device_id)
+
+        device = min(self.devices, key=finish_key)
+        service_ms = self.estimate_latency_ms(seq_len, batch_size, device.device_id)
         start_ms = max(ready_ms, device.busy_until_ms)
         finish_ms = start_ms + service_ms
         device.busy_until_ms = finish_ms
@@ -111,6 +159,16 @@ class DeviceRouter:
             finish_ms=finish_ms,
             service_ms=service_ms,
         )
+
+    def block_until(self, ready_ms: float) -> None:
+        """Push every instance's availability to at least ``ready_ms``.
+
+        The cold-start hook: a replica that just booted spends its weight
+        load + warm-up window unavailable, so the fleet layer blocks the
+        router for that long before the first batch can start.
+        """
+        for state in self.devices:
+            state.busy_until_ms = max(state.busy_until_ms, ready_ms)
 
     def busy_ms_by_device(self) -> Dict[int, float]:
         """Total busy milliseconds accumulated per device id."""

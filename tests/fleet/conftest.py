@@ -1,0 +1,58 @@
+"""Fixtures for the fleet tests: a frozen synthetic model + weak replicas.
+
+The fleet layer's subject is cluster dynamics, not model quality, so these
+tests serve a seeded synthetic integer model (bit-deterministic, zero
+training time) on deliberately *weak* accelerator design points — overload
+has to be reachable with a few hundred simulated requests.
+"""
+
+import pytest
+
+from repro.accel import AcceleratorConfig
+from repro.bert import BertConfig
+from repro.fleet import FleetConfig, ReplicaSpec
+from repro.perf.workloads import HashTokenizer, build_synthetic_integer_model
+from repro.serve import ServingConfig
+
+
+@pytest.fixture(scope="session")
+def cluster_model():
+    """A small frozen integer model shared by every fleet test."""
+    config = BertConfig(
+        vocab_size=512,
+        hidden_size=64,
+        num_hidden_layers=2,
+        num_attention_heads=4,
+        intermediate_size=128,
+        max_position_embeddings=64,
+        num_labels=2,
+    )
+    return build_synthetic_integer_model(config, seed=0)
+
+
+@pytest.fixture(scope="session")
+def hash_tokenizer():
+    return HashTokenizer(vocab_size=512)
+
+
+@pytest.fixture
+def weak_spec():
+    """A deliberately slow design point (overload with few requests)."""
+    return ReplicaSpec(
+        accel_config=AcceleratorConfig(num_pus=2, num_pes=2, num_multipliers=4),
+        name="weak",
+    )
+
+
+@pytest.fixture
+def fleet_config():
+    return FleetConfig(
+        serving=ServingConfig(
+            max_batch_size=8,
+            max_wait_ms=5.0,
+            buckets=(16, 32, 64),
+            num_devices=1,
+            cache_capacity=512,
+        ),
+        admit_slo_factor=1.0,
+    )

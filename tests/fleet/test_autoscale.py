@@ -1,0 +1,164 @@
+"""Autoscaler: signals, scale decisions, goodput under flash crowds."""
+
+import pytest
+
+from repro.fleet import (
+    AutoscalePolicy,
+    Autoscaler,
+    Fleet,
+    run_scenario,
+)
+
+
+class TestPolicyValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            AutoscalePolicy(min_replicas=3, max_replicas=2)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(interval_ms=0.0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(utilization_low=0.9, utilization_high=0.8)
+
+
+class TestSignals:
+    def test_idle_fleet_reads_zero_utilization(
+        self, cluster_model, hash_tokenizer, weak_spec, fleet_config
+    ):
+        fleet = Fleet(cluster_model, hash_tokenizer, [weak_spec], fleet_config)
+        scaler = Autoscaler(fleet, AutoscalePolicy(interval_ms=10.0))
+        fleet.advance(10.0)
+        assert scaler.window_utilization(10.0) == 0.0
+        assert scaler.window_p99_over_slo(10.0) == 0.0
+        assert scaler.queue_depth() == 0
+
+    def test_no_scaling_when_idle(
+        self, cluster_model, hash_tokenizer, weak_spec, fleet_config
+    ):
+        fleet = Fleet(cluster_model, hash_tokenizer, [weak_spec] * 2, fleet_config)
+        scaler = Autoscaler(
+            fleet, AutoscalePolicy(min_replicas=2, max_replicas=4, interval_ms=10.0)
+        )
+        for tick in range(1, 6):
+            fleet.advance(tick * 10.0)
+            scaler.tick(tick * 10.0)
+        assert scaler.events == []
+        assert len(fleet.live_replicas()) == 2
+
+    def test_scale_down_when_overprovisioned(
+        self, cluster_model, hash_tokenizer, weak_spec, fleet_config
+    ):
+        fleet = Fleet(cluster_model, hash_tokenizer, [weak_spec] * 3, fleet_config)
+        scaler = Autoscaler(
+            fleet,
+            AutoscalePolicy(
+                min_replicas=1, max_replicas=3, interval_ms=10.0, cooldown_ticks=0
+            ),
+        )
+        for tick in range(1, 6):
+            fleet.advance(tick * 10.0)
+            scaler.tick(tick * 10.0)
+        assert len(fleet.live_replicas()) < 3
+        assert all(e.action == "down" for e in scaler.events)
+
+
+class TestFlashCrowd:
+    @pytest.fixture(scope="class")
+    def flash_reports(self, cluster_model, hash_tokenizer):
+        """Fixed vs autoscaled on the same flash-crowd trace."""
+        from repro.accel import AcceleratorConfig
+        from repro.fleet import FleetConfig, ReplicaSpec
+        from repro.serve import ServingConfig
+
+        weak = ReplicaSpec(
+            accel_config=AcceleratorConfig(num_pus=2, num_pes=2, num_multipliers=4),
+            name="weak",
+        )
+        config = FleetConfig(
+            serving=ServingConfig(
+                max_batch_size=8, max_wait_ms=5.0, buckets=(16, 32, 64),
+                num_devices=1, cache_capacity=512,
+            ),
+            admit_slo_factor=1.0,
+        )
+        common = dict(
+            scenario="flash-crowd",
+            model=cluster_model,
+            tokenizer=hash_tokenizer,
+            specs=[weak],
+            fleet_config=config,
+            seed=7,
+            rate_scale=3.0,
+        )
+        fixed = run_scenario(**common)
+        autoscaled = run_scenario(
+            **common,
+            autoscale=AutoscalePolicy(
+                min_replicas=1, max_replicas=5, interval_ms=15.0
+            ),
+        )
+        return fixed, autoscaled
+
+    def test_fixed_fleet_sheds(self, flash_reports):
+        fixed, _ = flash_reports
+        assert fixed.stats.shed > 0
+
+    def test_autoscaler_strictly_improves_goodput(self, flash_reports):
+        fixed, autoscaled = flash_reports
+        assert autoscaled.stats.goodput_rps > fixed.stats.goodput_rps
+        assert autoscaled.stats.shed < fixed.stats.shed
+
+    def test_autoscaler_scales_up_during_burst(self, flash_reports):
+        _, autoscaled = flash_reports
+        ups = [e for e in autoscaled.stats.scale_events if e.action == "up"]
+        assert ups, "flash crowd must trigger at least one scale-up"
+        scenario_burst_start = 80.0
+        assert all(e.time_ms >= scenario_burst_start for e in ups)
+        for e in ups:
+            assert e.replicas_after >= 2
+
+    def test_autoscaler_improves_tail_latency(self, flash_reports):
+        fixed, autoscaled = flash_reports
+        assert autoscaled.stats.p99_latency_ms < fixed.stats.p99_latency_ms
+
+    def test_reports_deterministic(self, flash_reports, cluster_model, hash_tokenizer):
+        """Same seed, byte-identical report."""
+        from repro.accel import AcceleratorConfig
+        from repro.fleet import FleetConfig, ReplicaSpec
+        from repro.serve import ServingConfig
+
+        fixed, _ = flash_reports
+        weak = ReplicaSpec(
+            accel_config=AcceleratorConfig(num_pus=2, num_pes=2, num_multipliers=4),
+            name="weak",
+        )
+        config = FleetConfig(
+            serving=ServingConfig(
+                max_batch_size=8, max_wait_ms=5.0, buckets=(16, 32, 64),
+                num_devices=1, cache_capacity=512,
+            ),
+            admit_slo_factor=1.0,
+        )
+        again = run_scenario(
+            "flash-crowd", cluster_model, hash_tokenizer, [weak], config,
+            seed=7, rate_scale=3.0,
+        )
+        assert again.render() == fixed.render()
+        assert again.to_json() == fixed.to_json()
+
+
+class TestCooldown:
+    def test_cooldown_spaces_actions(
+        self, cluster_model, hash_tokenizer, weak_spec, fleet_config
+    ):
+        fleet = Fleet(cluster_model, hash_tokenizer, [weak_spec] * 3, fleet_config)
+        scaler = Autoscaler(
+            fleet,
+            AutoscalePolicy(
+                min_replicas=1, max_replicas=3, interval_ms=10.0, cooldown_ticks=2
+            ),
+        )
+        for tick in range(1, 9):
+            fleet.advance(tick * 10.0)
+            scaler.tick(tick * 10.0)
+        times = [e.time_ms for e in scaler.events]
+        assert all(b - a >= 30.0 for a, b in zip(times, times[1:]))

@@ -1,0 +1,145 @@
+"""Scenario generator: determinism, rate shapes, tenant mixes."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import SCENARIO_NAMES, Scenario, TenantSpec, builtin_scenarios
+
+
+class TestCatalog:
+    def test_five_builtins(self):
+        assert SCENARIO_NAMES == (
+            "diurnal", "flash-crowd", "multi-tenant", "ramp", "steady",
+        )
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_every_builtin_generates(self, name):
+        trace = builtin_scenarios()[name].generate(seed=3, rate_scale=0.3)
+        assert trace, f"{name} generated an empty trace at rate_scale=0.3"
+        arrivals = [r.arrival_ms for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(r.slo_ms > 0 and r.text_a for r in trace)
+
+    def test_same_seed_identical_trace(self):
+        scenario = builtin_scenarios()["multi-tenant"]
+        assert scenario.generate(seed=11) == scenario.generate(seed=11)
+
+    def test_different_seeds_differ(self):
+        scenario = builtin_scenarios()["steady"]
+        assert scenario.generate(seed=1) != scenario.generate(seed=2)
+
+    def test_scenarios_decorrelated_at_equal_seed(self):
+        """Two scenarios with the same seed must not replay the same
+        arrival sequence (the name is folded into the rng stream)."""
+        steady = builtin_scenarios()["steady"].generate(seed=5)
+        diurnal = builtin_scenarios()["diurnal"].generate(seed=5)
+        assert [r.arrival_ms for r in steady[:10]] != [
+            r.arrival_ms for r in diurnal[:10]
+        ]
+
+
+class TestRateShapes:
+    def test_flash_crowd_bursts(self):
+        scenario = builtin_scenarios()["flash-crowd"]
+        trace = scenario.generate(seed=0)
+        arrivals = np.array([r.arrival_ms for r in trace])
+        window = scenario.flash_end_ms - scenario.flash_start_ms
+        in_burst = (
+            (arrivals >= scenario.flash_start_ms) & (arrivals < scenario.flash_end_ms)
+        ).sum()
+        out = len(arrivals) - in_burst
+        burst_rate = in_burst / window
+        base_rate = out / (scenario.duration_ms - window)
+        assert burst_rate > 4 * base_rate
+
+    def test_ramp_rate_increases(self):
+        trace = builtin_scenarios()["ramp"].generate(seed=0)
+        arrivals = np.array([r.arrival_ms for r in trace])
+        duration = builtin_scenarios()["ramp"].duration_ms
+        first_half = (arrivals < duration / 2).sum()
+        second_half = (arrivals >= duration / 2).sum()
+        assert second_half > 1.5 * first_half
+
+    def test_diurnal_peaks_and_troughs(self):
+        scenario = builtin_scenarios()["diurnal"]
+        # rate curve itself: peak at period/4, trough at 3*period/4
+        peak = scenario.rate_rps(scenario.diurnal_period_ms / 4)
+        trough = scenario.rate_rps(3 * scenario.diurnal_period_ms / 4)
+        assert peak == pytest.approx(
+            scenario.base_rate_rps * (1 + scenario.diurnal_amplitude)
+        )
+        assert trough == pytest.approx(
+            scenario.base_rate_rps * (1 - scenario.diurnal_amplitude)
+        )
+
+    def test_rate_scale_scales_volume(self):
+        scenario = builtin_scenarios()["steady"]
+        small = len(scenario.generate(seed=4, rate_scale=0.5))
+        large = len(scenario.generate(seed=4, rate_scale=2.0))
+        assert large > 2 * small
+
+    def test_duration_scale_stretches_flash_window(self):
+        scenario = builtin_scenarios()["flash-crowd"]
+        trace = scenario.generate(seed=0, duration_scale=2.0)
+        arrivals = np.array([r.arrival_ms for r in trace])
+        assert arrivals.max() > scenario.duration_ms  # trace extends
+        # burst window stretches with the duration: dense region near 2x
+        in_burst = (
+            (arrivals >= 2 * scenario.flash_start_ms)
+            & (arrivals < 2 * scenario.flash_end_ms)
+        ).sum()
+        assert in_burst > len(arrivals) * 0.4
+
+
+class TestTenants:
+    def test_multi_tenant_shares_and_slos(self):
+        scenario = builtin_scenarios()["multi-tenant"]
+        trace = scenario.generate(seed=9)
+        by_tenant = {}
+        for r in trace:
+            by_tenant.setdefault(r.tenant, []).append(r)
+        assert set(by_tenant) == {"interactive", "standard", "batch"}
+        assert len(by_tenant["interactive"]) > len(by_tenant["batch"])
+        slos = {t: rs[0].slo_ms for t, rs in by_tenant.items()}
+        assert slos["interactive"] < slos["standard"] < slos["batch"]
+
+    def test_tenant_lengths_respect_spec(self):
+        scenario = builtin_scenarios()["multi-tenant"]
+        trace = scenario.generate(seed=9)
+        for r in trace:
+            spec = next(t for t in scenario.tenants if t.name == r.tenant)
+            words = len(r.text_a.split())
+            assert spec.min_words <= words <= spec.max_words
+
+    def test_tenant_pools_are_finite(self):
+        """Texts repeat (that is what the tokenization caches exploit)."""
+        scenario = builtin_scenarios()["steady"]
+        trace = scenario.generate(seed=2)
+        distinct = {r.text_a for r in trace}
+        assert len(distinct) <= scenario.tenants[0].pool_size
+
+
+class TestValidation:
+    def test_bad_profile_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(name="x", description="", duration_ms=10, base_rate_rps=1,
+                     profile="sawtooth")
+
+    def test_flash_window_must_fit(self):
+        with pytest.raises(ValueError):
+            Scenario(name="x", description="", duration_ms=10, base_rate_rps=1,
+                     profile="flash", flash_start_ms=5, flash_end_ms=20,
+                     flash_multiplier=2)
+
+    def test_tenant_validation(self):
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", share=0.0)
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", min_words=5, max_words=3)
+
+    def test_bad_scales_rejected(self):
+        scenario = builtin_scenarios()["steady"]
+        with pytest.raises(ValueError):
+            scenario.generate(seed=0, rate_scale=0.0)
+        with pytest.raises(ValueError):
+            scenario.generate(seed=0, duration_scale=-1.0)

@@ -148,6 +148,44 @@ class TestServeSuite:
             run_suite("nonexistent")
 
 
+class TestClusterSuite:
+    @pytest.fixture(scope="class")
+    def cluster_result(self):
+        from repro.perf.bench import run_cluster_suite
+
+        return run_cluster_suite(quick=True, seed=0)
+
+    def test_document_shape(self, cluster_result):
+        assert cluster_result["schema"] == SCHEMA
+        assert cluster_result["suite"] == "cluster"
+        assert cluster_result["profile"] == "quick"
+        assert set(cluster_result["metrics"]) >= {
+            "cluster_wall_ms",
+            "sim_fixed_goodput_rps",
+            "sim_auto_goodput_rps",
+            "sim_hetero_throughput_rps",
+        }
+
+    def test_autoscaler_beats_fixed_fleet(self, cluster_result):
+        """The suite's asserted contract, visible in the emitted numbers."""
+        metrics = cluster_result["metrics"]
+        assert (
+            metrics["sim_auto_goodput_rps"]["value"]
+            > metrics["sim_fixed_goodput_rps"]["value"]
+        )
+
+    def test_simulated_metrics_are_deterministic(self, cluster_result):
+        from repro.perf.bench import run_cluster_suite
+
+        again = run_cluster_suite(quick=True, seed=0)
+        for name, metric in cluster_result["metrics"].items():
+            if name.startswith("sim_"):
+                assert again["metrics"][name]["value"] == metric["value"], name
+
+    def test_in_suites_registry(self):
+        assert "cluster" in SUITES
+
+
 class TestJsonRoundTrip:
     def test_write_then_load(self, tmp_path, kernel_result):
         path = result_path(tmp_path, "kernels")

@@ -21,6 +21,43 @@ def make_engine(integer_model, serve_tokenizer, **overrides):
     return ServingEngine(integer_model, serve_tokenizer, ServingConfig(**kwargs))
 
 
+class TestHeterogeneousEngine:
+    def test_device_specs_build_mixed_fleet(
+        self, integer_model, serve_tokenizer, serve_pool
+    ):
+        """``device_specs`` plumbs per-device design points into the router
+        and the engine balances across them (logits stay bit-exact — timing
+        heterogeneity never touches values)."""
+        from repro.accel import AcceleratorConfig
+        from repro.accel.devices import ZCU102, ZCU111
+
+        engine = ServingEngine(
+            integer_model,
+            serve_tokenizer,
+            ServingConfig(max_batch_size=2, max_wait_ms=5.0, buckets=BUCKETS),
+            device_specs=[
+                (AcceleratorConfig(num_pus=2, num_pes=2, num_multipliers=4), ZCU102),
+                (AcceleratorConfig.zcu102_n8_m16(), ZCU111),
+            ],
+        )
+        assert engine.router.num_devices == 2
+        # A simultaneous burst: the fast device's queue must grow deep
+        # enough that earliest-finish dispatch spills onto the slow one.
+        trace = [
+            TraceRequest(text_a=text_a, text_b=text_b, arrival_ms=0.0)
+            for text_a, text_b in (serve_pool * 3)[:48]
+        ]
+        results = engine.run_trace(trace)
+        assert {r.device_id for r in results} == {0, 1}
+        slow = engine.router.estimate_latency_ms(BUCKETS[0], 2, device_id=0)
+        fast = engine.router.estimate_latency_ms(BUCKETS[0], 2, device_id=1)
+        assert fast < slow
+        by_device = {0: 0, 1: 0}
+        for r in results:
+            by_device[r.device_id] += 1
+        assert by_device[1] > by_device[0]
+
+
 class TestBitExactness:
     def test_logits_match_unbatched_inference(
         self, integer_model, serve_tokenizer, serve_pool

@@ -78,19 +78,27 @@ class TestBuildStats:
         assert "75.0%" in text           # padding efficiency
         assert "device 1" in text
 
-    def test_empty_rejected(self):
-        with pytest.raises(ValueError):
-            build_stats(
-                latencies_ms=[],
-                queue_ms=[],
-                num_batches=0,
-                makespan_ms=0.0,
-                cache_hit_rate=0.0,
-                real_tokens=0,
-                padded_tokens=0,
-                slo_met=0,
-                device_busy_ms={},
-            )
+    def test_empty_trace_yields_empty_stats(self):
+        """A trace that completes zero requests (e.g. everything shed) must
+        summarize to the well-defined empty object, not raise."""
+        empty = build_stats(
+            latencies_ms=[],
+            queue_ms=[],
+            num_batches=0,
+            makespan_ms=0.0,
+            cache_hit_rate=0.0,
+            real_tokens=0,
+            padded_tokens=0,
+            slo_met=0,
+            device_busy_ms={},
+        )
+        assert empty == ServingStats.empty()
+        assert empty.num_requests == 0
+        assert empty.p99_latency_ms == 0.0
+        assert empty.throughput_rps == 0.0
+        assert empty.slo_attainment == 1.0
+        assert empty.device_utilization() == {}
+        assert "requests:           0" in empty.render()
 
     def test_zero_makespan_utilization(self):
         stats = ServingStats(

@@ -107,3 +107,120 @@ class TestServe:
     def test_unknown_device(self):
         with pytest.raises(SystemExit):
             main(["serve", "--device", "VU9P", "--requests", "4"])
+
+    def test_serving_knob_flags(self, capsys):
+        """--buckets / --max-wait-ms / --cache-size reach the engine."""
+        assert (
+            main(
+                [
+                    "serve", "--requests", "12", "--batch-size", "4",
+                    "--buckets", "6,12,24", "--max-wait-ms", "4",
+                    "--cache-size", "32",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "buckets (6, 12, 24)" in out
+        assert "wait<= 4.0ms" in out
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--requests", "4", "--buckets", "a,b"])
+
+
+LOADTEST_FAST = [
+    "loadtest", "--replicas", "1", "--rate-scale", "0.25", "--seed", "11",
+]
+
+
+class TestLoadtest:
+    @pytest.mark.parametrize(
+        "scenario", ["steady", "diurnal", "flash-crowd", "ramp", "multi-tenant"]
+    )
+    def test_every_builtin_scenario_runs(self, scenario, capsys):
+        assert main(LOADTEST_FAST + ["--scenario", scenario]) == 0
+        out = capsys.readouterr().out
+        assert f"scenario: {scenario}" in out
+        assert "goodput" in out and "replica 0" in out
+
+    def test_same_seed_byte_identical_report(self, capsys):
+        args = LOADTEST_FAST + ["--scenario", "multi-tenant"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_scenario_all_and_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "report.json"
+        assert (
+            main(
+                LOADTEST_FAST
+                + ["--scenario", "all", "--json", str(path), "--rate-scale", "0.1"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        for scenario in ("steady", "diurnal", "flash-crowd", "ramp", "multi-tenant"):
+            assert f"scenario: {scenario}" in out
+        docs = json.loads(path.read_text())
+        assert len(docs) == 5
+
+    def test_json_is_always_a_list(self, tmp_path):
+        """One scenario or five, the JSON file has one shape."""
+        import json
+
+        path = tmp_path / "one.json"
+        assert (
+            main(LOADTEST_FAST + ["--scenario", "steady", "--json", str(path)]) == 0
+        )
+        docs = json.loads(path.read_text())
+        assert isinstance(docs, list) and len(docs) == 1
+        assert docs[0]["scenario"] == "steady"
+
+    def test_failure_injection_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "loadtest", "--replicas", "2", "--rate-scale", "0.5",
+                    "--scenario", "steady", "--fail", "0@50:120",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "failures 1" in out
+
+    def test_autoscale_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "loadtest", "--scenario", "flash-crowd", "--replicas", "1",
+                    "--pus", "2", "--pes", "2", "--multipliers", "4",
+                    "--rate-scale", "2", "--autoscale", "--max-replicas", "4",
+                    "--scale-interval-ms", "15",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "autoscale on" in out
+        assert "scale +1" in out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["loadtest", "--scenario", "tsunami"])
+
+    def test_unknown_fleet_device_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["loadtest", "--devices", "VU9P"])
+
+    def test_bad_fail_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["loadtest", "--fail", "whenever"])
+
+    def test_fail_id_beyond_fleet_rejected(self):
+        with pytest.raises(SystemExit, match="at most 1 replica"):
+            main(["loadtest", "--replicas", "1", "--fail", "5@10"])
