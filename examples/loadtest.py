@@ -12,8 +12,15 @@ model is bit-deterministic):
    migrate: no accepted request is lost,
 4. print the deterministic fleet reports (same seed, same bytes).
 
-Run:  python examples/loadtest.py
+With ``--analytic`` the identical walk runs in latency-only mode: model
+forwards are skipped, every report below is byte-identical (timing comes
+from the accelerator simulator in both modes), and the whole example runs
+an order of magnitude faster — the mode behind million-request traces.
+
+Run:  python examples/loadtest.py [--analytic]
 """
+
+import argparse
 
 from repro.accel import AcceleratorConfig
 from repro.bert import BertConfig
@@ -29,6 +36,14 @@ from repro.serve import ServingConfig
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--analytic", action="store_true",
+        help="latency-only execution (identical reports, no model forwards)",
+    )
+    args = parser.parse_args()
+    analytic = args.analytic
+
     # ------------------------------------------------------------------
     # a served model + a weak design point (overload must be reachable)
     # ------------------------------------------------------------------
@@ -63,7 +78,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     fixed = run_scenario(
         "flash-crowd", model, tokenizer, [weak], fleet_config,
-        seed=7, rate_scale=3.0,
+        seed=7, rate_scale=3.0, analytic=analytic,
     )
     print("=== flash-crowd, fixed fleet (1 weak replica) ===")
     print(fixed.render())
@@ -75,7 +90,7 @@ def main() -> None:
     autoscaled = run_scenario(
         "flash-crowd", model, tokenizer, [weak], fleet_config,
         autoscale=AutoscalePolicy(min_replicas=1, max_replicas=5, interval_ms=15.0),
-        seed=7, rate_scale=3.0,
+        seed=7, rate_scale=3.0, analytic=analytic,
     )
     print("\n=== flash-crowd, autoscaled ===")
     print(autoscaled.render())
@@ -92,7 +107,7 @@ def main() -> None:
     failed = run_scenario(
         "steady", model, tokenizer, [weak, weak], fleet_config,
         failures=[FailureEvent(replica_id=0, fail_ms=60.0, recover_ms=150.0)],
-        seed=7,
+        seed=7, analytic=analytic,
     )
     print("\n=== steady, replica 0 fails at 60 ms, recovers at 150 ms ===")
     print(failed.render())

@@ -8,8 +8,8 @@ Subcommands::
     python -m repro.cli simulate  --device ZCU102 --pes 8 --multipliers 16
     python -m repro.cli compare   # Table IV style platform comparison
     python -m repro.cli serve     --requests 64 --batch-size 8 --num-devices 2
-    python -m repro.cli loadtest  --scenario flash-crowd --replicas 2 [--autoscale]
-    python -m repro.cli bench     [--quick] [--suite kernels|serve|cluster|all]
+    python -m repro.cli loadtest  --scenario flash-crowd --replicas 2 [--autoscale] [--analytic]
+    python -m repro.cli bench     [--quick] [--suite kernels|serve|cluster|fleet|all]
 
 Each subcommand is a thin wrapper over the library; anything the CLI does
 can be done in a few lines of Python (see examples/).
@@ -270,7 +270,9 @@ def cmd_loadtest(args) -> int:
     Runs a built-in traffic scenario through a fleet of simulated
     accelerator replicas serving a frozen synthetic integer model (no
     training — the subject is fleet dynamics, and the synthetic model is
-    bit-deterministic).  Same seed, byte-identical report.
+    bit-deterministic).  Same seed, byte-identical report — including
+    under ``--analytic``, which skips the model forwards entirely and
+    reports identical timing at a fraction of the cost.
     """
     from .accel import AcceleratorConfig, FPGA_DEVICES
     from .fleet import (
@@ -355,6 +357,7 @@ def cmd_loadtest(args) -> int:
             seed=args.seed,
             rate_scale=args.rate_scale,
             duration_scale=args.duration_scale,
+            analytic=args.analytic,
         )
         print(report.render())
         print()
@@ -545,8 +548,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail", action="append", metavar="REPLICA@FAIL_MS[:RECOVER_MS]",
         help="inject a replica failure (repeatable)",
     )
-    loadtest.add_argument("--rate-scale", type=float, default=1.0)
-    loadtest.add_argument("--duration-scale", type=float, default=1.0)
+    loadtest.add_argument(
+        "--rate-scale", type=float, default=1.0,
+        help="multiply the whole arrival-rate curve (scale traffic volume)",
+    )
+    loadtest.add_argument(
+        "--duration-scale", type=float, default=1.0,
+        help="stretch the scenario duration (and its burst windows) in time",
+    )
+    loadtest.add_argument(
+        "--analytic", action="store_true",
+        help="latency-only execution: skip model forwards, keep the exact "
+        "simulator timing (byte-identical report, orders of magnitude "
+        "faster — the mode for million-request traces)",
+    )
     loadtest.add_argument("--json", help="also write the report as JSON here")
     loadtest.add_argument("--seed", type=int, default=7)
     loadtest.set_defaults(func=cmd_loadtest)
@@ -558,7 +573,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="small shapes / fewer repeats (CI smoke)"
     )
     bench.add_argument(
-        "--suite", choices=["kernels", "serve", "cluster", "all"], default="all"
+        "--suite",
+        choices=["kernels", "serve", "cluster", "fleet", "all"],
+        default="all",
     )
     bench.add_argument(
         "--out-dir", default=".", help="where BENCH_<suite>.json files live"

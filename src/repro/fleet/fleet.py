@@ -36,9 +36,8 @@ reproducible: same trace, same decisions, same numbers.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..accel.config import AcceleratorConfig
 from ..accel.devices import FpgaDevice, ZCU102
@@ -102,6 +101,9 @@ class Replica:
     downtime_ms: float = 0.0   # cumulative failed time (excluded from live time)
     # engine request id -> fleet record index, for failover remapping
     record_of: Dict[int, int] = field(default_factory=dict)
+    # bucket -> full-size-batch service ms on this design point (admission
+    # pricing; filled from the fleet-wide design-point cache at attach time)
+    bucket_price: Dict[int, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -166,6 +168,14 @@ class Fleet:
         # middle bucket at full batch (a representative queued batch).
         buckets = config.serving.buckets
         self._ref_bucket = buckets[len(buckets) // 2]
+        # Full-size-batch service ms per (design point, bucket), shared by
+        # every replica of that design point: admission pricing is then
+        # plain dict lookups, and a scale-up replica of a known design
+        # point costs zero extra simulator calls.
+        self._price_cache: Dict[Tuple[AcceleratorConfig, FpgaDevice, int], float] = {}
+        # Live replicas in id order, maintained across lifecycle events so
+        # the per-request routing path never re-sorts the replica map.
+        self._live: List[Replica] = []
         for spec in specs:
             self.add_replica(spec, now_ms=0.0, cold=False)
 
@@ -200,9 +210,19 @@ class Fleet:
             added_ms=now_ms,
         )
         self._next_replica_id += 1
+        policy = self.config.serving
+        for bucket in policy.buckets:
+            key = (spec.accel_config, spec.device, bucket)
+            price = self._price_cache.get(key)
+            if price is None:
+                price = self._price_cache[key] = engine.router.estimate_latency_ms(
+                    bucket, policy.max_batch_size
+                )
+            replica.bucket_price[bucket] = price
         if cold:
             engine.router.block_until(now_ms + self.cold_start_ms(replica))
         self.replicas[replica.replica_id] = replica
+        self._rebuild_live()
         return replica
 
     def cold_start_ms(self, replica: Replica) -> float:
@@ -236,10 +256,11 @@ class Fleet:
         replica = self.replicas[replica_id]
         if not replica.live:
             raise ValueError(f"replica {replica_id} is not live")
-        if len(self.live_replicas()) == 1:
+        if len(self._live) == 1:
             raise ValueError("refusing to remove the last live replica")
         replica.live = False
         replica.retired_ms = now_ms
+        self._rebuild_live()
         self._migrate_pending(replica, now_ms)
 
     def fail_replica(self, replica_id: int, now_ms: float) -> None:
@@ -264,6 +285,7 @@ class Fleet:
         replica.live = False
         replica.retired_ms = now_ms
         replica.failures += 1
+        self._rebuild_live()
         self._migrate_pending(replica, now_ms)
 
     def recover_replica(self, replica_id: int, now_ms: float) -> None:
@@ -282,19 +304,43 @@ class Fleet:
         if replica.retired_ms is not None:
             replica.downtime_ms += now_ms - replica.retired_ms
         replica.retired_ms = None
+        self._rebuild_live()
+
+    def _rebuild_live(self) -> None:
+        """Refresh the cached live list (call after any lifecycle change)."""
+        self._live = [r for rid, r in sorted(self.replicas.items()) if r.live]
 
     def live_replicas(self) -> List[Replica]:
-        """Live replicas in id order (deterministic routing order)."""
-        return [r for rid, r in sorted(self.replicas.items()) if r.live]
+        """Live replicas in id order (deterministic routing order).
+
+        Returns the maintained list (rebuilt on lifecycle events, not per
+        call — the routing path reads it once per request); callers must
+        treat it as read-only.
+        """
+        return self._live
 
     # ------------------------------------------------------------------
     # clock + request path
     # ------------------------------------------------------------------
     def advance(self, now_ms: float) -> None:
-        """Advance every live replica's engine to the shared clock."""
-        for replica in self.live_replicas():
-            replica.engine.advance(now_ms)
-        self.now_ms = max(self.now_ms, now_ms)
+        """Advance every live replica's engine to the shared clock.
+
+        Inlines the engine's "anything due?" probe: this runs once per
+        event x live replica (the busiest loop of a million-request run),
+        and almost every probe answers no — so the common case is two
+        attribute reads and a compare, with the full
+        :meth:`~repro.serve.ServingEngine.advance` only invoked when a
+        batching deadline actually fires.
+        """
+        for replica in self._live:
+            engine = replica.engine
+            deadline = engine.batcher._next_deadline
+            if deadline is not None and deadline <= now_ms:
+                engine.advance(now_ms)
+            elif now_ms > engine.now_ms:
+                engine.now_ms = now_ms
+        if now_ms > self.now_ms:
+            self.now_ms = now_ms
 
     def projected_latency_ms(self, replica: Replica, now_ms: float) -> float:
         """Admission projection: completion latency of one more request here.
@@ -305,23 +351,29 @@ class Fleet:
         reference-shape batch for the incoming request and the batching
         deadline it may wait out.  A cheap queue-state heuristic: it only
         has to *rank* replicas and flag overload, not predict exact
-        latencies.
+        latencies.  Every price is a pre-warmed ``bucket_price`` lookup
+        (the fleet-level design-point cache), so the per-request admission
+        path never touches the simulator.
         """
         engine = replica.engine
         policy = self.config.serving
-        backlog = max(
-            0.0,
-            min(d.busy_until_ms for d in engine.router.devices) - now_ms,
-        )
+        devices = engine.router.devices
+        if len(devices) == 1:
+            backlog = devices[0].busy_until_ms - now_ms
+        else:
+            backlog = min(d.busy_until_ms for d in devices) - now_ms
+        if backlog < 0.0:
+            backlog = 0.0
+        max_batch = policy.max_batch_size
+        prices = replica.bucket_price
         queued = 0.0
-        for bucket, depth in engine.batcher.queued_by_bucket().items():
-            queued += math.ceil(depth / policy.max_batch_size) * (
-                engine.router.estimate_latency_ms(bucket, policy.max_batch_size)
-            )
-        incoming = engine.router.estimate_latency_ms(
-            self._ref_bucket, policy.max_batch_size
-        )
-        return backlog + queued + incoming + policy.max_wait_ms
+        # The batcher's queues are read in place (not via queued_by_bucket,
+        # which would build a dict per projection x replica x arrival).
+        for bucket, queue in engine.batcher._queues.items():
+            depth = len(queue)
+            if depth:
+                queued += ((depth + max_batch - 1) // max_batch) * prices[bucket]
+        return backlog + queued + prices[self._ref_bucket] + policy.max_wait_ms
 
     def submit(self, request: FleetRequest) -> RequestRecord:
         """Route one arrival: admit to the best replica, or shed.
@@ -341,14 +393,22 @@ class Fleet:
             arrival_ms=now_ms,
         )
         self.records.append(record)
-        live = self.live_replicas()
+        live = self._live
         if not live:
             record.shed = True
             record.shed_reason = SHED_NO_CAPACITY
             return record
-        projected, _, best = min(
-            (self.projected_latency_ms(r, now_ms), r.replica_id, r) for r in live
-        )
+        # Plain loop instead of min() over a generator of tuples: this runs
+        # once per arrival, and a strict < keeps the first (lowest-id)
+        # replica on ties — the same order the tuple key produced.
+        projected_of = self.projected_latency_ms
+        best = live[0]
+        projected = projected_of(best, now_ms)
+        for candidate in live[1:]:
+            challenger = projected_of(candidate, now_ms)
+            if challenger < projected:
+                projected = challenger
+                best = candidate
         if projected > self.config.admit_slo_factor * request.slo_ms:
             record.shed = True
             record.shed_reason = SHED_OVERLOAD

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Union
 
 from .autoscale import AutoscalePolicy, Autoscaler
@@ -87,6 +87,7 @@ def run_scenario(
     seed: int = 0,
     rate_scale: float = 1.0,
     duration_scale: float = 1.0,
+    analytic: bool = False,
 ) -> FleetReport:
     """Run one scenario through a fleet and aggregate the report.
 
@@ -104,10 +105,20 @@ def run_scenario(
         seed: Trace seed (ignored when ``scenario`` is a pre-built trace).
         rate_scale: Rate multiplier passed to scenario generation.
         duration_scale: Duration multiplier passed to scenario generation.
+        analytic: Force latency-only execution on every replica (see
+            :class:`~repro.serve.ServingConfig`): batches are priced by the
+            simulator schedule but model forwards are skipped, making the
+            report byte-identical to executed mode at a fraction of the
+            cost.  ``False`` leaves ``fleet_config.serving.analytic``
+            as configured.
 
     Returns:
         The :class:`FleetReport` (deterministic for equal arguments).
     """
+    if analytic:
+        fleet_config = replace(
+            fleet_config, serving=replace(fleet_config.serving, analytic=True)
+        )
     if isinstance(scenario, str):
         catalog = builtin_scenarios()
         if scenario not in catalog:
@@ -134,31 +145,37 @@ def run_scenario(
     # ------------------------------------------------------------------
     # merge the event streams: (time, kind, seq, payload)
     # ------------------------------------------------------------------
+    # Build the full event list and heapify once — O(N) instead of N
+    # heappushes over the (already sorted) trace.  Identical pop order:
+    # every (time, kind, seq) key is unique, so the heap's total order is
+    # the same however it was built.
     events: List = []
     seq = 0
     for request in trace:
-        heapq.heappush(events, (request.arrival_ms, _ARRIVAL, seq, request))
+        events.append((request.arrival_ms, _ARRIVAL, seq, request))
         seq += 1
     if autoscaler is not None:
         tick = autoscale.interval_ms
         while tick <= duration_ms:
-            heapq.heappush(events, (tick, _TICK, seq, None))
+            events.append((tick, _TICK, seq, None))
             seq += 1
             tick += autoscale.interval_ms
     for failure in failures:
-        heapq.heappush(events, (failure.fail_ms, _FAIL, seq, failure.replica_id))
+        events.append((failure.fail_ms, _FAIL, seq, failure.replica_id))
         seq += 1
         if failure.recover_ms is not None:
-            heapq.heappush(
-                events, (failure.recover_ms, _RECOVER, seq, failure.replica_id)
-            )
+            events.append((failure.recover_ms, _RECOVER, seq, failure.replica_id))
             seq += 1
+    heapq.heapify(events)
 
+    heappop = heapq.heappop
+    advance = fleet.advance
+    submit = fleet.submit
     while events:
-        time_ms, kind, _, payload = heapq.heappop(events)
-        fleet.advance(time_ms)
+        time_ms, kind, _, payload = heappop(events)
+        advance(time_ms)
         if kind == _ARRIVAL:
-            fleet.submit(payload)
+            submit(payload)
         elif kind == _TICK:
             autoscaler.tick(time_ms)
         elif kind == _FAIL:

@@ -9,8 +9,8 @@ a hot path measurably faster" rule:
   bit-exactness oracle every optimization is verified against
 - :mod:`workloads` — pinned synthetic integer models, tokenizer, and text
   pools (deterministic, training-free)
-- :mod:`bench` — the ``kernels`` / ``serve`` suites emitting
-  ``BENCH_*.json`` baselines
+- :mod:`bench` — the ``kernels`` / ``serve`` / ``cluster`` / ``fleet``
+  suites emitting ``BENCH_*.json`` baselines
 - :mod:`regression` — the >10%-worse gate against committed baselines
 
 See ``docs/performance.md`` for the workflow.
@@ -23,6 +23,8 @@ from .bench import (
     load_result,
     render_result,
     result_path,
+    run_cluster_suite,
+    run_fleet_suite,
     run_kernel_suite,
     run_serve_suite,
     run_suite,
@@ -49,6 +51,8 @@ __all__ = [
     "run_suite",
     "run_kernel_suite",
     "run_serve_suite",
+    "run_cluster_suite",
+    "run_fleet_suite",
     "result_path",
     "load_result",
     "write_result",

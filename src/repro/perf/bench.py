@@ -1,8 +1,8 @@
 """Pinned benchmark suites behind ``repro.cli bench``.
 
-Three suites, each emitting one JSON document designed to be committed as
+Four suites, each emitting one JSON document designed to be committed as
 a regression baseline (``BENCH_kernels.json`` / ``BENCH_serve.json`` /
-``BENCH_cluster.json``):
+``BENCH_cluster.json`` / ``BENCH_fleet.json``):
 
 - **kernels** — the optimized integer kernels (linear, attention, Add&LN,
   LUT softmax, and the full batched forward at batch=8) timed against the
@@ -19,6 +19,11 @@ a regression baseline (``BENCH_kernels.json`` / ``BENCH_serve.json`` /
   scale-out contract* — shedding engages on the fixed fleet and the
   autoscaler strictly improves goodput — then gates on the deterministic
   goodput / shed-rate / tail-latency numbers.
+- **fleet** — the analytic (latency-only) execution mode: *asserts* that
+  an analytic fleet report is byte-identical to the executed one, gates
+  the wall-clock speedup ratio, and completes a ~1.06M-request
+  flash-crowd trace — the headline that cluster questions can be asked at
+  production traffic scale.
 
 JSON layout (``schema: repro-bench/1``)::
 
@@ -46,7 +51,7 @@ from .timer import time_callable
 from .workloads import HashTokenizer, bench_text_pool, build_synthetic_integer_model
 
 SCHEMA = "repro-bench/1"
-SUITES = ("kernels", "serve", "cluster")
+SUITES = ("kernels", "serve", "cluster", "fleet")
 BENCH_BATCH = 8  # the acceptance batch size for the batched forward
 
 
@@ -464,6 +469,190 @@ def run_cluster_suite(quick: bool = False, seed: int = 0) -> Dict:
     }
 
 
+def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
+    """Analytic-mode fleet simulation: equivalence gate, speedup, 1M trace.
+
+    Two pinned experiments over one frozen synthetic model:
+
+    1. **Equivalence + speedup** — the same steady scenario through the
+       same fleet twice, executed vs. analytic.  The suite *asserts* the
+       two reports are byte-identical (timing never came from the host
+       model, so analytic mode must not move a single number) and then
+       gates the wall-clock speedup ratio — the tentpole claim that
+       latency-only execution decouples simulation scale from model FLOPs.
+    2. **The million-request flash crowd** — a ~1.06M-request flash-crowd
+       trace through an 8-replica ZCU102 fleet in analytic mode.  This run
+       is identical in the quick and full profiles on purpose: completing
+       it *is* the smoke test ("cluster questions at production traffic
+       scale"), so CI proves it on every push.
+
+    Args:
+        quick: Shrink the equivalence trace (the 1M run is never shrunk).
+        seed: Workload seed.
+
+    Returns:
+        A ``repro-bench/1`` result document.  All ``sim_*`` metrics come
+        from the simulated clock and must reproduce exactly across
+        machines.
+
+    Raises:
+        RuntimeError: If the analytic report differs from the executed one
+            by even one byte, or the speedup falls below the 10x contract.
+    """
+    from ..fleet import FleetConfig, ReplicaSpec, run_scenario
+
+    config = cluster_model_config()
+    model = build_synthetic_integer_model(config, seed=seed)
+    tokenizer = HashTokenizer(vocab_size=config.vocab_size)
+    serving = ServingConfig(
+        max_batch_size=BENCH_BATCH,
+        max_wait_ms=5.0,
+        buckets=(16, 32, 64),
+        num_devices=1,
+        cache_capacity=512,
+    )
+    fleet_config = FleetConfig(serving=serving)
+    specs = [ReplicaSpec(), ReplicaSpec()]
+    eq_rate = 0.5 if quick else 1.0
+
+    def run_steady(analytic: bool):
+        return run_scenario(
+            "steady",
+            model,
+            tokenizer,
+            specs,
+            fleet_config,
+            seed=seed,
+            rate_scale=eq_rate,
+            analytic=analytic,
+        )
+
+    # --- the equivalence gate: analytic must be a pure fast path --------
+    # One warmup run per mode, so the one-time costs both modes share
+    # (weight plans, memoized schedules) don't pollute the speedup ratio.
+    captured = {}
+    executed_wall = time_callable(
+        lambda: captured.setdefault("executed", run_steady(False)), repeats=1, warmup=1
+    )
+    # Every repeat produces the same deterministic report; keep the last
+    # instead of paying one more scenario run just to fetch it.
+    analytic_wall = time_callable(
+        lambda: captured.__setitem__("analytic", run_steady(True)),
+        repeats=2 if quick else 5,
+        warmup=1,
+    )
+    executed = captured["executed"]
+    analytic = captured["analytic"]
+    if executed.to_json() != analytic.to_json():
+        raise RuntimeError(
+            "analytic mode produced a different report than executed mode — "
+            "latency-only execution moved a number; refusing to benchmark"
+        )
+    speedup = (
+        executed_wall.best_ms / analytic_wall.best_ms
+        if analytic_wall.best_ms
+        else float("inf")
+    )
+    if speedup < 10.0:
+        raise RuntimeError(
+            f"analytic mode is only {speedup:.1f}x faster than executed mode "
+            "on the pinned scenario — below the 10x contract; refusing to "
+            "benchmark"
+        )
+
+    # --- the headline: ~1.06M requests of flash crowd, analytic ---------
+    mega_rate_scale, mega_duration_scale, mega_replicas = 64.0, 70.0, 8
+    mega_captured = {}
+    mega_wall = time_callable(
+        lambda: mega_captured.setdefault(
+            "report",
+            run_scenario(
+                "flash-crowd",
+                model,
+                tokenizer,
+                [ReplicaSpec()] * mega_replicas,
+                fleet_config,
+                seed=seed,
+                rate_scale=mega_rate_scale,
+                duration_scale=mega_duration_scale,
+                analytic=True,
+            ),
+        ),
+        repeats=1,
+        warmup=0,
+    )
+    mega = mega_captured["report"]
+    if mega.stats.submitted < 1_000_000:
+        raise RuntimeError(
+            f"the flash-crowd trace shrank to {mega.stats.submitted} requests "
+            "— the million-request headline no longer holds; refusing to "
+            "benchmark"
+        )
+
+    metrics = {
+        "executed_wall_ms": _metric(
+            executed_wall.best_ms, "ms", higher_is_better=False, gated=False
+        ),
+        "analytic_wall_ms": _metric(
+            analytic_wall.best_ms, "ms", higher_is_better=False, gated=False
+        ),
+        # A same-run ratio, so it transfers across machines like the kernel
+        # suite's speedups do.
+        "analytic_speedup_vs_executed": _metric(
+            speedup, "x", higher_is_better=True
+        ),
+        "mega_wall_ms": _metric(
+            mega_wall.best_ms, "ms", higher_is_better=False, gated=False
+        ),
+        "mega_wall_requests_per_s": _metric(
+            mega.stats.submitted / (mega_wall.best_ms / 1e3),
+            "req/s",
+            higher_is_better=True,
+            gated=False,
+        ),
+        "sim_mega_submitted": _metric(
+            mega.stats.submitted, "req", higher_is_better=True
+        ),
+        "sim_mega_shed_rate": _metric(
+            mega.stats.shed_rate, "", higher_is_better=False
+        ),
+        "sim_mega_goodput_rps": _metric(
+            mega.stats.goodput_rps, "req/s", higher_is_better=True
+        ),
+        "sim_mega_throughput_rps": _metric(
+            mega.stats.throughput_rps, "req/s", higher_is_better=True
+        ),
+        "sim_mega_p99_latency_ms": _metric(
+            mega.stats.p99_latency_ms, "ms", higher_is_better=False
+        ),
+    }
+    return {
+        "schema": SCHEMA,
+        "suite": "fleet",
+        "profile": "quick" if quick else "full",
+        "metrics": metrics,
+        "info": {
+            "model": config.to_dict(),
+            "seed": seed,
+            "equivalence": {
+                "scenario": "steady",
+                "rate_scale": eq_rate,
+                "replicas": len(specs),
+                "submitted": executed.stats.submitted,
+                "byte_identical": True,
+            },
+            "mega": {
+                "scenario": "flash-crowd",
+                "rate_scale": mega_rate_scale,
+                "duration_scale": mega_duration_scale,
+                "replicas": mega_replicas,
+                "submitted": mega.stats.submitted,
+                "shed": mega.stats.shed,
+            },
+        },
+    }
+
+
 def _wrap_tokenizer(profiler: Profiler, tokenizer: HashTokenizer):
     """A tokenizer proxy whose ``encode`` is profiled."""
 
@@ -477,6 +666,7 @@ _RUNNERS: Dict[str, Callable[..., Dict]] = {
     "kernels": run_kernel_suite,
     "serve": run_serve_suite,
     "cluster": run_cluster_suite,
+    "fleet": run_fleet_suite,
 }
 
 
@@ -484,7 +674,7 @@ def run_suite(suite: str, quick: bool = False, seed: int = 0) -> Dict:
     """Run one named suite.
 
     Args:
-        suite: ``"kernels"``, ``"serve"``, or ``"cluster"``.
+        suite: ``"kernels"``, ``"serve"``, ``"cluster"``, or ``"fleet"``.
         quick: CI smoke profile (smaller shapes, fewer repeats).
         seed: Workload seed.
 

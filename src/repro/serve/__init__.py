@@ -26,7 +26,7 @@ from .engine import (
     TraceRequest,
     generate_trace,
 )
-from .metrics import ServingStats, build_stats, percentile
+from .metrics import ServingStats, build_stats, percentile, percentile_sorted
 from .router import DeviceRouter, DeviceSpec, DeviceState, Dispatch
 
 __all__ = [
@@ -45,6 +45,7 @@ __all__ = [
     "ServingStats",
     "build_stats",
     "percentile",
+    "percentile_sorted",
     "DeviceRouter",
     "DeviceSpec",
     "DeviceState",

@@ -111,13 +111,35 @@ class DynamicBatcher:
     def __init__(self, policy: BatchingPolicy):
         self.policy = policy
         self._queues: Dict[int, List[PendingRequest]] = {}
+        self._pending = 0  # maintained incrementally; hot paths poll it
+        # Earliest pending deadline, maintained across add/flush/evict so
+        # the (clock-advance x replicas)-frequency due_batches probe is one
+        # float compare instead of a scan over every bucket queue.
+        # INVARIANT: always exactly min over queue heads (never stale) —
+        # Fleet.advance reads this field directly as its "anything due on
+        # this replica?" probe, so lazy/approximate maintenance would break
+        # the cluster event loop, not just this class.
+        self._next_deadline: Optional[float] = None
 
     @property
     def pending(self) -> int:
-        return sum(len(q) for q in self._queues.values())
+        return self._pending
+
+    def _recompute_next_deadline(self) -> None:
+        wait = self.policy.max_wait_ms
+        deadlines = [
+            queue[0].enqueue_ms + wait for queue in self._queues.values() if queue
+        ]
+        self._next_deadline = min(deadlines) if deadlines else None
 
     def queued_by_bucket(self) -> Dict[int, int]:
-        """Non-empty queue depths keyed by bucket (load-projection hook)."""
+        """Non-empty queue depths keyed by bucket, as a fresh dict.
+
+        Introspection/reporting helper.  The fleet's per-arrival admission
+        projection does *not* call this (building a dict per replica per
+        arrival is measurable at millions of requests) — it iterates
+        ``_queues`` in place; see ``Fleet.projected_latency_ms``.
+        """
         return {bucket: len(q) for bucket, q in self._queues.items() if q}
 
     def add(self, pending: PendingRequest, now_ms: float) -> Optional[Batch]:
@@ -135,6 +157,11 @@ class DynamicBatcher:
         bucket = self.policy.bucket_for(pending.length)
         queue = self._queues.setdefault(bucket, [])
         queue.append(pending)
+        self._pending += 1
+        if len(queue) == 1:
+            deadline = pending.enqueue_ms + self.policy.max_wait_ms
+            if self._next_deadline is None or deadline < self._next_deadline:
+                self._next_deadline = deadline
         if len(queue) >= self.policy.max_batch_size:
             return self._flush_bucket(bucket, now_ms)
         return None
@@ -153,6 +180,11 @@ class DynamicBatcher:
         Returns:
             Flushed batches in deadline order (possibly empty).
         """
+        # Fast path: the maintained earliest deadline makes the common
+        # "nothing due yet" probe a single compare (this method runs once
+        # per replica per clock advance in a fleet run).
+        if self._next_deadline is None or now_ms < self._next_deadline:
+            return []
         due: List[Tuple[float, int]] = []
         for bucket, queue in self._queues.items():
             if not queue:
@@ -165,12 +197,7 @@ class DynamicBatcher:
 
     def next_deadline(self) -> Optional[float]:
         """Earliest pending deadline, or ``None`` when idle."""
-        deadlines = [
-            queue[0].enqueue_ms + self.policy.max_wait_ms
-            for queue in self._queues.values()
-            if queue
-        ]
-        return min(deadlines) if deadlines else None
+        return self._next_deadline
 
     def evict_all(self) -> List[PendingRequest]:
         """Remove every queued request *without* executing anything.
@@ -189,6 +216,8 @@ class DynamicBatcher:
             evicted.extend(queue)
             queue.clear()
         evicted.sort(key=lambda p: p.enqueue_ms)
+        self._pending = 0
+        self._next_deadline = None
         return evicted
 
     def flush_all(self, now_ms: float) -> List[Batch]:
@@ -208,4 +237,6 @@ class DynamicBatcher:
         queue = self._queues[bucket]
         take = min(len(queue), self.policy.max_batch_size)
         requests, self._queues[bucket] = queue[:take], queue[take:]
+        self._pending -= take
+        self._recompute_next_deadline()
         return Batch(bucket=bucket, requests=requests, flush_ms=flush_ms)

@@ -21,6 +21,14 @@ padded keys and the head reads only the [CLS] row) to padded length; the
 float host head runs per row.  Engine logits are therefore bit-identical
 to one-at-a-time ``model.forward`` on the same encodings — the property
 ``tests/serve/test_engine.py`` locks in.
+
+Latency-only ("analytic") mode: with ``ServingConfig(analytic=True)`` the
+engine skips the model forward entirely and prices each batch purely from
+the simulator's memoized schedule.  Every timing, SLO, and stats quantity
+is byte-identical to executed mode (time never came from the host model in
+the first place); only logits/predictions are absent.  This decouples
+trace scale from model FLOPs — the mode behind million-request fleet
+simulations.
 """
 
 from __future__ import annotations
@@ -39,10 +47,23 @@ from .cache import LRUCache
 from .metrics import ServingStats, build_stats
 from .router import DeviceRouter
 
+# The shared placeholder logits of analytic mode (latency-only execution):
+# one frozen empty array instead of a fresh allocation per request.
+_ANALYTIC_LOGITS = np.zeros(0)
+_ANALYTIC_LOGITS.setflags(write=False)
+
 
 @dataclass(frozen=True)
 class ServingConfig:
-    """Engine-level policy: batching, fleet size, cache, SLO."""
+    """Engine-level policy: batching, fleet size, cache, SLO.
+
+    ``analytic`` selects the latency-only execution mode: batches are
+    priced by the accelerator simulator's schedule exactly as in executed
+    mode, but the integer model forward is skipped, so results carry no
+    logits (``prediction`` is -1).  Every timing and stats quantity is
+    identical to executed mode — the mode only decouples simulation scale
+    from model FLOPs (million-request traces in seconds).
+    """
 
     max_batch_size: int = 8
     max_wait_ms: float = 10.0
@@ -50,6 +71,7 @@ class ServingConfig:
     num_devices: int = 1
     cache_capacity: int = 1024
     slo_ms: Optional[float] = None
+    analytic: bool = False
 
     def batching_policy(self) -> BatchingPolicy:
         return BatchingPolicy(
@@ -223,7 +245,8 @@ class ServingEngine:
         """
         for batch in self.batcher.due_batches(now_ms):
             self._execute(batch)
-        self.now_ms = max(self.now_ms, now_ms)
+        if now_ms > self.now_ms:
+            self.now_ms = now_ms
 
     def evict_pending(self) -> List[Request]:
         """Pull every queued-but-unexecuted request out of the batcher.
@@ -325,40 +348,51 @@ class ServingEngine:
         device timing still models the full flushed batch (the padded
         shape the accelerator would execute), so dedup never changes the
         latency accounting, only host compute.
+
+        In analytic mode the model forward is skipped entirely: every
+        number below except the logits/prediction comes from the batch
+        shape and the router's memoized schedule, so the timing produced
+        here is identical in both modes.
         """
         bucket = batch.bucket
         requests: List[Request] = [p.payload for p in batch.requests]
-        row_of: Dict[int, int] = {}
-        distinct: List[Request] = []
-        rows = []
-        for request in requests:
-            row = row_of.get(id(request.encoding))
-            if row is None:
-                row = row_of[id(request.encoding)] = len(distinct)
-                distinct.append(request)
-            rows.append(row)
-        input_ids = np.stack([r.encoding.input_ids[:bucket] for r in distinct])
-        mask = np.stack([r.encoding.attention_mask[:bucket] for r in distinct])
-        segments = np.stack([r.encoding.token_type_ids[:bucket] for r in distinct])
+        if self.config.analytic:
+            logits = None
+        else:
+            row_of: Dict[int, int] = {}
+            distinct: List[Request] = []
+            rows = []
+            for request in requests:
+                row = row_of.get(id(request.encoding))
+                if row is None:
+                    row = row_of[id(request.encoding)] = len(distinct)
+                    distinct.append(request)
+                rows.append(row)
+            input_ids = np.stack([r.encoding.input_ids[:bucket] for r in distinct])
+            mask = np.stack([r.encoding.attention_mask[:bucket] for r in distinct])
+            segments = np.stack([r.encoding.token_type_ids[:bucket] for r in distinct])
 
-        # Batched integer encoder (exact arithmetic, batch-invariant) then
-        # the float host head per row — see the module docstring's contract.
-        codes = self.model.encode(input_ids, mask, segments)
-        logits = self.model.classify_rows(codes)[rows]
+            # Batched integer encoder (exact arithmetic, batch-invariant) then
+            # the float host head per row — see the module docstring's contract.
+            codes = self.model.encode(input_ids, mask, segments)
+            logits = self.model.classify_rows(codes)[rows]
 
         dispatch = self.router.dispatch(bucket, batch.size, ready_ms=batch.flush_ms)
         batch_id = self._next_batch_id
         self._next_batch_id += 1
         self._real_tokens += batch.real_tokens
         self._padded_tokens += batch.padded_tokens
-        self._last_finish_ms = max(self._last_finish_ms, dispatch.finish_ms)
+        if dispatch.finish_ms > self._last_finish_ms:
+            self._last_finish_ms = dispatch.finish_ms
 
+        slo_ms = self.config.slo_ms
+        results = self.results
         for i, request in enumerate(requests):
             latency = dispatch.finish_ms - request.arrival_ms
-            self.results[request.request_id] = RequestResult(
+            results[request.request_id] = RequestResult(
                 request_id=request.request_id,
-                logits=logits[i],
-                prediction=int(logits[i].argmax()),
+                logits=_ANALYTIC_LOGITS if logits is None else logits[i],
+                prediction=-1 if logits is None else int(logits[i].argmax()),
                 arrival_ms=request.arrival_ms,
                 start_ms=dispatch.start_ms,
                 finish_ms=dispatch.finish_ms,
@@ -371,7 +405,7 @@ class ServingEngine:
                 bucket=bucket,
                 length=request.encoding.length,
                 cache_hit=request.cache_hit,
-                slo_met=self.config.slo_ms is None or latency <= self.config.slo_ms,
+                slo_met=slo_ms is None or latency <= slo_ms,
             )
 
 

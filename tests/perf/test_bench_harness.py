@@ -186,6 +186,25 @@ class TestClusterSuite:
         assert "cluster" in SUITES
 
 
+class TestFleetSuite:
+    """The 1M-request run itself belongs to the bench smoke (it is the
+    suite's whole point and costs a minute); the tier-1 tests pin the
+    registry and the equivalence contract the suite enforces (covered in
+    depth by tests/fleet/test_analytic.py)."""
+
+    def test_in_suites_registry(self):
+        assert "fleet" in SUITES
+        from repro.perf import run_fleet_suite  # exported like the others
+
+        assert callable(run_fleet_suite)
+
+    def test_cli_accepts_fleet_suite(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["bench", "--quick", "--suite", "fleet"])
+        assert args.suite == "fleet"
+
+
 class TestJsonRoundTrip:
     def test_write_then_load(self, tmp_path, kernel_result):
         path = result_path(tmp_path, "kernels")

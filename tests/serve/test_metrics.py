@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.serve import ServingStats, build_stats, percentile
+from repro.serve import ServingStats, build_stats, percentile, percentile_sorted
 
 
 class TestPercentile:
@@ -33,6 +33,26 @@ class TestPercentile:
         assert percentile([9.0, 1.0, 5.0, 3.0], 75) == percentile(
             [1.0, 3.0, 5.0, 9.0], 75
         )
+
+
+class TestPercentileSorted:
+    """The single-sort fast path must be bit-identical to `percentile`."""
+
+    def test_matches_percentile_on_random_data(self):
+        import random
+
+        rng = random.Random(7)
+        values = [rng.uniform(0.0, 100.0) for _ in range(257)]
+        ordered = sorted(values)
+        for q in (0, 1, 25, 50, 75, 95, 99, 99.9, 100):
+            assert percentile_sorted(ordered, q) == percentile(values, q)
+
+    def test_singleton_and_errors(self):
+        assert percentile_sorted([7.0], 95) == 7.0
+        with pytest.raises(ValueError):
+            percentile_sorted([], 50)
+        with pytest.raises(ValueError):
+            percentile_sorted([1.0], -1)
 
 
 @pytest.fixture

@@ -38,6 +38,42 @@ class TestLatencyEstimates:
             DeviceRouter(BertConfig.tiny(), num_devices=0)
 
 
+class TestLatencyCacheSharing:
+    """The docstring's memoization contract, now asserted: identical design
+    points share cache entries; distinct design points do not."""
+
+    def test_identical_design_points_share_entries(self):
+        config = AcceleratorConfig()
+        router = DeviceRouter(
+            BertConfig.tiny(), specs=[(config, ZCU102), (config, ZCU102)]
+        )
+        first = router.estimate_latency_ms(16, 4, device_id=0)
+        assert len(router._latency_cache) == 1
+        # The second instance's estimate is a cache hit, not a new entry.
+        assert router.estimate_latency_ms(16, 4, device_id=1) == first
+        assert len(router._latency_cache) == 1
+
+    def test_distinct_design_points_get_their_own_entries(self):
+        fast = AcceleratorConfig()
+        slow = AcceleratorConfig(num_pus=2, num_pes=2, num_multipliers=4)
+        router = DeviceRouter(
+            BertConfig.tiny(), specs=[(fast, ZCU102), (slow, ZCU102), (fast, ZCU111)]
+        )
+        router.estimate_latency_ms(16, 4, device_id=0)
+        router.estimate_latency_ms(16, 4, device_id=1)  # different config
+        assert len(router._latency_cache) == 2
+        router.estimate_latency_ms(16, 4, device_id=2)  # different FPGA part
+        assert len(router._latency_cache) == 3
+
+    def test_shapes_key_the_cache_too(self):
+        config = AcceleratorConfig()
+        router = DeviceRouter(BertConfig.tiny(), specs=[(config, ZCU102)] * 2)
+        router.estimate_latency_ms(16, 4, device_id=0)
+        router.estimate_latency_ms(16, 8, device_id=0)
+        router.estimate_latency_ms(32, 4, device_id=1)
+        assert len(router._latency_cache) == 3
+
+
 class TestDispatch:
     def test_round_robins_idle_devices(self, router2):
         a = router2.dispatch(16, 1, ready_ms=0.0)
