@@ -2,9 +2,41 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 from .bim import BimType
+
+
+def validate_knob(name: str, value) -> None:
+    """Eagerly validate one sweep knob, naming the knob in any error.
+
+    ``__post_init__`` enforces the same invariants, but by the time it
+    fires a sweep has lost *which* knob it was varying — the design-space
+    explorer (and :meth:`AcceleratorConfig.with_`) call this per knob so
+    a bad axis value reads ``num_multipliers must be a power of two``
+    instead of a bare ``M must be a power of two``.
+
+    Args:
+        name: The :class:`AcceleratorConfig` field being set.
+        value: The proposed value.
+
+    Raises:
+        ValueError: If the value violates the knob's invariant.
+    """
+    if name in ("num_pus", "num_pes"):
+        if not isinstance(value, int) or value < 1:
+            raise ValueError(f"{name} must be an integer >= 1, got {value!r}")
+    elif name == "num_multipliers":
+        if not isinstance(value, int) or value < 2 or (value & (value - 1)) != 0:
+            raise ValueError(
+                f"{name} must be a power of two >= 2, got {value!r}"
+            )
+    elif name == "frequency_mhz":
+        if not value > 0:
+            raise ValueError(f"{name} must be > 0, got {value!r}")
+    elif name == "axi_bytes_per_cycle":
+        if not isinstance(value, int) or value < 1:
+            raise ValueError(f"{name} must be an integer >= 1, got {value!r}")
 
 
 @dataclass(frozen=True)
@@ -51,7 +83,25 @@ class AcceleratorConfig:
         return self.num_pus * self.num_pes
 
     def with_(self, **kwargs) -> "AcceleratorConfig":
-        """Functional update helper for sweeps."""
+        """Functional update helper for sweeps.
+
+        Every knob is validated *eagerly*, before the replacement config is
+        built, so a bad sweep axis fails with the knob's name in the error
+        (``num_multipliers must be a power of two >= 2, got 12``) rather
+        than the context-free ``__post_init__`` message.
+
+        Raises:
+            ValueError: If a knob name is unknown or a value violates that
+                knob's invariant.
+        """
+        known = {f.name for f in fields(self)}
+        for name, value in kwargs.items():
+            if name not in known:
+                raise ValueError(
+                    f"unknown AcceleratorConfig knob {name!r}; "
+                    f"choose from {sorted(known)}"
+                )
+            validate_knob(name, value)
         return replace(self, **kwargs)
 
     # ------------------------------------------------------------------

@@ -59,7 +59,18 @@ class EnergyBreakdown:
         return self.dynamic_uj + params.static_watts * latency_ms * 1e3
 
     def dominant_component(self) -> str:
-        return max(self.components_uj, key=self.components_uj.get)
+        """The component with the highest energy.
+
+        Ties break to the lexicographically first name (not dict insertion
+        order), so the answer is stable however the breakdown was built —
+        the explorer's reports lean on this determinism.
+
+        Raises:
+            ValueError: If the breakdown has no components.
+        """
+        if not self.components_uj:
+            raise ValueError("empty breakdown has no dominant component")
+        return min(self.components_uj.items(), key=lambda kv: (-kv[1], kv[0]))[0]
 
 
 def estimate_energy(

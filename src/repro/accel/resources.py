@@ -64,12 +64,28 @@ class ResourceEstimate:
         )
 
     def utilization(self, device: FpgaDevice) -> Dict[str, float]:
-        return {
+        utilization = {
             "BRAM18K": self.bram18k / device.bram18k,
             "DSP48E": self.dsp48 / device.dsp48,
             "FF": self.ff / device.ff,
             "LUT": self.lut / device.lut,
         }
+        if device.uram > 0:
+            utilization["URAM"] = self.uram / device.uram
+        return utilization
+
+    def headroom(self, device: FpgaDevice) -> float:
+        """Smallest per-resource free fraction on ``device``.
+
+        The binding constraint of the design-space explorer: 0.3 means the
+        tightest resource class still has 30% of the device left.  Negative
+        when the design does not fit; a URAM-using design on a URAM-less
+        part reports -1.0 (categorically infeasible).
+        """
+        fractions = [1.0 - used for used in self.utilization(device).values()]
+        if self.uram > 0 and device.uram == 0:
+            fractions.append(-1.0)
+        return min(fractions)
 
 
 def estimate_dsp(config: AcceleratorConfig) -> int:

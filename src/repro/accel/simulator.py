@@ -63,6 +63,48 @@ class SimulationReport:
     def fits_device(self) -> bool:
         return self.resources.fits(self.device)
 
+    @property
+    def headroom(self) -> float:
+        """Smallest per-resource free fraction on the report's device."""
+        return self.resources.headroom(self.device)
+
+    def to_dict(self) -> Dict:
+        """JSON-ready report of this design point (``repro-design/1``).
+
+        The one report shape shared by ``repro.cli simulate --json`` and
+        the design-space explorer's candidate entries, so single-point
+        evaluations and sweep results are scriptable with the same keys.
+        All values come from the analytic models — deterministic on every
+        machine.
+        """
+        config = self.config
+        return {
+            "schema": "repro-design/1",
+            "device": self.device.name,
+            "config": {
+                "num_pus": config.num_pus,
+                "num_pes": config.num_pes,
+                "num_multipliers": config.num_multipliers,
+                "bim_type": config.bim_type.value,
+                "frequency_mhz": config.frequency_mhz,
+            },
+            "latency_ms": self.latency_ms,
+            "throughput_fps": self.throughput_fps,
+            "power_watts": self.power_watts,
+            "energy_per_inference_mj": self.energy_per_inference_mj,
+            "fps_per_watt": self.fps_per_watt,
+            "resources": {
+                "bram18k": self.resources.bram18k,
+                "dsp48": self.resources.dsp48,
+                "ff": self.resources.ff,
+                "lut": self.resources.lut,
+                "uram": self.resources.uram,
+            },
+            "utilization": self.resources.utilization(self.device),
+            "headroom": self.headroom,
+            "fits_device": self.fits_device(),
+        }
+
     def summary(self) -> Dict[str, float]:
         return {
             "latency_ms": self.latency_ms,

@@ -9,7 +9,8 @@ Subcommands::
     python -m repro.cli compare   # Table IV style platform comparison
     python -m repro.cli serve     --requests 64 --batch-size 8 --num-devices 2
     python -m repro.cli loadtest  --scenario flash-crowd --replicas 2 [--autoscale] [--analytic]
-    python -m repro.cli bench     [--quick] [--suite kernels|serve|cluster|fleet|all]
+    python -m repro.cli search    --space table3 [--scenario flash-crowd] [--json out.json]
+    python -m repro.cli bench     [--quick] [--suite kernels|serve|cluster|fleet|dse|all]
 
 Each subcommand is a thin wrapper over the library; anything the CLI does
 can be done in a few lines of Python (see examples/).
@@ -138,6 +139,16 @@ def cmd_simulate(args) -> int:
         f"FF={resources.ff} LUT={resources.lut} URAM={resources.uram}"
     )
     print(f"fits device: {report.fits_device()}")
+    if args.json:
+        import json
+        import pathlib
+
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # The same repro-design/1 shape the search explorer emits per
+        # candidate, so one consumer script handles both.
+        path.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"[simulate] wrote {path}")
     return 0
 
 
@@ -264,6 +275,38 @@ def _parse_failures(specs):
     return failures
 
 
+def _synthetic_cluster(args):
+    """The shared loadtest/search-plan fixture built from the serving flags.
+
+    One construction path keeps the two subcommands' fleets comparable:
+    a frozen synthetic integer model sized to the bucket ceiling, the
+    hash tokenizer, and a single-device-per-replica :class:`FleetConfig`.
+
+    Returns:
+        ``(model, tokenizer, fleet_config)``.
+    """
+    from .fleet import FleetConfig
+    from .perf.bench import cluster_model_config
+    from .perf.workloads import HashTokenizer, build_synthetic_integer_model
+    from .serve import ServingConfig
+
+    buckets = _parse_buckets(args.buckets) or (16, 32, 64)
+    model_config = cluster_model_config(max_position_embeddings=buckets[-1])
+    model = build_synthetic_integer_model(model_config, seed=args.seed)
+    tokenizer = HashTokenizer(vocab_size=model_config.vocab_size)
+    fleet_config = FleetConfig(
+        serving=ServingConfig(
+            max_batch_size=args.batch_size,
+            max_wait_ms=args.max_wait_ms,
+            buckets=buckets,
+            num_devices=1,
+            cache_capacity=args.cache_size,
+        ),
+        admit_slo_factor=args.admit_slo_factor,
+    )
+    return model, tokenizer, fleet_config
+
+
 def cmd_loadtest(args) -> int:
     """Cluster-scale serving simulation: scenarios, autoscaling, failures.
 
@@ -277,14 +320,10 @@ def cmd_loadtest(args) -> int:
     from .accel import AcceleratorConfig, FPGA_DEVICES
     from .fleet import (
         AutoscalePolicy,
-        FleetConfig,
         ReplicaSpec,
         builtin_scenarios,
         run_scenario,
     )
-    from .perf.bench import cluster_model_config
-    from .perf.workloads import HashTokenizer, build_synthetic_integer_model
-    from .serve import ServingConfig
 
     catalog = builtin_scenarios()
     names = sorted(catalog) if args.scenario == "all" else [args.scenario]
@@ -308,20 +347,7 @@ def cmd_loadtest(args) -> int:
         for i in range(args.replicas)
     ]
 
-    buckets = _parse_buckets(args.buckets) or (16, 32, 64)
-    model_config = cluster_model_config(max_position_embeddings=buckets[-1])
-    model = build_synthetic_integer_model(model_config, seed=args.seed)
-    tokenizer = HashTokenizer(vocab_size=model_config.vocab_size)
-    fleet_config = FleetConfig(
-        serving=ServingConfig(
-            max_batch_size=args.batch_size,
-            max_wait_ms=args.max_wait_ms,
-            buckets=buckets,
-            num_devices=1,
-            cache_capacity=args.cache_size,
-        ),
-        admit_slo_factor=args.admit_slo_factor,
-    )
+    model, tokenizer, fleet_config = _synthetic_cluster(args)
     autoscale = (
         AutoscalePolicy(
             min_replicas=args.min_replicas,
@@ -373,6 +399,149 @@ def cmd_loadtest(args) -> int:
         docs = [json.loads(r.to_json()) for r in reports]
         path.write_text(json.dumps(docs, indent=2, sort_keys=True) + "\n")
         print(f"[loadtest] wrote {path}")
+    return 0
+
+
+def _design_name(report) -> str:
+    """A collision-free design-point name for the planner ladder.
+
+    The knob tuple plus BIM/frequency suffixes only when they differ from
+    the defaults, so names stay short on the common spaces but distinct
+    design points never alias.
+    """
+    config = report.config
+    name = (
+        f"{report.device.name}/H{config.num_pus}"
+        f"N{config.num_pes}M{config.num_multipliers}"
+    )
+    if config.bim_type.value != "A":
+        name += f"-{config.bim_type.value}"
+    if config.frequency_mhz != 214.0:
+        name += f"@{config.frequency_mhz:g}MHz"
+    return name
+
+
+def cmd_search(args) -> int:
+    """Design-space exploration / SLO-driven capacity planning.
+
+    Two modes behind one subcommand:
+
+    - **explore** (default): sweep a named design space, price every
+      candidate through the analytic stack, print the Pareto front.
+    - **plan** (``--scenario``): reduce the space to its front, downselect
+      a design ladder, and search fleet compositions + autoscaler policies
+      with the analytic fleet simulator as the inner loop, returning the
+      cheapest plan meeting the p99/shed targets.
+
+    Both are deterministic: same arguments, byte-identical ``--json``.
+    """
+    from .search import (
+        DEFAULT_OBJECTIVES,
+        OBJECTIVES,
+        PLAN_OBJECTIVES,
+        SloTarget,
+        builtin_spaces,
+        explore,
+        plan_capacity,
+    )
+
+    spaces = builtin_spaces()
+    space = spaces.get(args.space)
+    if space is None:
+        raise SystemExit(f"unknown space {args.space!r}; choose from {sorted(spaces)}")
+
+    if args.scenario is None:
+        # ---------------- explore mode ----------------
+        if args.objective is None:
+            objectives = DEFAULT_OBJECTIVES
+        else:
+            objectives = tuple(o.strip() for o in args.objective.split(",") if o.strip())
+            unknown = [o for o in objectives if o not in OBJECTIVES]
+            if unknown:
+                raise SystemExit(
+                    f"unknown objective {unknown[0]!r}; choose from {sorted(OBJECTIVES)}"
+                )
+        result = explore(
+            space,
+            seq_len=args.seq_len,
+            batch_size=args.eval_batch_size,
+            objectives=objectives,
+            budget=args.budget,
+            seed=args.seed,
+        )
+        print(result.render())
+    else:
+        # ---------------- plan mode ----------------
+        from .fleet import ReplicaSpec, builtin_scenarios
+
+        catalog = builtin_scenarios()
+        if args.scenario not in catalog:
+            raise SystemExit(
+                f"unknown scenario {args.scenario!r}; choose from {sorted(catalog)}"
+            )
+        objective = args.objective or "replica-seconds"
+        if objective not in PLAN_OBJECTIVES:
+            raise SystemExit(
+                f"unknown plan objective {objective!r}; choose from {PLAN_OBJECTIVES}"
+            )
+        if args.plan_designs < 1:
+            raise SystemExit(f"--plan-designs must be >= 1, got {args.plan_designs}")
+
+        # The design ladder: the space's Pareto front, downselected evenly
+        # along the latency axis (always keeping the fastest and slowest
+        # members) so the planner sees the whole strength range.
+        front = explore(space, seq_len=args.seq_len, seed=args.seed).front
+        if not front:
+            raise SystemExit(f"space {args.space!r} has no feasible design point")
+        by_latency = sorted(
+            front, key=lambda r: (r.latency_ms, r.device.name, r.config.num_pus,
+                                  r.config.num_pes, r.config.num_multipliers)
+        )
+        count = min(args.plan_designs, len(by_latency))
+        picks = sorted(
+            {round(i * (len(by_latency) - 1) / max(1, count - 1)) for i in range(count)}
+        )
+        # Explicit names: the default ReplicaSpec label omits BIM type and
+        # frequency, so ladder members from a space sweeping those axes
+        # would otherwise collide.
+        designs = [
+            ReplicaSpec(
+                accel_config=by_latency[i].config,
+                device=by_latency[i].device,
+                name=_design_name(by_latency[i]),
+            )
+            for i in picks
+        ]
+
+        model, tokenizer, fleet_config = _synthetic_cluster(args)
+        scenario = catalog[args.scenario]
+        p99_target = args.p99_target
+        if p99_target is None:
+            p99_target = min(t.slo_ms for t in scenario.tenants)
+        result = plan_capacity(
+            args.scenario,
+            designs,
+            SloTarget(p99_ms=p99_target, max_shed_rate=args.max_shed_rate),
+            model,
+            tokenizer,
+            fleet_config=fleet_config,
+            max_replicas=args.max_replicas,
+            objective=objective,
+            include_autoscale=not args.no_autoscale,
+            budget=args.budget,
+            seed=args.seed,
+            rate_scale=args.rate_scale,
+            duration_scale=args.duration_scale,
+        )
+        print(result.render())
+
+    if args.json:
+        import pathlib
+
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(result.to_json())
+        print(f"[search] wrote {path}")
     return 0
 
 
@@ -499,6 +668,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--pes", type=int, default=8)
     simulate.add_argument("--multipliers", type=int, default=16)
     simulate.add_argument("--seq-len", type=int, default=128)
+    simulate.add_argument(
+        "--json",
+        help="also write the report as JSON here (same shape as search's "
+        "per-candidate entries)",
+    )
     simulate.set_defaults(func=cmd_simulate)
 
     compare = sub.add_parser("compare", help="Table IV platform comparison")
@@ -566,6 +740,69 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--seed", type=int, default=7)
     loadtest.set_defaults(func=cmd_loadtest)
 
+    search = sub.add_parser(
+        "search",
+        help="design-space exploration / SLO-driven capacity planning",
+    )
+    search.add_argument(
+        "--space", default="table3",
+        help="named design space (table3 / small / wide)",
+    )
+    search.add_argument(
+        "--objective", default=None,
+        help="explore: comma list of Pareto objectives "
+        "(latency,energy,headroom,power; default latency,energy,headroom); "
+        "plan: the cost to minimize (replica-seconds | energy)",
+    )
+    search.add_argument(
+        "--budget", type=int, default=None,
+        help="explore: max candidates to evaluate (seeded sampling beyond); "
+        "plan: max plan evaluations",
+    )
+    search.add_argument("--seq-len", type=int, default=128)
+    search.add_argument(
+        "--eval-batch-size", type=int, default=1,
+        help="explore: batch size candidates are priced at (1 = the "
+        "paper's batch-1 latency; serving flags like --batch-size "
+        "configure the planner's per-replica engine instead)",
+    )
+    search.add_argument(
+        "--scenario", default=None,
+        help="switch to capacity planning against this built-in scenario",
+    )
+    search.add_argument(
+        "--p99-target", type=float, default=None,
+        help="plan: fleet-wide p99 target in ms (default: the scenario's "
+        "tightest tenant SLO)",
+    )
+    search.add_argument(
+        "--max-shed-rate", type=float, default=0.0,
+        help="plan: tolerated shed fraction of submitted traffic",
+    )
+    search.add_argument("--max-replicas", type=int, default=3)
+    search.add_argument(
+        "--plan-designs", type=int, default=4,
+        help="plan: design-ladder size downselected from the space's front",
+    )
+    search.add_argument(
+        "--no-autoscale", action="store_true",
+        help="plan: skip the autoscaled plan variants",
+    )
+    search.add_argument("--rate-scale", type=float, default=1.0)
+    search.add_argument("--duration-scale", type=float, default=1.0)
+    # The shared serving surface configures the *planner's* per-replica
+    # engines (plan mode); explore mode prices bare design points and
+    # only reads --eval-batch-size.
+    _add_serving_flags(search, max_wait_ms=5.0, cache_size=512)
+    search.add_argument(
+        "--admit-slo-factor", type=float, default=2.0,
+        help="plan: shed when projected latency exceeds this multiple of "
+        "the tenant SLO",
+    )
+    search.add_argument("--json", help="also write the result as JSON here")
+    search.add_argument("--seed", type=int, default=0)
+    search.set_defaults(func=cmd_search)
+
     bench = sub.add_parser(
         "bench", help="pinned perf suites + regression gate (BENCH_*.json)"
     )
@@ -574,7 +811,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=["kernels", "serve", "cluster", "fleet", "all"],
+        choices=["kernels", "serve", "cluster", "fleet", "dse", "all"],
         default="all",
     )
     bench.add_argument(

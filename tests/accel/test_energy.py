@@ -72,3 +72,45 @@ class TestCoDesignPayoff:
                 workload.total_weight_bytes() * (bits / 4.0) * EnergyParams().dram_byte_pj
             )
         assert energies_dram[32] / energies_dram[4] == pytest.approx(8.0)
+
+
+class TestDominantComponent:
+    def test_singleton(self):
+        from repro.accel import EnergyBreakdown
+
+        assert EnergyBreakdown({"dram_weights": 1.0}).dominant_component() == (
+            "dram_weights"
+        )
+
+    def test_clear_winner(self):
+        from repro.accel import EnergyBreakdown
+
+        breakdown = EnergyBreakdown({"sram": 2.0, "dram_weights": 5.0, "mac_8x4": 1.0})
+        assert breakdown.dominant_component() == "dram_weights"
+
+    def test_tie_breaks_alphabetically_not_by_insertion(self):
+        from repro.accel import EnergyBreakdown
+
+        tied = EnergyBreakdown({"sram": 3.0, "dram_weights": 3.0, "mac_8x4": 1.0})
+        assert tied.dominant_component() == "dram_weights"
+        reordered = EnergyBreakdown({"dram_weights": 3.0, "sram": 3.0, "mac_8x4": 1.0})
+        assert reordered.dominant_component() == tied.dominant_component()
+
+    def test_all_tied_is_deterministic(self):
+        from repro.accel import EnergyBreakdown
+
+        assert EnergyBreakdown({"c": 1.0, "b": 1.0, "a": 1.0}).dominant_component() == "a"
+
+    def test_empty_breakdown_raises(self):
+        from repro.accel import EnergyBreakdown
+
+        with pytest.raises(ValueError, match="empty breakdown"):
+            EnergyBreakdown().dominant_component()
+
+    def test_real_breakdown_memory_dominates(self, breakdown):
+        """Memory traffic (SRAM reads here) dwarfs compute — the co-design
+        motivation — and the winner agrees with a hand max."""
+        assert breakdown.dominant_component() == "sram"
+        assert breakdown.dominant_component() == max(
+            breakdown.components_uj, key=breakdown.components_uj.get
+        )

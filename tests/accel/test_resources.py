@@ -123,3 +123,55 @@ class TestBuffers:
         buffers = build_buffer_set(AcceleratorConfig(), BertConfig.base())
         report = bram_report(buffers)
         assert report["total"] == sum(v for k, v in report.items() if k != "total")
+
+
+class TestFitsBoundaries:
+    """Exactly-at-capacity designs fit; one unit over does not.
+
+    The design-space explorer's constraint filter leans on these edges: a
+    candidate using every last DSP is feasible, headroom 0.0.
+    """
+
+    def test_exactly_at_capacity_fits(self):
+        from repro.accel import FpgaDevice, ResourceEstimate
+
+        device = FpgaDevice(name="tiny", bram18k=10, dsp48=20, ff=30, lut=40)
+        exact = ResourceEstimate(bram18k=10, dsp48=20, ff=30, lut=40)
+        assert device.fits(10, 20, 30, 40)
+        assert exact.fits(device)
+        assert exact.headroom(device) == 0.0
+
+    @pytest.mark.parametrize(
+        "resource", ["bram18k", "dsp48", "ff", "lut"]
+    )
+    def test_one_unit_over_any_resource_fails(self, resource):
+        from repro.accel import FpgaDevice, ResourceEstimate
+
+        device = FpgaDevice(name="tiny", bram18k=10, dsp48=20, ff=30, lut=40)
+        usage = {"bram18k": 10, "dsp48": 20, "ff": 30, "lut": 40}
+        usage[resource] += 1
+        estimate = ResourceEstimate(**usage)
+        assert not estimate.fits(device)
+        assert estimate.headroom(device) < 0.0
+
+    def test_uram_boundary(self):
+        from repro.accel import FpgaDevice, ResourceEstimate
+
+        device = FpgaDevice(name="tiny", bram18k=10, dsp48=20, ff=30, lut=40, uram=5)
+        assert ResourceEstimate(bram18k=1, dsp48=1, ff=1, lut=1, uram=5).fits(device)
+        assert not ResourceEstimate(bram18k=1, dsp48=1, ff=1, lut=1, uram=6).fits(device)
+
+    def test_uram_on_uramless_device(self):
+        """Any URAM use is categorically infeasible on a URAM-less part."""
+        from repro.accel import ResourceEstimate
+
+        estimate = ResourceEstimate(bram18k=1, dsp48=1, ff=1, lut=1, uram=1)
+        assert not estimate.fits(ZCU102)
+        assert estimate.headroom(ZCU102) == -1.0
+
+    def test_utilization_reports_uram_only_when_present(self):
+        from repro.accel import ResourceEstimate
+
+        estimate = ResourceEstimate(bram18k=1, dsp48=1, ff=1, lut=1, uram=2)
+        assert "URAM" not in estimate.utilization(ZCU102)
+        assert estimate.utilization(ZCU111)["URAM"] == 2 / ZCU111.uram

@@ -311,3 +311,40 @@ class TestWorkloads:
         tok = HashTokenizer(vocab_size=64)
         ids, mask, _ = tok.encode(" ".join(["w"] * 50), max_length=8)
         assert mask.sum() == 8 and ids.shape == (8,)
+
+
+class TestDseSuite:
+    """The design-space search suite (quick profile — the full sweep and
+    the pinned plan run in the CI bench smoke job; the search contracts
+    themselves are covered in tests/search)."""
+
+    @pytest.fixture(scope="class")
+    def dse_result(self):
+        from repro.perf.bench import run_dse_suite
+
+        return run_dse_suite(quick=True, seed=0)
+
+    def test_in_suites_registry(self):
+        assert "dse" in SUITES
+
+    def test_document_shape(self, dse_result):
+        assert dse_result["suite"] == "dse"
+        assert dse_result["profile"] == "quick"
+        assert dse_result["schema"] == SCHEMA
+
+    def test_throughput_contract_visible(self, dse_result):
+        assert dse_result["metrics"]["dse_memoized_evals_per_s"]["value"] >= 1000.0
+
+    def test_plan_is_feasible_and_pinned(self, dse_result):
+        metrics = dse_result["metrics"]
+        assert metrics["sim_plan_p99_latency_ms"]["value"] <= 150.0
+        assert metrics["sim_plan_shed_rate"]["value"] == 0.0
+        assert dse_result["info"]["plan"]["best"]
+
+    def test_sim_metrics_reproduce(self, dse_result):
+        from repro.perf.bench import run_dse_suite
+
+        again = run_dse_suite(quick=True, seed=0)
+        for name, metric in dse_result["metrics"].items():
+            if name.startswith("sim_"):
+                assert again["metrics"][name]["value"] == metric["value"], name

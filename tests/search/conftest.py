@@ -1,0 +1,73 @@
+"""Fixtures for the search tests: spaces, models, and a planner harness.
+
+The planner fixtures mirror the fleet tests' setup — a frozen synthetic
+integer model on deliberately weak design points, so overload (and thus
+plan discrimination) is reachable with a few hundred simulated requests.
+"""
+
+import pytest
+
+from repro.accel import AcceleratorConfig
+from repro.bert import BertConfig
+from repro.fleet import FleetConfig, ReplicaSpec
+from repro.perf.workloads import HashTokenizer, build_synthetic_integer_model
+from repro.search import builtin_spaces
+from repro.serve import ServingConfig
+
+
+@pytest.fixture(scope="session")
+def spaces():
+    return builtin_spaces()
+
+
+@pytest.fixture(scope="session")
+def bert_base():
+    return BertConfig.base()
+
+
+@pytest.fixture(scope="session")
+def cluster_model():
+    config = BertConfig(
+        vocab_size=512,
+        hidden_size=64,
+        num_hidden_layers=2,
+        num_attention_heads=4,
+        intermediate_size=128,
+        max_position_embeddings=64,
+        num_labels=2,
+    )
+    return build_synthetic_integer_model(config, seed=0)
+
+
+@pytest.fixture(scope="session")
+def hash_tokenizer():
+    return HashTokenizer(vocab_size=512)
+
+
+@pytest.fixture(scope="session")
+def design_ladder():
+    """weak < mid < default — the planner must price the strength range."""
+    return [
+        ReplicaSpec(
+            accel_config=AcceleratorConfig(num_pus=2, num_pes=2, num_multipliers=4),
+            name="weak",
+        ),
+        ReplicaSpec(
+            accel_config=AcceleratorConfig(num_pus=4, num_pes=4, num_multipliers=8),
+            name="mid",
+        ),
+        ReplicaSpec(name="default"),
+    ]
+
+
+@pytest.fixture(scope="session")
+def fleet_config():
+    return FleetConfig(
+        serving=ServingConfig(
+            max_batch_size=8,
+            max_wait_ms=5.0,
+            buckets=(16, 32, 64),
+            num_devices=1,
+            cache_capacity=512,
+        )
+    )

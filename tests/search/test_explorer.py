@@ -1,0 +1,191 @@
+"""The explorer: memoized pricing, dominance, and the Pareto front."""
+
+import pytest
+
+from repro.accel import AcceleratorConfig, ZCU102, ZCU111
+from repro.search import (
+    DesignSpace,
+    clear_evaluation_cache,
+    dominates,
+    evaluate_candidate,
+    evaluation_cache_size,
+    explore,
+    objective_vector,
+    pareto_front,
+)
+
+
+class TestEvaluateCandidate:
+    def test_matches_direct_simulation(self, bert_base):
+        from repro.accel import AcceleratorSimulator
+
+        config = AcceleratorConfig()
+        report = evaluate_candidate(config, ZCU102, bert_base)
+        direct = AcceleratorSimulator(config, ZCU102).simulate(bert_base, seq_len=128)
+        assert report.latency_ms == direct.latency_ms
+        assert report.resources == direct.resources
+        assert report.power_watts == direct.power_watts
+
+    def test_memoized_returns_same_object(self, bert_base):
+        config = AcceleratorConfig(num_pes=16)
+        first = evaluate_candidate(config, ZCU102, bert_base)
+        assert evaluate_candidate(config, ZCU102, bert_base) is first
+
+    def test_cache_grows_and_clears(self, bert_base):
+        clear_evaluation_cache()
+        assert evaluation_cache_size() == 0
+        evaluate_candidate(AcceleratorConfig(), ZCU102, bert_base)
+        evaluate_candidate(AcceleratorConfig(), ZCU111, bert_base)
+        assert evaluation_cache_size() == 2
+
+    def test_distinct_shapes_are_distinct_entries(self, bert_base):
+        clear_evaluation_cache()
+        evaluate_candidate(AcceleratorConfig(), ZCU102, bert_base, seq_len=64)
+        evaluate_candidate(AcceleratorConfig(), ZCU102, bert_base, seq_len=128)
+        assert evaluation_cache_size() == 2
+
+
+class TestObjectiveVector:
+    def test_latency_energy(self, bert_base):
+        report = evaluate_candidate(AcceleratorConfig(), ZCU102, bert_base)
+        assert objective_vector(report, ("latency", "energy")) == (
+            report.latency_ms,
+            report.energy_per_inference_mj,
+        )
+
+    def test_headroom_expands_per_resource(self, bert_base):
+        report = evaluate_candidate(AcceleratorConfig(), ZCU102, bert_base)
+        vector = objective_vector(report, ("headroom",))
+        assert len(vector) == len(report.resources.utilization(ZCU102))
+
+    def test_unknown_objective(self, bert_base):
+        report = evaluate_candidate(AcceleratorConfig(), ZCU102, bert_base)
+        with pytest.raises(ValueError, match="unknown objective"):
+            objective_vector(report, ("fps",))
+
+    def test_empty_objectives(self, bert_base):
+        report = evaluate_candidate(AcceleratorConfig(), ZCU102, bert_base)
+        with pytest.raises(ValueError, match="at least one"):
+            objective_vector(report, ())
+
+
+class TestDominance:
+    def test_strictly_bigger_design_dominates_on_latency(self, bert_base):
+        small = evaluate_candidate(AcceleratorConfig(num_pes=4), ZCU102, bert_base)
+        large = evaluate_candidate(AcceleratorConfig(num_pes=8), ZCU102, bert_base)
+        assert dominates(large, small, ("latency",))
+        assert not dominates(small, large, ("latency",))
+
+    def test_never_across_devices(self, bert_base):
+        a = evaluate_candidate(AcceleratorConfig(), ZCU102, bert_base)
+        b = evaluate_candidate(AcceleratorConfig(), ZCU111, bert_base)
+        assert not dominates(a, b, ("latency",))
+        assert not dominates(b, a, ("latency",))
+
+    def test_equal_vectors_do_not_dominate(self, bert_base):
+        report = evaluate_candidate(AcceleratorConfig(), ZCU102, bert_base)
+        assert not dominates(report, report, ("latency", "energy"))
+
+    def test_headroom_vector_preserves_the_table3_trade(self, bert_base):
+        """(16,8) beats (8,16) on latency+energy+DSP but pays FF/LUT —
+        under the elementwise headroom objective neither dominates."""
+        n8m16 = evaluate_candidate(
+            AcceleratorConfig.zcu102_n8_m16(), ZCU102, bert_base
+        )
+        n16m8 = evaluate_candidate(
+            AcceleratorConfig.zcu102_n16_m8(), ZCU102, bert_base
+        )
+        assert dominates(n16m8, n8m16, ("latency", "energy"))
+        objectives = ("latency", "energy", "headroom")
+        assert not dominates(n16m8, n8m16, objectives)
+        assert not dominates(n8m16, n16m8, objectives)
+
+
+class TestParetoFront:
+    def test_front_members_are_mutually_non_dominated(self, spaces, bert_base):
+        result = explore(spaces["table3"], model=bert_base)
+        for a in result.front:
+            for b in result.front:
+                assert not dominates(a, b, result.objectives)
+
+    def test_dominated_points_are_excluded(self, spaces, bert_base):
+        result = explore(spaces["table3"], model=bert_base, objectives=("latency",))
+        # One survivor per device: nothing beats the fastest point.
+        devices = [report.device.name for report in result.front]
+        assert sorted(set(devices)) == ["ZCU102", "ZCU111"]
+        assert len(result.front) == 2
+
+    def test_duplicate_objective_vectors_kept_once(self, bert_base):
+        report = evaluate_candidate(AcceleratorConfig(), ZCU102, bert_base)
+        front = pareto_front([report, report], ("latency", "energy"))
+        assert front == [report]
+
+    def test_front_is_sorted_deterministically(self, spaces, bert_base):
+        result = explore(spaces["table3"], model=bert_base)
+        keys = [
+            (r.device.name, r.latency_ms, r.energy_per_inference_mj)
+            for r in result.front
+        ]
+        assert keys == sorted(keys)
+
+    def test_empty_input(self):
+        assert pareto_front([], ("latency",)) == []
+
+
+class TestNamedPointsOnFront:
+    """The acceptance contract: no hand-picked Table III point is dominated."""
+
+    def test_paper_points_survive(self, spaces, bert_base):
+        result = explore(spaces["table3"], model=bert_base)
+        front_keys = {(r.device.name, r.config) for r in result.front}
+        assert ("ZCU102", AcceleratorConfig.zcu102_n8_m16()) in front_keys
+        assert ("ZCU102", AcceleratorConfig.zcu102_n16_m8()) in front_keys
+        assert ("ZCU111", AcceleratorConfig.zcu111_n16_m16()) in front_keys
+
+
+class TestExplore:
+    def test_byte_identical_across_runs(self, spaces, bert_base):
+        first = explore(spaces["small"], model=bert_base, seed=5)
+        second = explore(spaces["small"], model=bert_base, seed=5)
+        assert first.to_json() == second.to_json()
+
+    def test_budget_caps_evaluations(self, spaces, bert_base):
+        result = explore(spaces["wide"], model=bert_base, budget=30, seed=2)
+        assert result.evaluated == 30
+        assert result.feasible <= 30
+
+    def test_infeasible_points_filtered(self, bert_base):
+        # A grid of monsters: nothing fits a ZCU102.
+        space = DesignSpace(
+            name="monsters", num_pes=(32,), num_multipliers=(32,), devices=(ZCU102,)
+        )
+        result = explore(space, model=bert_base)
+        assert result.evaluated == 1
+        assert result.feasible == 0
+        assert result.front == []
+
+    def test_unknown_objective_rejected_before_pricing(self, spaces, bert_base):
+        with pytest.raises(ValueError, match="unknown objective"):
+            explore(spaces["small"], model=bert_base, objectives=("bogus",))
+
+    def test_render_mentions_front_and_space(self, spaces, bert_base):
+        result = explore(spaces["small"], model=bert_base)
+        text = result.render()
+        assert "space: small" in text
+        assert "Pareto front" in text
+
+    def test_json_candidates_share_simulate_shape(self, spaces, bert_base):
+        """Front entries use the exact repro-design/1 shape simulate emits."""
+        from repro.accel import AcceleratorSimulator
+
+        result = explore(spaces["small"], model=bert_base)
+        entry = result.to_dict()["front"][0]
+        config = AcceleratorConfig(
+            num_pus=entry["config"]["num_pus"],
+            num_pes=entry["config"]["num_pes"],
+            num_multipliers=entry["config"]["num_multipliers"],
+        )
+        direct = AcceleratorSimulator(config, ZCU102).simulate(
+            bert_base, seq_len=result.seq_len
+        )
+        assert entry == direct.to_dict()

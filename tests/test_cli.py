@@ -224,3 +224,97 @@ class TestLoadtest:
     def test_fail_id_beyond_fleet_rejected(self):
         with pytest.raises(SystemExit, match="at most 1 replica"):
             main(["loadtest", "--replicas", "1", "--fail", "5@10"])
+
+
+class TestSimulateJson:
+    def test_json_written_with_design_shape(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "point.json"
+        assert main(["simulate", "--json", str(path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro-design/1"
+        assert doc["device"] == "ZCU102"
+        assert doc["config"]["num_pes"] == 8
+        assert doc["resources"]["dsp48"] == 1751
+        assert doc["fits_device"] is True
+        assert 0.0 < doc["headroom"] < 1.0
+
+    def test_json_matches_search_candidate_shape(self, tmp_path):
+        """simulate --json and search --json front entries share one shape."""
+        import json
+
+        sim_path = tmp_path / "sim.json"
+        search_path = tmp_path / "search.json"
+        assert main(["simulate", "--json", str(sim_path)]) == 0
+        assert main(["search", "--space", "small", "--json", str(search_path)]) == 0
+        sim = json.loads(sim_path.read_text())
+        front = json.loads(search_path.read_text())["front"]
+        assert set(sim) == set(front[0])
+        # The default simulate point (12, 8, 16) is on the small-space front.
+        assert sim in front
+
+
+SEARCH_PLAN_FAST = [
+    "search", "--scenario", "flash-crowd", "--space", "small",
+    "--plan-designs", "2", "--max-replicas", "2", "--rate-scale", "0.5",
+]
+
+
+class TestSearch:
+    def test_explore_default_space(self, capsys):
+        assert main(["search"]) == 0
+        out = capsys.readouterr().out
+        assert "space: table3" in out
+        assert "Pareto front" in out
+
+    def test_explore_byte_identical(self, capsys):
+        assert main(["search", "--space", "small"]) == 0
+        first = capsys.readouterr().out
+        assert main(["search", "--space", "small"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_explore_json_byte_identical(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["search", "--space", "small", "--json", str(a)]) == 0
+        assert main(["search", "--space", "small", "--json", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_explore_budget_and_objectives(self, capsys):
+        assert (
+            main(
+                ["search", "--space", "wide", "--budget", "12",
+                 "--objective", "latency,energy"]
+            )
+            == 0
+        )
+        assert "12 evaluated" in capsys.readouterr().out
+
+    def test_plan_mode(self, capsys):
+        assert main(SEARCH_PLAN_FAST) == 0
+        out = capsys.readouterr().out
+        assert "scenario: flash-crowd" in out
+        assert "cheapest feasible plan" in out
+
+    def test_plan_json_byte_identical(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(SEARCH_PLAN_FAST + ["--json", str(a)]) == 0
+        assert main(SEARCH_PLAN_FAST + ["--json", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_unknown_space_rejected(self):
+        with pytest.raises(SystemExit, match="unknown space"):
+            main(["search", "--space", "huge"])
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(SystemExit, match="unknown objective"):
+            main(["search", "--objective", "beauty"])
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["search", "--scenario", "tsunami"])
+
+    def test_unknown_plan_objective_rejected(self):
+        with pytest.raises(SystemExit, match="unknown plan objective"):
+            main(["search", "--scenario", "steady", "--objective", "latency"])
