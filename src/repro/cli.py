@@ -9,6 +9,7 @@ Subcommands::
     python -m repro.cli compare   # Table IV style platform comparison
     python -m repro.cli serve     --requests 64 --batch-size 8 --num-devices 2
     python -m repro.cli loadtest  --scenario flash-crowd --replicas 2 [--autoscale] [--analytic]
+    python -m repro.cli loadtest  --scenario flash-crowd --columnar --shards 4 --rate-scale 640
     python -m repro.cli search    --space table3 [--scenario flash-crowd] [--json out.json]
     python -m repro.cli bench     [--quick] [--suite kernels|serve|cluster|fleet|dse|all]
 
@@ -323,6 +324,7 @@ def cmd_loadtest(args) -> int:
         ReplicaSpec,
         builtin_scenarios,
         run_scenario,
+        run_scenario_columnar,
     )
 
     catalog = builtin_scenarios()
@@ -370,21 +372,42 @@ def cmd_loadtest(args) -> int:
                     f"{args.replicas} replica(s) can exist in this run"
                 )
 
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if (args.shards > 1 or args.shard_procs) and not args.columnar:
+        raise SystemExit("--shards/--shard-procs require --columnar")
+
     reports = []
     for name in names:
-        report = run_scenario(
-            name,
-            model,
-            tokenizer,
-            specs,
-            fleet_config,
-            autoscale=autoscale,
-            failures=failures,
-            seed=args.seed,
-            rate_scale=args.rate_scale,
-            duration_scale=args.duration_scale,
-            analytic=args.analytic,
-        )
+        if args.columnar:
+            report = run_scenario_columnar(
+                name,
+                model,
+                tokenizer,
+                specs,
+                fleet_config,
+                autoscale=autoscale,
+                failures=failures,
+                seed=args.seed,
+                rate_scale=args.rate_scale,
+                duration_scale=args.duration_scale,
+                shards=args.shards,
+                shard_processes=args.shard_procs,
+            )
+        else:
+            report = run_scenario(
+                name,
+                model,
+                tokenizer,
+                specs,
+                fleet_config,
+                autoscale=autoscale,
+                failures=failures,
+                seed=args.seed,
+                rate_scale=args.rate_scale,
+                duration_scale=args.duration_scale,
+                analytic=args.analytic,
+            )
         print(report.render())
         print()
         reports.append(report)
@@ -735,6 +758,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="latency-only execution: skip model forwards, keep the exact "
         "simulator timing (byte-identical report, orders of magnitude "
         "faster — the mode for million-request traces)",
+    )
+    loadtest.add_argument(
+        "--columnar", action="store_true",
+        help="run the columnar analytic engine: the same simulation over "
+        "numpy columns and memoized price tables (byte-identical report, "
+        "another order of magnitude over --analytic — the mode for "
+        "100M-request traces)",
+    )
+    loadtest.add_argument(
+        "--shards", type=int, default=1,
+        help="with --columnar: split the run into this many deterministic "
+        "time windows (any count gives byte-identical reports)",
+    )
+    loadtest.add_argument(
+        "--shard-procs", action="store_true",
+        help="with --columnar: run each shard window in a forked "
+        "subprocess (state crosses via pickle; same bytes)",
     )
     loadtest.add_argument("--json", help="also write the report as JSON here")
     loadtest.add_argument("--seed", type=int, default=7)

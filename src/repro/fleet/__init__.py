@@ -18,11 +18,23 @@ autoscaler recovers the tail, and what a replica failure costs.
   goodput, shed rates
 - :mod:`runner` — the deterministic event loop behind
   ``repro.cli loadtest`` and the ``cluster`` bench suite
+- :mod:`columnar` — the columnar analytic engine: the same simulation
+  re-expressed over numpy columns and memoized price tables, byte-exact
+  against the event loop and two orders of magnitude faster, with
+  deterministic time-window sharding
 
 Everything runs on the simulated clock: same seed, byte-identical report.
 """
 
 from .autoscale import AutoscalePolicy, Autoscaler, ScaleEvent
+from .columnar import (
+    ColumnarFleetState,
+    ShardPartial,
+    merge_shard_partials,
+    native_available,
+    run_scenario_columnar,
+    shard_windows,
+)
 from .fleet import (
     Fleet,
     FleetConfig,
@@ -42,6 +54,7 @@ from .metrics import (
 from .runner import FailureEvent, FleetReport, run_scenario
 from .scenarios import (
     SCENARIO_NAMES,
+    ColumnarTrace,
     FleetRequest,
     Scenario,
     TenantSpec,
@@ -52,6 +65,13 @@ __all__ = [
     "AutoscalePolicy",
     "Autoscaler",
     "ScaleEvent",
+    "ColumnarFleetState",
+    "ColumnarTrace",
+    "ShardPartial",
+    "merge_shard_partials",
+    "native_available",
+    "run_scenario_columnar",
+    "shard_windows",
     "Fleet",
     "FleetConfig",
     "Replica",

@@ -48,6 +48,16 @@ SHED_OVERLOAD = "overload"          # projected latency beyond the admit bound
 SHED_NO_CAPACITY = "no-capacity"    # no live replica at all
 
 
+def reference_bucket(buckets: Tuple[int, ...]) -> int:
+    """The bucket admission projections price an incoming request at.
+
+    The middle bucket (a representative queued batch shape).  Shared by
+    the event-loop fleet and the columnar engine so the admission rule
+    cannot drift between them.
+    """
+    return buckets[len(buckets) // 2]
+
+
 @dataclass(frozen=True)
 class ReplicaSpec:
     """One replica's design point (the heterogeneous-fleet unit)."""
@@ -164,10 +174,9 @@ class Fleet:
         # p99 floor, maintained incrementally so ticks stay O(replicas).
         self.min_accepted_slo_ms: Optional[float] = None
         self._next_replica_id = 0
-        # The reference shape admission projections are priced at: the
-        # middle bucket at full batch (a representative queued batch).
-        buckets = config.serving.buckets
-        self._ref_bucket = buckets[len(buckets) // 2]
+        # The reference shape admission projections are priced at (see
+        # module-level reference_bucket).
+        self._ref_bucket = reference_bucket(config.serving.buckets)
         # Full-size-batch service ms per (design point, bucket), shared by
         # every replica of that design point: admission pricing is then
         # plain dict lookups, and a scale-up replica of a known design

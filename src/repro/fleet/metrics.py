@@ -10,7 +10,9 @@ clock, so reports are byte-identical across runs of the same seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
 
 from ..serve.metrics import percentile, percentile_sorted
 from .autoscale import ScaleEvent
@@ -18,8 +20,13 @@ from .fleet import Replica, RequestRecord
 
 
 def safe_percentile(values: Sequence[float], q: float) -> float:
-    """:func:`repro.serve.metrics.percentile`, but 0.0 for an empty input."""
-    if not values:
+    """:func:`repro.serve.metrics.percentile`, but 0.0 for an empty input.
+
+    Emptiness is checked with ``len()`` (not truthiness) so numpy latency
+    columns — including the degenerate single-element and empty shards the
+    merge path produces — take the same branches as plain lists.
+    """
+    if len(values) == 0:
         return 0.0
     return percentile(values, q)
 
@@ -310,5 +317,210 @@ def build_fleet_stats(
         shed_by_reason=shed_by_reason,
         tenants=tenants,
         replicas=replica_stats,
+        scale_events=list(scale_events),
+    )
+
+
+# ----------------------------------------------------------------------
+# columnar aggregation: same numbers, array inputs
+# ----------------------------------------------------------------------
+def _latency_block_columns(latencies: np.ndarray) -> Dict[str, float]:
+    """:func:`_latency_block` over a float64 column, bit-identical.
+
+    ``np.sort`` is a permutation of the same doubles, ``np.cumsum`` is the
+    same left-to-right accumulation as ``sum(list)`` (both pinned by
+    tests), and :func:`percentile_sorted` interpolates identically on
+    numpy scalars — so every field matches the list path exactly.
+    """
+    n = int(latencies.shape[0])
+    if n == 0:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    # Only seven order statistics are ever read (p50/p95/p99 bracket
+    # pairs + max), so one introselect pass places exactly those instead
+    # of fully sorting the column — the kth element of a partition is the
+    # same double sorting would put there.
+    brackets = {}
+    wanted = {n - 1}
+    for q in (50, 95, 99):
+        rank = (q / 100.0) * (n - 1)
+        lower = int(rank)
+        upper = min(lower + 1, n - 1)
+        brackets[q] = (rank, lower, upper)
+        wanted.update((lower, upper))
+    kth = sorted(wanted)
+    part = np.partition(latencies, kth)
+
+    def interp(q: int) -> float:
+        rank, lower, upper = brackets[q]
+        frac = rank - lower
+        # identical arithmetic to percentile_sorted on the same scalars
+        return float(part[lower] * (1.0 - frac) + part[upper] * frac)
+
+    return {
+        "p50": interp(50),
+        "p95": interp(95),
+        "p99": interp(99),
+        "mean": float(np.cumsum(latencies)[-1]) / n,
+        "max": float(part[n - 1]),
+    }
+
+
+def build_replica_stats(
+    replica_id: int,
+    spec_label: str,
+    added_ms: float,
+    retired_ms: Optional[float],
+    failures: int,
+    busy_ms: float,
+    batches_served: int,
+    requests_served: int,
+    downtime_ms: float,
+    duration_ms: float,
+) -> ReplicaStats:
+    """One :class:`ReplicaStats` row from scalar counters.
+
+    The exact arithmetic of :func:`build_fleet_stats`'s replica loop,
+    factored out so the columnar engine (which carries these counters in
+    its shard state instead of live ``Replica`` objects) produces the
+    same rows bit for bit.
+    """
+    end = retired_ms if retired_ms is not None else duration_ms
+    # Failure downtime is not live time — a replica down for a third of
+    # the run should not have its utilization diluted by the outage.
+    lifetime = max(0.0, end - added_ms - downtime_ms)
+    return ReplicaStats(
+        replica_id=replica_id,
+        spec_label=spec_label,
+        added_ms=added_ms,
+        retired_ms=retired_ms if retired_ms is not None else -1.0,
+        failures=failures,
+        busy_ms=busy_ms,
+        batches_served=batches_served,
+        requests_served=requests_served,
+        utilization=min(1.0, busy_ms / lifetime) if lifetime > 0 else 0.0,
+    )
+
+
+def build_fleet_stats_columns(
+    *,
+    duration_ms: float,
+    tenant_names: Sequence[str],
+    tenant_idx: np.ndarray,
+    slo_ms: np.ndarray,
+    arrival_ms: np.ndarray,
+    finish_ms: np.ndarray,
+    shed_code: np.ndarray,
+    shed_reasons: Mapping[int, str],
+    migrations: int,
+    replicas: List[ReplicaStats],
+    scale_events: List[ScaleEvent],
+) -> FleetStats:
+    """:func:`build_fleet_stats` over columns instead of record objects.
+
+    One row per submitted request, in submission order: ``shed_code == 0``
+    means completed (then ``finish_ms`` holds the completion time);
+    non-zero codes map to shed reasons via ``shed_reasons``.  Latency is
+    computed as ``finish - arrival`` exactly as ``RequestRecord.collect``
+    does, per-tenant slices preserve submission order (boolean masks are
+    order-preserving), and every reduction uses the accumulation order the
+    record path uses — the outputs are bit-identical by construction and
+    pinned by the differential suite.
+
+    Args:
+        duration_ms: Denominator for throughput/goodput — the scenario
+            duration or the last completion, whichever is later.
+        tenant_names: Tenant name per tenant index (declaration order).
+        tenant_idx: Tenant index column, int per request.
+        slo_ms: Per-request SLO column (float64).
+        arrival_ms: Per-request arrival column (float64).
+        finish_ms: Per-request completion time; only read where completed.
+        shed_code: Per-request shed code (0 = completed).
+        shed_reasons: Maps non-zero shed codes to reason strings.
+        migrations: Total successful queue migrations.
+        replicas: Prebuilt :class:`ReplicaStats` rows, id order.
+        scale_events: The autoscaler's audit trail (empty if disabled).
+
+    Returns:
+        The empty-safe :class:`FleetStats`.
+    """
+    submitted = int(arrival_ms.shape[0])
+    completed_mask = shed_code == 0
+    num_completed = int(completed_mask.sum())
+    num_shed = submitted - num_completed
+    # finish - arrival is garbage on shed rows, but shed rows are never
+    # selected; completed rows see the identical subtraction the record
+    # path performs.
+    latency = finish_ms - arrival_ms
+    all_lat = latency[completed_mask]
+    slo_met = int((all_lat <= slo_ms[completed_mask]).sum())
+    overall = _latency_block_columns(all_lat)
+    seconds = duration_ms / 1000.0 if duration_ms > 0 else 0.0
+
+    shed_by_reason: Dict[str, int] = {}
+    if num_shed:
+        counts = np.bincount(shed_code)
+        for code in range(1, counts.shape[0]):
+            if counts[code]:
+                shed_by_reason[shed_reasons[code]] = int(counts[code])
+
+    if not submitted:
+        present = np.zeros(len(tenant_names), dtype=np.int64)
+    elif len(tenant_names) == 1:
+        # One declared tenant: every request is its (skip the 100M bincount).
+        present = np.array([submitted], dtype=np.int64)
+    else:
+        present = np.bincount(tenant_idx, minlength=len(tenant_names))
+    tenants: Dict[str, TenantStats] = {}
+    order = sorted(
+        (name, tid) for tid, name in enumerate(tenant_names) if present[tid]
+    )
+    single_tenant = len(order) == 1 and int(present.sum()) == submitted
+    for name, tid in order:
+        if single_tenant:
+            # One tenant owning every request: its slices are the overall
+            # columns, so reuse the reductions instead of repeating a
+            # 100M-row mask + sort (identical arrays, identical bytes).
+            t_lat = all_lat
+            t_block = overall
+            t_slo_met = slo_met
+            t_submitted, t_completed = submitted, num_completed
+        else:
+            t_mask = tenant_idx == tid
+            t_comp = t_mask & completed_mask
+            t_lat = latency[t_comp]
+            t_block = _latency_block_columns(t_lat)
+            t_slo_met = int((t_lat <= slo_ms[t_comp]).sum())
+            t_submitted = int(t_mask.sum())
+            t_completed = int(t_comp.sum())
+        tenants[name] = TenantStats(
+            tenant=name,
+            submitted=t_submitted,
+            completed=t_completed,
+            shed=t_submitted - t_completed,
+            slo_met=t_slo_met,
+            p50_latency_ms=t_block["p50"],
+            p95_latency_ms=t_block["p95"],
+            p99_latency_ms=t_block["p99"],
+            mean_latency_ms=t_block["mean"],
+            goodput_rps=t_slo_met / seconds if seconds else 0.0,
+        )
+
+    return FleetStats(
+        duration_ms=duration_ms,
+        submitted=submitted,
+        completed=num_completed,
+        shed=num_shed,
+        migrations=migrations,
+        slo_met=slo_met,
+        p50_latency_ms=overall["p50"],
+        p95_latency_ms=overall["p95"],
+        p99_latency_ms=overall["p99"],
+        mean_latency_ms=overall["mean"],
+        max_latency_ms=overall["max"],
+        throughput_rps=num_completed / seconds if seconds else 0.0,
+        goodput_rps=slo_met / seconds if seconds else 0.0,
+        shed_by_reason=shed_by_reason,
+        tenants=tenants,
+        replicas=list(replicas),
         scale_events=list(scale_events),
     )

@@ -27,6 +27,47 @@ from .scenarios import FleetRequest, Scenario, builtin_scenarios
 _RECOVER, _FAIL, _ARRIVAL, _TICK = 0, 1, 2, 3
 
 
+def control_events(
+    duration_ms: float,
+    autoscale: Optional[AutoscalePolicy],
+    failures: Sequence["FailureEvent"],
+    first_seq: int,
+) -> List[tuple]:
+    """Autoscaler ticks and failure events as ``(time, kind, seq, payload)``.
+
+    The single source of the non-arrival event stream, shared by the
+    event-loop runner and the columnar engine so both see *identical*
+    tick timestamps — the tick clock accumulates float additions, and
+    regenerating it with multiplication instead would drift by an ulp
+    and desynchronize the two engines.
+
+    Args:
+        duration_ms: Scaled scenario horizon (ticks stop at it).
+        autoscale: The autoscaler policy, or ``None`` for no ticks.
+        failures: Planned replica failures/recoveries.
+        first_seq: Sequence number of the first generated event (the
+            runner numbers arrivals first).
+
+    Returns:
+        Event tuples in generation order (not time-sorted).
+    """
+    events: List[tuple] = []
+    seq = first_seq
+    if autoscale is not None:
+        tick = autoscale.interval_ms
+        while tick <= duration_ms:
+            events.append((tick, _TICK, seq, None))
+            seq += 1
+            tick += autoscale.interval_ms
+    for failure in failures:
+        events.append((failure.fail_ms, _FAIL, seq, failure.replica_id))
+        seq += 1
+        if failure.recover_ms is not None:
+            events.append((failure.recover_ms, _RECOVER, seq, failure.replica_id))
+            seq += 1
+    return events
+
+
 @dataclass(frozen=True)
 class FailureEvent:
     """One replica's planned fail-stop (and optional recovery)."""
@@ -154,18 +195,14 @@ def run_scenario(
     for request in trace:
         events.append((request.arrival_ms, _ARRIVAL, seq, request))
         seq += 1
-    if autoscaler is not None:
-        tick = autoscale.interval_ms
-        while tick <= duration_ms:
-            events.append((tick, _TICK, seq, None))
-            seq += 1
-            tick += autoscale.interval_ms
-    for failure in failures:
-        events.append((failure.fail_ms, _FAIL, seq, failure.replica_id))
-        seq += 1
-        if failure.recover_ms is not None:
-            events.append((failure.recover_ms, _RECOVER, seq, failure.replica_id))
-            seq += 1
+    events.extend(
+        control_events(
+            duration_ms,
+            autoscale if autoscaler is not None else None,
+            failures,
+            seq,
+        )
+    )
     heapq.heapify(events)
 
     heappop = heapq.heappop

@@ -32,6 +32,52 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+__all__ = [
+    "TenantSpec",
+    "FleetRequest",
+    "ColumnarTrace",
+    "Scenario",
+    "builtin_scenarios",
+    "SCENARIO_NAMES",
+]
+
+# Traces at or above this many candidate arrivals get the allocator tuned
+# for multi-GB column churn (see _tune_malloc_for_giant_traces).
+_GIANT_TRACE_CANDIDATES = 10_000_000
+_malloc_tuned = False
+
+
+def _tune_malloc_for_giant_traces(expected_candidates: int) -> None:
+    """Keep giant numpy columns on the heap instead of bouncing via mmap.
+
+    glibc serves allocations above its mmap threshold straight from
+    ``mmap`` and hands them straight back to the kernel on free, so at
+    100M-request scale every throwaway column pays the full page-fault-in
+    cost — on slow fault paths the kernel time dwarfs the numpy compute.
+    Raising the mmap and trim thresholds lets freed column memory be
+    reused warm.  The switch is one-way and process-wide, so it is gated
+    on giant traces: ordinary runs and the test suite keep the default
+    allocator behavior.  Purely an allocator knob — results are
+    byte-identical either way — and best-effort: a libc without
+    ``mallopt`` (musl, macOS) is left untouched.
+    """
+    global _malloc_tuned
+    if _malloc_tuned or expected_candidates < _GIANT_TRACE_CANDIDATES:
+        return
+    _malloc_tuned = True
+    try:
+        import ctypes
+        import ctypes.util
+
+        libc = ctypes.CDLL(ctypes.util.find_library("c") or "libc.so.6")
+        libc.mallopt.argtypes = (ctypes.c_int, ctypes.c_int)
+        m_trim_threshold, m_mmap_threshold = -1, -3
+        int_max = 2**31 - 1
+        libc.mallopt(m_mmap_threshold, int_max)
+        libc.mallopt(m_trim_threshold, int_max)
+    except Exception:
+        pass
+
 
 @dataclass(frozen=True)
 class TenantSpec:
@@ -67,6 +113,53 @@ class FleetRequest:
     text_a: str
     text_b: Optional[str]
     arrival_ms: float
+
+
+@dataclass
+class ColumnarTrace:
+    """A scenario trace as parallel numpy columns instead of objects.
+
+    The columnar fleet engine's native input: one row per arrival, with
+    the text draw kept as a *pool index* (``draw``) rather than a
+    materialized string.  ``materialize()`` recovers the exact
+    :class:`FleetRequest` list ``Scenario.generate`` would have produced
+    — same objects, same floats, same order — so the two representations
+    are interchangeable by construction, not by convention.
+    """
+
+    name: str
+    seed: int
+    duration_ms: float            # scaled duration (the trace's horizon)
+    tenants: Tuple[TenantSpec, ...]
+    arrival_ms: np.ndarray        # float64 [n], non-decreasing
+    tenant_idx: np.ndarray        # int64   [n], index into ``tenants``
+    draw: np.ndarray              # int64   [n], index into the tenant's pool
+
+    @property
+    def num_requests(self) -> int:
+        return int(self.arrival_ms.shape[0])
+
+    def pools(self) -> List[List[str]]:
+        """Each tenant's deterministic text pool (declaration order)."""
+        return [_tenant_pool(tenant, self.seed) for tenant in self.tenants]
+
+    def materialize(self) -> List[FleetRequest]:
+        """The equivalent arrival-ordered :class:`FleetRequest` list."""
+        names = [t.name for t in self.tenants]
+        slos = [t.slo_ms for t in self.tenants]
+        pools = self.pools()
+        return [
+            FleetRequest(
+                tenant=names[idx],
+                slo_ms=slos[idx],
+                text_a=pools[idx][draw],
+                text_b=None,
+                arrival_ms=arrival,
+            )
+            for idx, draw, arrival in zip(
+                self.tenant_idx.tolist(), self.draw.tolist(), self.arrival_ms.tolist()
+            )
+        ]
 
 
 @dataclass(frozen=True)
@@ -171,10 +264,19 @@ class Scenario:
     # ------------------------------------------------------------------
     # trace generation
     # ------------------------------------------------------------------
-    def generate(
+    def generate_columns(
         self, seed: int = 0, rate_scale: float = 1.0, duration_scale: float = 1.0
-    ) -> List[FleetRequest]:
-        """Sample one deterministic trace of this scenario.
+    ) -> ColumnarTrace:
+        """Sample one deterministic trace as a :class:`ColumnarTrace`.
+
+        Draws the *identical* RNG stream as :meth:`generate` always has —
+        same chunked exponential gaps, same one-shot thinning uniforms,
+        same tenant/choice draws in declaration order — so
+        ``generate_columns(...).materialize() == generate(...)`` holds
+        exactly, request for request and bit for bit.  The differences are
+        purely representational: pool indices instead of strings, and
+        memory discipline (in-place cumsum, sliced thinning, prompt
+        frees) that keeps a 100M-request trace inside a few GB.
 
         Args:
             seed: RNG seed; equal arguments give byte-identical traces.
@@ -183,8 +285,7 @@ class Scenario:
             duration_scale: Multiplier on the scenario duration.
 
         Returns:
-            Arrival-ordered :class:`FleetRequest` list (possibly empty for
-            tiny scales — degenerate traces are legal fleet inputs).
+            The trace as arrival-ordered parallel columns.
         """
         if rate_scale <= 0 or duration_scale <= 0:
             raise ValueError("rate_scale and duration_scale must be > 0")
@@ -201,51 +302,110 @@ class Scenario:
         #    arguments, never on timing or platform.
         mean_gap = 1.0 / peak_per_ms
         chunk = int(duration * peak_per_ms * 1.05) + 64
+        _tune_malloc_for_giant_traces(chunk)
         blocks = [rng.exponential(mean_gap, size=chunk)]
         total = float(blocks[0].sum())
         while total < duration:
             block = rng.exponential(mean_gap, size=chunk)
             blocks.append(block)
             total += float(block.sum())
-        times = np.cumsum(np.concatenate(blocks) if len(blocks) > 1 else blocks[0])
-        times = times[times < duration]
+        gaps = np.concatenate(blocks) if len(blocks) > 1 else blocks[0]
+        del blocks
+        # cumsum of non-negative gaps is non-decreasing, so the historical
+        # boolean filter ``times[times < duration]`` selects exactly the
+        # prefix searchsorted finds — same elements, no 800MB mask copy.
+        times = np.cumsum(gaps, out=gaps)
+        n = int(np.searchsorted(times, duration, side="left"))
+        times = times[:n]
 
         # 2. Poisson thinning: keep each candidate with probability
-        #    rate(t) / peak, pricing the whole rate curve in one shot.
-        rates_per_ms = self.rate_rps_array(times / duration_scale) * (rate_scale / 1000.0)
-        keep = rng.uniform(size=times.shape[0]) * peak_per_ms <= rates_per_ms
-        times = times[keep]
-        count = times.shape[0]
+        #    rate(t) / peak.  Historically the uniforms came from a single
+        #    ``rng.uniform(size=n)`` call; ``Generator.random`` fills the
+        #    identical doubles from the identical stream (uniform is
+        #    off + scale * random with off=0, scale=1, both exact), and
+        #    filling them chunk by chunk into one reused scratch buffer
+        #    draws the very same sequence — the generator has no carry
+        #    between calls — without ever materializing the multi-GB
+        #    uniform column.  Pinned by a stream-equivalence test in
+        #    tests/fleet.  The rate curve is priced in the same slices
+        #    because it is elementwise, so slicing cannot change a single
+        #    keep decision but caps the working set.
+        keep = np.empty(n, dtype=bool)
+        step = 1 << 22
+        ubuf = np.empty(min(step, n))
+        for lo in range(0, n, step):
+            sl = slice(lo, min(lo + step, n))
+            u = rng.random(out=ubuf[: sl.stop - lo])
+            rates_per_ms = self.rate_rps_array(times[sl] / duration_scale)
+            np.multiply(rates_per_ms, rate_scale / 1000.0, out=rates_per_ms)
+            np.multiply(u, peak_per_ms, out=u)
+            np.less_equal(u, rates_per_ms, out=keep[sl])
+        arrival = np.ascontiguousarray(times[keep])
+        del times, keep, gaps
+        count = int(arrival.shape[0])
 
         # 3. Tenant assignment and per-tenant text draws, batched by tenant
         #    in declaration order (a fixed order keeps the stream stable).
         shares = np.array([t.share for t in self.tenants], dtype=float)
         shares /= shares.sum()
-        tenant_idx = rng.choice(len(self.tenants), size=count, p=shares)
-        texts = np.empty(count, dtype=object)
-        for idx, tenant in enumerate(self.tenants):
-            mine = tenant_idx == idx
-            picks = int(mine.sum())
-            if not picks:
-                continue
-            pool = _tenant_pool(tenant, seed)
-            draws = rng.integers(len(pool), size=picks)
-            texts[mine] = [pool[d] for d in draws.tolist()]
+        if len(self.tenants) == 1 and count:
+            # ``choice(1, size=n, p=[1.0])`` consumes exactly n doubles
+            # from the stream and always returns zeros; burn those doubles
+            # through the thinning scratch buffer instead of paying the
+            # cdf search (or an 800MB throwaway column).  Pinned by a
+            # stream-equivalence test in tests/fleet.
+            for lo in range(0, count, step):
+                rng.random(out=ubuf[: min(step, count - lo)])
+            tenant_idx = np.zeros(count, dtype=np.int64)
+        else:
+            tenant_idx = rng.choice(len(self.tenants), size=count, p=shares)
+        del ubuf
+        if len(self.tenants) == 1 and count:
+            # Single tenant: every candidate is "mine", so the masked
+            # scatter below would be an identity permutation — draw the
+            # same stream segment straight into the column.
+            draw = rng.integers(self.tenants[0].pool_size, size=count)
+        else:
+            draw = np.zeros(count, dtype=np.int64)
+            for idx, tenant in enumerate(self.tenants):
+                mine = tenant_idx == idx
+                picks = int(mine.sum())
+                if not picks:
+                    continue
+                # len(pool) == pool_size, so drawing against the size keeps
+                # the stream identical without building the pool here.
+                draw[mine] = rng.integers(tenant.pool_size, size=picks)
 
-        names = [t.name for t in self.tenants]
-        slos = [t.slo_ms for t in self.tenants]
-        return [
-            FleetRequest(
-                tenant=names[idx],
-                slo_ms=slos[idx],
-                text_a=text,
-                text_b=None,
-                arrival_ms=arrival,
-            )
-            for idx, text, arrival in zip(
-                tenant_idx.tolist(), texts.tolist(), times.tolist()
-            )
-        ]
+        return ColumnarTrace(
+            name=self.name,
+            seed=seed,
+            duration_ms=duration,
+            tenants=self.tenants,
+            arrival_ms=arrival,
+            tenant_idx=tenant_idx,
+            draw=draw,
+        )
+
+    def generate(
+        self, seed: int = 0, rate_scale: float = 1.0, duration_scale: float = 1.0
+    ) -> List[FleetRequest]:
+        """Sample one deterministic trace of this scenario.
+
+        A thin materializing wrapper over :meth:`generate_columns` — the
+        columns are the single source of truth for the arrival process, so
+        the object and columnar representations cannot drift apart.
+
+        Args:
+            seed: RNG seed; equal arguments give byte-identical traces.
+            rate_scale: Multiplier on the whole rate curve (lets tests and
+                quick profiles shrink a scenario without reshaping it).
+            duration_scale: Multiplier on the scenario duration.
+
+        Returns:
+            Arrival-ordered :class:`FleetRequest` list (possibly empty for
+            tiny scales — degenerate traces are legal fleet inputs).
+        """
+        return self.generate_columns(seed, rate_scale, duration_scale).materialize()
 
     def scaled(self, **overrides) -> "Scenario":
         """A copy with fields replaced (tests tweak rates without rebuilding)."""

@@ -476,9 +476,9 @@ def run_cluster_suite(quick: bool = False, seed: int = 0) -> Dict:
 
 
 def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
-    """Analytic-mode fleet simulation: equivalence gate, speedup, 1M trace.
+    """Analytic-mode fleet simulation: equivalence gates, speedups, 100M trace.
 
-    Two pinned experiments over one frozen synthetic model:
+    Four pinned experiments over one frozen synthetic model:
 
     1. **Equivalence + speedup** — the same steady scenario through the
        same fleet twice, executed vs. analytic.  The suite *asserts* the
@@ -491,9 +491,18 @@ def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
        is identical in the quick and full profiles on purpose: completing
        it *is* the smoke test ("cluster questions at production traffic
        scale"), so CI proves it on every push.
+    3. **Columnar equivalence + speedup** — the identical mega trace
+       through the columnar engine.  The suite asserts its report is
+       byte-identical to the event-loop analytic one and gates a >= 10x
+       wall-clock speedup contract on top of it.
+    4. **The 100M-request flash crowd** — the mega scenario scaled 100x,
+       columnar only (the event loop would take an hour), sharded into
+       deterministic time windows.  Like the mega run it is never shrunk
+       in ``--quick``: completing it is the contract.
 
     Args:
-        quick: Shrink the equivalence trace (the 1M run is never shrunk).
+        quick: Shrink the equivalence trace (the 1M/100M runs are never
+            shrunk).
         seed: Workload seed.
 
     Returns:
@@ -503,9 +512,17 @@ def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
 
     Raises:
         RuntimeError: If the analytic report differs from the executed one
-            by even one byte, or the speedup falls below the 10x contract.
+            (or the columnar report from the analytic one) by even one
+            byte, either speedup falls below its 10x contract, or a
+            headline trace shrank below its request floor.
     """
-    from ..fleet import FleetConfig, ReplicaSpec, run_scenario
+    from ..fleet import (
+        FleetConfig,
+        ReplicaSpec,
+        native_available,
+        run_scenario,
+        run_scenario_columnar,
+    )
 
     config = cluster_model_config()
     model = build_synthetic_integer_model(config, seed=seed)
@@ -595,6 +612,73 @@ def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
             "benchmark"
         )
 
+    # --- the columnar engine: same mega trace, same bytes ---------------
+    columnar_captured = {}
+    columnar_wall = time_callable(
+        lambda: columnar_captured.__setitem__(
+            "report",
+            run_scenario_columnar(
+                "flash-crowd",
+                model,
+                tokenizer,
+                [ReplicaSpec()] * mega_replicas,
+                fleet_config,
+                seed=seed,
+                rate_scale=mega_rate_scale,
+                duration_scale=mega_duration_scale,
+            ),
+        ),
+        repeats=3,
+        warmup=0,
+    )
+    columnar_mega = columnar_captured["report"]
+    if columnar_mega.to_json() != mega.to_json():
+        raise RuntimeError(
+            "the columnar engine produced a different report than the "
+            "event-loop analytic engine on the mega trace — the byte-exact "
+            "contract is broken; refusing to benchmark"
+        )
+    columnar_speedup = (
+        mega_wall.best_ms / columnar_wall.best_ms
+        if columnar_wall.best_ms
+        else float("inf")
+    )
+    if columnar_speedup < 10.0:
+        raise RuntimeError(
+            f"the columnar engine is only {columnar_speedup:.1f}x faster than "
+            "the event-loop analytic engine on the mega trace — below the "
+            "10x contract; refusing to benchmark"
+        )
+
+    # --- the headline: 100M requests of flash crowd, columnar, sharded --
+    giga_rate_scale, giga_duration_scale, giga_shards = 640.0, 665.0, 4
+    giga_captured = {}
+    giga_wall = time_callable(
+        lambda: giga_captured.setdefault(
+            "report",
+            run_scenario_columnar(
+                "flash-crowd",
+                model,
+                tokenizer,
+                [ReplicaSpec()] * mega_replicas,
+                fleet_config,
+                seed=seed,
+                rate_scale=giga_rate_scale,
+                duration_scale=giga_duration_scale,
+                shards=giga_shards,
+            ),
+        ),
+        repeats=1,
+        warmup=0,
+    )
+    giga = giga_captured["report"]
+    if giga.stats.submitted < 100_000_000:
+        raise RuntimeError(
+            f"the giga flash-crowd trace shrank to {giga.stats.submitted} "
+            "requests — the 100M-request headline no longer holds; refusing "
+            "to benchmark"
+        )
+
     metrics = {
         "executed_wall_ms": _metric(
             executed_wall.best_ms, "ms", higher_is_better=False, gated=False
@@ -631,6 +715,33 @@ def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
         "sim_mega_p99_latency_ms": _metric(
             mega.stats.p99_latency_ms, "ms", higher_is_better=False
         ),
+        "columnar_mega_wall_ms": _metric(
+            columnar_wall.best_ms, "ms", higher_is_better=False, gated=False
+        ),
+        "columnar_speedup_vs_analytic": _metric(
+            columnar_speedup, "x", higher_is_better=True
+        ),
+        "giga_wall_ms": _metric(
+            giga_wall.best_ms, "ms", higher_is_better=False, gated=False
+        ),
+        "giga_wall_requests_per_s": _metric(
+            giga.stats.submitted / (giga_wall.best_ms / 1e3),
+            "req/s",
+            higher_is_better=True,
+            gated=False,
+        ),
+        "sim_giga_submitted": _metric(
+            giga.stats.submitted, "req", higher_is_better=True
+        ),
+        "sim_giga_shed_rate": _metric(
+            giga.stats.shed_rate, "", higher_is_better=False
+        ),
+        "sim_giga_goodput_rps": _metric(
+            giga.stats.goodput_rps, "req/s", higher_is_better=True
+        ),
+        "sim_giga_p99_latency_ms": _metric(
+            giga.stats.p99_latency_ms, "ms", higher_is_better=False
+        ),
     }
     return {
         "schema": SCHEMA,
@@ -654,6 +765,19 @@ def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
                 "replicas": mega_replicas,
                 "submitted": mega.stats.submitted,
                 "shed": mega.stats.shed,
+            },
+            "columnar": {
+                "byte_identical": True,
+                "native_kernel": native_available(),
+            },
+            "giga": {
+                "scenario": "flash-crowd",
+                "rate_scale": giga_rate_scale,
+                "duration_scale": giga_duration_scale,
+                "replicas": mega_replicas,
+                "shards": giga_shards,
+                "submitted": giga.stats.submitted,
+                "shed": giga.stats.shed,
             },
         },
     }

@@ -32,12 +32,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..fleet.autoscale import AutoscalePolicy
+from ..fleet.columnar import run_scenario_columnar
 from ..fleet.fleet import FleetConfig, ReplicaSpec
 from ..fleet.runner import FleetReport, run_scenario
-from ..fleet.scenarios import Scenario
+from ..fleet.scenarios import Scenario, builtin_scenarios
 from ..accel.resources import estimate_dsp
 
 PLAN_OBJECTIVES = ("replica-seconds", "energy")
+PLAN_ENGINES = ("columnar", "event")
 
 
 @dataclass(frozen=True)
@@ -263,6 +265,7 @@ def plan_capacity(
     seed: int = 0,
     rate_scale: float = 1.0,
     duration_scale: float = 1.0,
+    engine: str = "columnar",
 ) -> PlanningResult:
     """Search fleet plans and return the cheapest one meeting the SLOs.
 
@@ -283,18 +286,29 @@ def plan_capacity(
         seed: Scenario seed, passed to every fleet run.
         rate_scale: Rate multiplier for scenario generation.
         duration_scale: Duration multiplier for scenario generation.
+        engine: ``"columnar"`` (default) prices every plan through the
+            columnar analytic engine, generating the trace columns *once*
+            and reusing them across all candidate evaluations;
+            ``"event"`` walks the event-loop runner per plan.  The two
+            engines emit byte-identical reports, so the planning result
+            is the same either way — columnar is simply much faster.
 
     Returns:
         The :class:`PlanningResult`; ``best`` is ``None`` when nothing
         within the search space meets the targets.
 
     Raises:
-        ValueError: On an unknown objective, an empty/duplicate design
-            ladder, or a non-positive ``max_replicas`` or ``budget``.
+        ValueError: On an unknown objective or engine, an empty/duplicate
+            design ladder, or a non-positive ``max_replicas`` or
+            ``budget``.
     """
     if objective not in PLAN_OBJECTIVES:
         raise ValueError(
             f"unknown plan objective {objective!r}; choose from {PLAN_OBJECTIVES}"
+        )
+    if engine not in PLAN_ENGINES:
+        raise ValueError(
+            f"unknown plan engine {engine!r}; choose from {PLAN_ENGINES}"
         )
     if not designs:
         raise ValueError("the design ladder must name at least one design point")
@@ -318,21 +332,49 @@ def plan_capacity(
 
     scenario_name = scenario if isinstance(scenario, str) else scenario.name
     tenant_slos = _scenario_tenant_slos(scenario)
+    if engine == "columnar":
+        # Generate the trace columns once and share them across every
+        # candidate evaluation — the trace depends only on (scenario,
+        # seed, scales), never on the plan, and a prebuilt ColumnarTrace
+        # carries its own generation seed so the report echoes it.
+        resolved = scenario
+        if isinstance(resolved, str):
+            catalog = builtin_scenarios()
+            if resolved not in catalog:
+                raise ValueError(
+                    f"unknown scenario {resolved!r}; choose from {sorted(catalog)}"
+                )
+            resolved = catalog[resolved]
+        runs = resolved.generate_columns(
+            seed=seed, rate_scale=rate_scale, duration_scale=duration_scale
+        )
     outcomes: List[PlanOutcome] = []
     for plan in candidates:
-        report = run_scenario(
-            scenario,
-            model,
-            tokenizer,
-            list(plan.replicas),
-            fleet_config,
-            autoscale=plan.autoscale,
-            scale_spec=plan.replicas[0],
-            seed=seed,
-            rate_scale=rate_scale,
-            duration_scale=duration_scale,
-            analytic=True,
-        )
+        if engine == "columnar":
+            report = run_scenario_columnar(
+                runs,
+                model,
+                tokenizer,
+                list(plan.replicas),
+                fleet_config,
+                autoscale=plan.autoscale,
+                scale_spec=plan.replicas[0],
+                seed=seed,
+            )
+        else:
+            report = run_scenario(
+                scenario,
+                model,
+                tokenizer,
+                list(plan.replicas),
+                fleet_config,
+                autoscale=plan.autoscale,
+                scale_spec=plan.replicas[0],
+                seed=seed,
+                rate_scale=rate_scale,
+                duration_scale=duration_scale,
+                analytic=True,
+            )
         outcomes.append(_score_outcome(report, plan, labels, target, tenant_slos))
 
     feasible = [outcome for outcome in outcomes if outcome.feasible]

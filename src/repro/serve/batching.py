@@ -74,6 +74,39 @@ class BatchingPolicy:
             f"length {length} exceeds the largest bucket {self.buckets[-1]}"
         )
 
+    def bucket_indices(self, lengths) -> "np.ndarray":
+        """Vectorized :meth:`bucket_for`, returning bucket *indices*.
+
+        The columnar fleet engine's hook: maps a whole column of true
+        token counts to positions in ``buckets`` in one searchsorted
+        (``buckets[i]`` is then the padded length).  Agrees elementwise
+        with ``bucket_for``: smallest bucket with ``length <= bucket``.
+
+        Args:
+            lengths: Integer array of true token counts.
+
+        Returns:
+            ``int64`` array of indices into :attr:`buckets`.
+
+        Raises:
+            ValueError: If any length is < 1 or exceeds the largest bucket.
+        """
+        import numpy as np
+
+        lengths = np.asarray(lengths)
+        if lengths.size and int(lengths.min()) < 1:
+            raise ValueError(
+                f"sequence length must be >= 1, got {int(lengths.min())}"
+            )
+        if lengths.size and int(lengths.max()) > self.buckets[-1]:
+            raise ValueError(
+                f"length {int(lengths.max())} exceeds the largest bucket "
+                f"{self.buckets[-1]}"
+            )
+        return np.searchsorted(
+            np.asarray(self.buckets, dtype=np.int64), lengths, side="left"
+        )
+
 
 @dataclass
 class PendingRequest:

@@ -27,7 +27,10 @@ def percentile(values: Sequence[float], q: float) -> float:
     Raises:
         ValueError: If ``q`` is out of range or ``values`` is empty.
     """
-    if not values:
+    # len(), not truthiness: a numpy array of more than one element raises
+    # "truth value is ambiguous" under `if not values`, and degenerate
+    # shards hand this exact shape to the merge path.
+    if len(values) == 0:
         raise ValueError("percentile of empty sequence")
     return percentile_sorted(sorted(values), q)
 
@@ -52,7 +55,7 @@ def percentile_sorted(ordered: Sequence[float], q: float) -> float:
     """
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
-    if not ordered:
+    if len(ordered) == 0:
         raise ValueError("percentile of empty sequence")
     if len(ordered) == 1:
         return float(ordered[0])

@@ -177,3 +177,40 @@ class DeviceRouter:
     @property
     def num_devices(self) -> int:
         return len(self.devices)
+
+
+def service_table(
+    model_config: BertConfig,
+    accel_config: AcceleratorConfig,
+    device: FpgaDevice,
+    buckets: Sequence[int],
+    max_batch_size: int,
+):
+    """Batch-price table for one design point: ``table[b][s]`` ms.
+
+    The columnar fleet engine's pricing hook: every service time a fleet
+    run can ever dispatch, precomputed as a ``(len(buckets),
+    max_batch_size + 1)`` float64 array (column 0 unused — batch sizes are
+    1-based).  Prices come from the *same* memoized simulator call
+    :meth:`DeviceRouter.estimate_latency_ms` uses, so the table and the
+    event-loop router agree bit for bit.
+
+    Args:
+        model_config: Served model architecture.
+        accel_config: The design point to price.
+        device: FPGA part hosting it.
+        buckets: Padded sequence lengths (the batcher's buckets).
+        max_batch_size: Largest batch the batcher can flush.
+
+    Returns:
+        ``numpy.ndarray`` of shape ``(len(buckets), max_batch_size + 1)``.
+    """
+    import numpy as np
+
+    simulator = AcceleratorSimulator(accel_config, device)
+    table = np.zeros((len(buckets), max_batch_size + 1), dtype=np.float64)
+    for b, bucket in enumerate(buckets):
+        for size in range(1, max_batch_size + 1):
+            report = simulator.simulate(model_config, seq_len=bucket, batch_size=size)
+            table[b, size] = report.latency_ms
+    return table

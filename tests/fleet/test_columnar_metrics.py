@@ -1,0 +1,138 @@
+"""Degenerate-shard stats paths: empty, single-request, all-shed columns.
+
+The columnar stats builder (:func:`build_fleet_stats_columns`) and the
+record-path builder (:func:`build_fleet_stats`) must agree bit for bit on
+the degenerate inputs the shard merge can produce — an empty shard, a
+single completed request, a window where everything was shed — and the
+percentile helpers must accept numpy latency columns on the same branches
+as plain lists.  These were previously incidental behaviors; this module
+makes them contractual.
+"""
+
+import numpy as np
+
+from repro.fleet import RequestRecord, build_fleet_stats, safe_percentile
+from repro.fleet.columnar import SHED_REASON_OF_CODE
+from repro.fleet.metrics import (
+    _latency_block,
+    _latency_block_columns,
+    build_fleet_stats_columns,
+)
+
+TENANTS = ("default",)
+
+
+def _records(arrival, finish, shed_code, slo):
+    """RequestRecords exactly as Fleet.collect would fill them."""
+    records = []
+    for i, (a, f, code) in enumerate(zip(arrival, finish, shed_code)):
+        r = RequestRecord(
+            index=i, tenant="default", slo_ms=slo[i], arrival_ms=a
+        )
+        if code:
+            r.shed = True
+            r.shed_reason = SHED_REASON_OF_CODE[code]
+        else:
+            r.finish_ms = f
+            r.latency_ms = f - a
+            r.slo_met = r.latency_ms <= r.slo_ms
+            r.completed = True
+        records.append(r)
+    return records
+
+
+def _both_stats(arrival, finish, shed_code, slo, duration_ms):
+    arrival = np.asarray(arrival, dtype=np.float64)
+    finish = np.asarray(finish, dtype=np.float64)
+    shed_code = np.asarray(shed_code, dtype=np.uint8)
+    slo = np.asarray(slo, dtype=np.float64)
+    by_records = build_fleet_stats(
+        _records(arrival, finish, shed_code, slo),
+        replicas=[],
+        scale_events=[],
+        duration_ms=duration_ms,
+    )
+    by_columns = build_fleet_stats_columns(
+        duration_ms=duration_ms,
+        tenant_names=list(TENANTS),
+        tenant_idx=np.zeros(arrival.shape[0], dtype=np.int64),
+        slo_ms=slo,
+        arrival_ms=arrival,
+        finish_ms=finish,
+        shed_code=shed_code,
+        shed_reasons=SHED_REASON_OF_CODE,
+        migrations=0,
+        replicas=[],
+        scale_events=[],
+    )
+    return by_records, by_columns
+
+
+class TestDegenerateColumns:
+    def test_empty_columns(self):
+        """Zero submitted requests: all-zero stats, no division, no crash."""
+        ref, got = _both_stats([], [], [], [], duration_ms=0.0)
+        assert got.to_dict() == ref.to_dict()
+        assert got.submitted == 0
+        assert got.p99_latency_ms == 0.0
+        assert got.tenants == {}
+
+    def test_single_request(self):
+        """One completed request: every percentile is that one latency."""
+        ref, got = _both_stats(
+            [10.0], [35.0], [0], [100.0], duration_ms=1000.0
+        )
+        assert got.to_dict() == ref.to_dict()
+        assert got.p50_latency_ms == 25.0
+        assert got.p99_latency_ms == 25.0
+        assert got.mean_latency_ms == 25.0
+
+    def test_all_shed(self):
+        """Every request shed: zero latencies, shed reasons still counted."""
+        ref, got = _both_stats(
+            [1.0, 2.0, 3.0], [0.0, 0.0, 0.0], [1, 2, 1],
+            [50.0, 50.0, 50.0], duration_ms=500.0,
+        )
+        assert got.to_dict() == ref.to_dict()
+        assert got.completed == 0
+        assert got.p99_latency_ms == 0.0
+        assert got.shed_by_reason == {
+            SHED_REASON_OF_CODE[1]: 2,
+            SHED_REASON_OF_CODE[2]: 1,
+        }
+        # an all-shed tenant still reports its submission count
+        assert got.tenants["default"].submitted == 3
+        assert got.tenants["default"].completed == 0
+
+    def test_mixed_shed_and_completed(self):
+        ref, got = _both_stats(
+            [0.0, 1.0, 2.0, 3.0], [5.0, 0.0, 9.0, 0.0], [0, 1, 0, 2],
+            [6.0, 6.0, 6.0, 6.0], duration_ms=100.0,
+        )
+        assert got.to_dict() == ref.to_dict()
+        assert got.completed == 2
+        assert got.shed == 2
+        # 5.0 <= 6.0 met, 7.0 > 6.0 missed
+        assert got.slo_met == 1
+
+
+class TestPercentileColumns:
+    def test_safe_percentile_accepts_numpy_columns(self):
+        assert safe_percentile(np.array([]), 99) == 0.0
+        assert safe_percentile(np.array([4.0]), 50) == 4.0
+        column = np.array([3.0, 1.0, 2.0])
+        assert safe_percentile(column, 50) == safe_percentile([3.0, 1.0, 2.0], 50)
+
+    def test_latency_block_columns_matches_list_path(self):
+        rng = np.random.default_rng(11)
+        for n in (1, 2, 3, 7, 100, 101, 1000):
+            column = rng.exponential(10.0, size=n)
+            by_list = _latency_block(list(column))
+            by_column = _latency_block_columns(column)
+            assert by_column == by_list  # bit-identical, not approx
+
+    def test_latency_block_columns_empty(self):
+        block = _latency_block_columns(np.array([]))
+        assert block == {
+            "p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0
+        }

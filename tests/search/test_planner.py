@@ -235,3 +235,36 @@ class TestTenantSlos:
         assert loose.best is not None
         # The weak replica blows the 60 ms interactive SLO at this rate.
         assert strict.best is None
+
+
+class TestPlanEngines:
+    """The columnar and event-loop inner loops return the same plans."""
+
+    def test_engines_byte_identical(
+        self, design_ladder, cluster_model, hash_tokenizer, fleet_config
+    ):
+        kw = dict(
+            fleet_config=fleet_config, max_replicas=2, rate_scale=2.0,
+            duration_scale=0.5, seed=3,
+        )
+        target = SloTarget(p99_ms=200.0, max_shed_rate=0.1)
+        by_event = plan_capacity(
+            "multi-tenant", design_ladder, target, cluster_model,
+            hash_tokenizer, engine="event", **kw,
+        )
+        by_columnar = plan_capacity(
+            "multi-tenant", design_ladder, target, cluster_model,
+            hash_tokenizer, engine="columnar", **kw,
+        )
+        assert by_columnar.to_json() == by_event.to_json()
+        assert by_columnar.render() == by_event.render()
+
+    def test_unknown_engine_rejected(
+        self, design_ladder, cluster_model, hash_tokenizer, fleet_config
+    ):
+        with pytest.raises(ValueError, match="unknown plan engine"):
+            plan_capacity(
+                "steady", design_ladder, SloTarget(p99_ms=100.0),
+                cluster_model, hash_tokenizer, fleet_config=fleet_config,
+                engine="quantum",
+            )
