@@ -10,6 +10,8 @@ Subcommands::
     python -m repro.cli serve     --requests 64 --batch-size 8 --num-devices 2
     python -m repro.cli loadtest  --scenario flash-crowd --replicas 2 [--autoscale] [--analytic]
     python -m repro.cli loadtest  --scenario flash-crowd --columnar --shards 4 --rate-scale 640
+    python -m repro.cli loadtest  --scenario flash-crowd --metrics-out m.prom --trace-out t.json --windows w.jsonl
+    python -m repro.cli metrics   --prom m.prom [--windows w.jsonl] [--trace t.json]
     python -m repro.cli search    --space table3 [--scenario flash-crowd] [--json out.json]
     python -m repro.cli bench     [--quick] [--suite kernels|serve|cluster|fleet|dse|all]
 
@@ -377,40 +379,83 @@ def cmd_loadtest(args) -> int:
     if (args.shards > 1 or args.shard_procs) and not args.columnar:
         raise SystemExit("--shards/--shard-procs require --columnar")
 
+    obs_requested = bool(args.metrics_out or args.trace_out or args.windows)
+    if obs_requested and len(names) != 1:
+        raise SystemExit(
+            "--metrics-out/--trace-out/--windows dump one run's streams; "
+            "pick a single --scenario (not 'all')"
+        )
+    if args.window_ms <= 0:
+        raise SystemExit(f"--window-ms must be > 0, got {args.window_ms}")
+
+    import contextlib
+    import pathlib
+
     reports = []
-    for name in names:
-        if args.columnar:
-            report = run_scenario_columnar(
-                name,
-                model,
-                tokenizer,
-                specs,
-                fleet_config,
-                autoscale=autoscale,
-                failures=failures,
-                seed=args.seed,
-                rate_scale=args.rate_scale,
-                duration_scale=args.duration_scale,
-                shards=args.shards,
-                shard_processes=args.shard_procs,
+    with contextlib.ExitStack() as stack:
+        obs = None
+        if obs_requested:
+            from .obs import FleetObserver
+
+            windows_stream = None
+            if args.windows:
+                path = pathlib.Path(args.windows)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                windows_stream = stack.enter_context(open(path, "w"))
+            obs = FleetObserver(
+                window_ms=args.window_ms, windows_stream=windows_stream
             )
-        else:
-            report = run_scenario(
-                name,
-                model,
-                tokenizer,
-                specs,
-                fleet_config,
-                autoscale=autoscale,
-                failures=failures,
-                seed=args.seed,
-                rate_scale=args.rate_scale,
-                duration_scale=args.duration_scale,
-                analytic=args.analytic,
+        for name in names:
+            if args.columnar:
+                report = run_scenario_columnar(
+                    name,
+                    model,
+                    tokenizer,
+                    specs,
+                    fleet_config,
+                    autoscale=autoscale,
+                    failures=failures,
+                    seed=args.seed,
+                    rate_scale=args.rate_scale,
+                    duration_scale=args.duration_scale,
+                    shards=args.shards,
+                    shard_processes=args.shard_procs,
+                    obs=obs,
+                )
+            else:
+                report = run_scenario(
+                    name,
+                    model,
+                    tokenizer,
+                    specs,
+                    fleet_config,
+                    autoscale=autoscale,
+                    failures=failures,
+                    seed=args.seed,
+                    rate_scale=args.rate_scale,
+                    duration_scale=args.duration_scale,
+                    analytic=args.analytic,
+                    obs=obs,
+                )
+            print(report.render())
+            print()
+            reports.append(report)
+    if obs is not None:
+        if args.metrics_out:
+            path = pathlib.Path(args.metrics_out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(obs.render_prometheus())
+            print(f"[loadtest] wrote {path}")
+        if args.trace_out:
+            path = pathlib.Path(args.trace_out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(obs.trace_json())
+            print(f"[loadtest] wrote {path}")
+        if args.windows:
+            print(
+                f"[loadtest] wrote {args.windows} "
+                f"({len(obs.window_lines())} window(s))"
             )
-        print(report.render())
-        print()
-        reports.append(report)
     if args.json:
         import json
         import pathlib
@@ -423,6 +468,62 @@ def cmd_loadtest(args) -> int:
         path.write_text(json.dumps(docs, indent=2, sort_keys=True) + "\n")
         print(f"[loadtest] wrote {path}")
     return 0
+
+
+def cmd_metrics(args) -> int:
+    """Render/validate observability dumps written by ``loadtest``.
+
+    Reads back any of the three artifacts — a Prometheus text dump, a
+    window JSONL stream, a Chrome trace JSON — validates that they parse,
+    and prints a deterministic summary.  Exists so CI can smoke the
+    formats without a Prometheus server or a trace viewer.
+    """
+    import json
+    import pathlib
+
+    from .obs import parse_prometheus
+
+    if not (args.prom or args.windows or args.trace):
+        raise SystemExit("metrics: pass at least one of --prom/--windows/--trace")
+
+    if args.prom:
+        text = pathlib.Path(args.prom).read_text()
+        families = parse_prometheus(text)
+        print(f"[metrics] {args.prom}: {len(families)} metric familie(s)")
+        for family in sorted(families):
+            samples = families[family]
+            if list(samples) == [family]:
+                print(f"  {family} = {_render_metric_value(samples[family])}")
+            else:
+                print(f"  {family}:")
+                for key in sorted(samples):
+                    print(f"    {key} = {_render_metric_value(samples[key])}")
+
+    if args.windows:
+        lines = pathlib.Path(args.windows).read_text().splitlines()
+        docs = [json.loads(line) for line in lines if line]
+        busy = [d for d in docs if d["arrivals"] or d["completions"]]
+        worst = max((d["latency_p99_ms"] for d in docs), default=0.0)
+        shed = sum(d["shed_total"] for d in docs)
+        print(
+            f"[metrics] {args.windows}: {len(docs)} window(s), "
+            f"{len(busy)} non-empty, worst windowed p99 "
+            f"{worst:.2f} ms, {shed} shed"
+        )
+
+    if args.trace:
+        doc = json.loads(pathlib.Path(args.trace).read_text())
+        events = doc["traceEvents"]
+        by_phase: dict = {}
+        for event in events:
+            by_phase[event["ph"]] = by_phase.get(event["ph"], 0) + 1
+        kinds = ", ".join(f"{k}={by_phase[k]}" for k in sorted(by_phase))
+        print(f"[metrics] {args.trace}: {len(events)} trace event(s) ({kinds})")
+    return 0
+
+
+def _render_metric_value(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else repr(value)
 
 
 def _design_name(report) -> str:
@@ -777,8 +878,35 @@ def build_parser() -> argparse.ArgumentParser:
         "subprocess (state crosses via pickle; same bytes)",
     )
     loadtest.add_argument("--json", help="also write the report as JSON here")
+    loadtest.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write a Prometheus text-format metrics dump here (single "
+        "scenario only; attaching observability never changes the report)",
+    )
+    loadtest.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write a Chrome trace-event JSON here (open in "
+        "chrome://tracing or Perfetto; simulated clock, deterministic)",
+    )
+    loadtest.add_argument(
+        "--windows", metavar="PATH",
+        help="stream rolling-window JSONL here during the run (windowed "
+        "p99/goodput/shed-rate/queue-depth plus scale and failure events)",
+    )
+    loadtest.add_argument(
+        "--window-ms", type=float, default=20.0,
+        help="rolling-window width in simulated milliseconds",
+    )
     loadtest.add_argument("--seed", type=int, default=7)
     loadtest.set_defaults(func=cmd_loadtest)
+
+    metrics = sub.add_parser(
+        "metrics", help="render/validate loadtest observability dumps"
+    )
+    metrics.add_argument("--prom", help="Prometheus text dump from --metrics-out")
+    metrics.add_argument("--windows", help="window JSONL stream from --windows")
+    metrics.add_argument("--trace", help="Chrome trace JSON from --trace-out")
+    metrics.set_defaults(func=cmd_metrics)
 
     search = sub.add_parser(
         "search",

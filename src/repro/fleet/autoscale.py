@@ -86,15 +86,19 @@ class Autoscaler:
         fleet: Fleet,
         policy: AutoscalePolicy = AutoscalePolicy(),
         scale_spec: Optional[ReplicaSpec] = None,
+        obs=None,
     ):
         """Args:
             fleet: The fleet to control.
             policy: Scaling thresholds and cadence.
             scale_spec: Design point for scale-up replicas (default: the
                 fleet's first replica's spec).
+            obs: Optional :class:`repro.obs.FleetObserver` receiving tick
+                signals and scale events.
         """
         self.fleet = fleet
         self.policy = policy
+        self.obs = obs or None
         self.scale_spec = scale_spec or next(
             iter(sorted(fleet.replicas.values(), key=lambda r: r.replica_id))
         ).spec
@@ -169,6 +173,8 @@ class Autoscaler:
         p99_ratio = self.window_p99_over_slo(now_ms)
         depth = self.queue_depth()
         live = len(self.fleet.live_replicas())
+        if self.obs is not None:
+            self.obs.on_tick(now_ms, utilization, p99_ratio, depth)
         self._last_tick_ms = now_ms
         self._busy_snapshot = self._total_busy_ms()
 
@@ -206,6 +212,8 @@ class Autoscaler:
         if event is not None:
             self.events.append(event)
             self._cooldown = policy.cooldown_ticks
+            if self.obs is not None:
+                self.obs.on_scale(event)
         return event
 
     def _scale_down_victim(self) -> Replica:

@@ -427,8 +427,16 @@ class _Accum:
 class ColumnarFleetEngine:
     """The columnar twin of :class:`~repro.fleet.fleet.Fleet` + runner."""
 
-    def __init__(self, prep: _Prepared, use_native: Optional[bool] = None):
+    def __init__(
+        self,
+        prep: _Prepared,
+        use_native: Optional[bool] = None,
+        obs=None,
+    ):
         self.prep = prep
+        # Observability sink (repro.obs.FleetObserver) or None.  Falsy
+        # sinks normalize to None so the sweeps stay seam-free when off.
+        self.obs = obs or None
         policy = prep.config.serving
         self.B = len(policy.buckets)
         self.M = policy.max_batch_size
@@ -503,6 +511,10 @@ class ColumnarFleetEngine:
         state.next_id += 1
         state.replicas.append(rep)
         self._rebuild_live(state)
+        if self.obs is not None:
+            self.obs.on_replica(
+                rep.rid, spec.label, now, tables.cold_ms if cold else 0.0
+            )
         return rep
 
     @staticmethod
@@ -517,6 +529,8 @@ class ColumnarFleetEngine:
         rep.retired_ms = now
         rep.failures += 1
         self._rebuild_live(state)
+        if self.obs is not None:
+            self.obs.on_failure(rep.rid, now)
         self._migrate(state, rep, now, acc)
 
     def _recover(self, state: ColumnarFleetState, rid: int, now: float):
@@ -525,6 +539,8 @@ class ColumnarFleetEngine:
             return
         cold = self.tables_for(rep.spec).cold_ms
         rep.busy_until = max(rep.busy_until, now + cold)
+        if self.obs is not None:
+            self.obs.on_recovery(rep.rid, now, cold)
         rep.live = True
         if rep.retired_ms is not None:
             rep.downtime_ms += now - rep.retired_ms
@@ -574,6 +590,19 @@ class ColumnarFleetEngine:
             done_fin.append(fin)
             if hist is not None:
                 hist.append((fin, fin - enq))
+        obs = self.obs
+        if obs is not None:
+            obs.on_batch((rep.rid, self.bucket_values[b], take, start, service))
+            arrival = self.prep.arrival
+            slo = self.prep.slo
+            latencies = []
+            met = 0
+            for idx, _enq in requests:
+                lat = fin - float(arrival[idx])
+                latencies.append(lat)
+                if lat <= float(slo[idx]):
+                    met += 1
+            obs.on_completions(fin, latencies, met)
         # recompute the earliest pending deadline (batcher invariant)
         nd = None
         wait = self.wait
@@ -650,6 +679,9 @@ class ColumnarFleetEngine:
             if not survivors:
                 acc.shed_idx_py.append(idx)
                 acc.shed_code_py.append(SHED_CODE_NO_CAPACITY)
+                if self.obs is not None:
+                    # Bucketed at migration time, like Fleet._migrate_pending.
+                    self.obs.on_shed(now, SHED_NO_CAPACITY)
                 continue
             best = None
             best_key = None
@@ -700,6 +732,11 @@ class ColumnarFleetEngine:
         depth = 0
         for rid in state.live:
             depth += replicas[rid].pending
+        if self.obs is not None:
+            # Same floats as Autoscaler.tick: busy/window accounting and the
+            # sorted-percentile p99 are order-insensitive, so the counter
+            # track is byte-identical across engines.
+            self.obs.on_tick(now, utilization, p99_ratio, depth)
         state.last_tick = now
         state.busy_snapshot = total_busy
         # prune sampled history: entries finishing at or before this tick
@@ -756,6 +793,8 @@ class ColumnarFleetEngine:
         if event is not None:
             state.events.append(event)
             state.cooldown = policy.cooldown_ticks
+            if self.obs is not None:
+                self.obs.on_scale(event)
 
     # ------------------------------------------------------------------
     # arrival sweeps
@@ -774,11 +813,17 @@ class ColumnarFleetEngine:
                     np.full(hi - lo, SHED_CODE_NO_CAPACITY, dtype=np.uint8),
                 )
             )
+            if self.obs is not None:
+                window = self.prep.arrival[lo:hi]
+                self.obs.on_arrivals(window)
+                self.obs.on_sheds(window, SHED_NO_CAPACITY)
             if state.min_slo is None:
                 pass  # min_accepted_slo only updates on admission
             state.now = max(state.now, float(self.prep.arrival[hi - 1]))
             return
-        if self.use_native and not self.track_hist:
+        # The C kernel has no observability seams; an attached observer
+        # forces the (byte-identical) Python sweep, like track_hist does.
+        if self.use_native and not self.track_hist and self.obs is None:
             self._run_arrivals_native(state, lo, hi, acc)
         else:
             self._run_arrivals_python(state, lo, hi, acc)
@@ -844,6 +889,10 @@ class ColumnarFleetEngine:
         done_fin = acc.done_fin_py
         shed_idx = acc.shed_idx_py
         shed_code = acc.shed_code_py
+        obs = self.obs
+        rids = [r.rid for r in lreps]
+        arrival_col = self.prep.arrival
+        slo_col = self.prep.slo
 
         def flush(k: int, b: int, flush_ms: float) -> None:
             queue = queues[k][b]
@@ -863,6 +912,16 @@ class ColumnarFleetEngine:
                 done_fin.append(fin)
                 if hist is not None:
                     hist.append((fin, fin - enq))
+            if obs is not None:
+                obs.on_batch((rids[k], values[b], take, start, service))
+                latencies = []
+                met = 0
+                for idx, _enq in requests:
+                    lat = fin - float(arrival_col[idx])
+                    latencies.append(lat)
+                    if lat <= float(slo_col[idx]):
+                        met += 1
+                obs.on_completions(fin, latencies, met)
             nd = inf
             q_k = queues[k]
             for b2 in order[k]:
@@ -885,6 +944,13 @@ class ColumnarFleetEngine:
             due.sort()
             for deadline, _, b in due:
                 flush(k, b, deadline)
+
+        if obs is not None and hi > lo:
+            # Bulk-record the span's arrivals upfront — the same move the
+            # event-loop runner makes over the whole trace.  Watermark-safe:
+            # recording early only makes records available sooner than any
+            # flush that could close their window.
+            obs.on_arrivals(arrival_col[lo:hi])
 
         g = min(next_dl) if next_dl else inf
         step = 1 << 20
@@ -923,6 +989,8 @@ class ColumnarFleetEngine:
                 if bestp > factor * ss[k2]:
                     shed_idx.append(i)
                     shed_code.append(SHED_CODE_OVERLOAD)
+                    if obs is not None:
+                        obs.on_shed(t, SHED_OVERLOAD)
                     continue
                 b = bs[k2]
                 queue = queues[best][b]
@@ -1196,7 +1264,12 @@ def _window_worker(conn, window_index: int) -> None:
     engine, state, windows = _WORKER_CTX
     alo, ahi, events = windows[window_index]
     partial = engine.run_window(state, alo, ahi, events)
-    conn.send((partial, state))
+    # Observability state crosses the fork like ShardPartial does: the
+    # worker drains its live buffers into a picklable partial; the parent
+    # absorbs.  (The parent drained its own live buffers before forking,
+    # so this partial holds exactly this window's records.)
+    obs_partial = engine.obs.take_partial() if engine.obs is not None else None
+    conn.send((partial, state, obs_partial))
     conn.close()
 
 
@@ -1220,6 +1293,10 @@ def _run_windows_in_processes(engine, state, windows):
             for alo, ahi, events in windows
         ]
         return partials, state
+    if engine.obs is not None:
+        # Park any pre-fork records (initial replica metadata) in the
+        # master store so no child re-ships them.
+        engine.obs.absorb(engine.obs.take_partial())
     partials = []
     for k in range(len(windows)):
         _WORKER_CTX = (engine, state, windows)
@@ -1227,12 +1304,14 @@ def _run_windows_in_processes(engine, state, windows):
         proc = ctx.Process(target=_window_worker, args=(child, k))
         proc.start()
         child.close()
-        partial, state = parent.recv()
+        partial, state, obs_partial = parent.recv()
         parent.close()
         proc.join()
         _WORKER_CTX = None
         if proc.exitcode != 0:
             raise RuntimeError(f"shard worker {k} exited {proc.exitcode}")
+        if obs_partial is not None:
+            engine.obs.absorb(obs_partial)
         partials.append(partial)
     return partials, state
 
@@ -1252,6 +1331,7 @@ def run_scenario_columnar(
     shards: int = 1,
     shard_processes: bool = False,
     native: Optional[bool] = None,
+    obs=None,
 ) -> FleetReport:
     """Columnar twin of :func:`repro.fleet.runner.run_scenario`.
 
@@ -1282,10 +1362,15 @@ def run_scenario_columnar(
             ``docs/scaling.md``).
         native: Force the C kernel on/off; default auto-detects.  Results
             are identical either way.
+        obs: Optional :class:`repro.obs.FleetObserver`.  Never changes a
+            report byte; metric streams are byte-identical to the
+            event-loop runner's at any shard count (the C kernel is
+            bypassed while an observer is attached).
 
     Returns:
         The :class:`FleetReport`.
     """
+    obs = obs or None
     prep = _prepare(
         scenario,
         model,
@@ -1299,15 +1384,29 @@ def run_scenario_columnar(
         rate_scale,
         duration_scale,
     )
-    engine = ColumnarFleetEngine(prep, use_native=native)
+    engine = ColumnarFleetEngine(prep, use_native=native, obs=obs)
     state = engine.initial_state()
     windows = shard_windows(prep, shards)
     if shard_processes:
         partials, state = _run_windows_in_processes(engine, state, windows)
     else:
-        partials = [
-            engine.run_window(state, alo, ahi, events)
-            for alo, ahi, events in windows
-        ]
+        partials = []
+        for k, (alo, ahi, events) in enumerate(windows):
+            partials.append(engine.run_window(state, alo, ahi, events))
+            if obs is not None and k + 1 < len(windows):
+                # Stream closed windows at each shard edge.  The watermark
+                # backs off to the earliest pending batching deadline:
+                # a queue carried across the boundary may still flush
+                # (and finish) before the edge itself.
+                edge = prep.duration_ms * (k + 1) / shards
+                pending = [
+                    rep.next_dl
+                    for rep in state.replicas
+                    if rep.next_dl is not None
+                ]
+                obs.advance(min([edge] + pending))
     partials.append(engine.drain(state))
-    return engine.finalize(state, partials)
+    report = engine.finalize(state, partials)
+    if obs is not None:
+        obs.finalize(report)
+    return report

@@ -109,8 +109,10 @@ class Replica:
     retired_ms: Optional[float] = None
     failures: int = 0
     downtime_ms: float = 0.0   # cumulative failed time (excluded from live time)
-    # engine request id -> fleet record index, for failover remapping
-    record_of: Dict[int, int] = field(default_factory=dict)
+    # engine request id -> fleet record, for failover remapping and the
+    # observability hook (the object itself, so per-completion telemetry
+    # skips an index hop through Fleet.records)
+    record_of: Dict[int, "RequestRecord"] = field(default_factory=dict)
     # bucket -> full-size-batch service ms on this design point (admission
     # pricing; filled from the fleet-wide design-point cache at attach time)
     bucket_price: Dict[int, float] = field(default_factory=dict)
@@ -149,6 +151,7 @@ class Fleet:
         tokenizer,
         specs: List[ReplicaSpec],
         config: FleetConfig = FleetConfig(),
+        obs=None,
     ):
         """Args:
             model: The frozen integer model every replica serves (shared —
@@ -157,6 +160,8 @@ class Fleet:
             tokenizer: Tokenizer shared by every replica's engine.
             specs: Initial replica design points (at least one).
             config: Cluster policy.
+            obs: Optional :class:`repro.obs.FleetObserver`; ``None`` (or a
+                falsy null sink) keeps every seam off the hot path.
 
         Raises:
             ValueError: If ``specs`` is empty.
@@ -166,6 +171,7 @@ class Fleet:
         self.model = model
         self.tokenizer = tokenizer
         self.config = config
+        self.obs = obs or None
         self.replicas: Dict[int, Replica] = {}
         self.records: List[RequestRecord] = []
         self.now_ms = 0.0
@@ -228,11 +234,44 @@ class Fleet:
                     bucket, policy.max_batch_size
                 )
             replica.bucket_price[bucket] = price
+        cold_ms = self.cold_start_ms(replica) if cold else 0.0
         if cold:
-            engine.router.block_until(now_ms + self.cold_start_ms(replica))
+            engine.router.block_until(now_ms + cold_ms)
         self.replicas[replica.replica_id] = replica
         self._rebuild_live()
+        if self.obs is not None:
+            self.obs.on_replica(replica.replica_id, spec.label, now_ms, cold_ms)
+            self._install_obs_hook(replica)
         return replica
+
+    def _install_obs_hook(self, replica: Replica) -> None:
+        """Wire the engine's batch seam to the observer.
+
+        The closure translates engine-local batch results into fleet-level
+        telemetry: latency against the *original* arrival in the fleet
+        record (a migrated request keeps its true arrival), SLO against the
+        record's own bound — exactly the numbers the report is built from.
+        """
+        on_batch = self.obs.on_batch
+        on_completions = self.obs.on_completions
+        record_of = replica.record_of
+        rid = replica.replica_id
+
+        def hook(requests, dispatch, bucket, size):
+            on_batch((rid, bucket, size, dispatch.start_ms, dispatch.service_ms))
+            finish = dispatch.finish_ms
+            latencies = []
+            append = latencies.append
+            met = 0
+            for request in requests:
+                record = record_of[request.request_id]
+                latency = finish - record.arrival_ms
+                append(latency)
+                if latency <= record.slo_ms:
+                    met += 1
+            on_completions(finish, latencies, met)
+
+        replica.engine.on_batch = hook
 
     def cold_start_ms(self, replica: Replica) -> float:
         """The replica's cold-start penalty, from the simulator's schedule.
@@ -295,6 +334,8 @@ class Fleet:
         replica.retired_ms = now_ms
         replica.failures += 1
         self._rebuild_live()
+        if self.obs is not None:
+            self.obs.on_failure(replica_id, now_ms)
         self._migrate_pending(replica, now_ms)
 
     def recover_replica(self, replica_id: int, now_ms: float) -> None:
@@ -308,7 +349,10 @@ class Fleet:
         if replica is None or replica.live or replica.failures == 0:
             return  # unknown or never failed (e.g. scaled away) — no-op
         replica.engine.advance(now_ms)
-        replica.engine.router.block_until(now_ms + self.cold_start_ms(replica))
+        cold_ms = self.cold_start_ms(replica)
+        replica.engine.router.block_until(now_ms + cold_ms)
+        if self.obs is not None:
+            self.obs.on_recovery(replica_id, now_ms, cold_ms)
         replica.live = True
         if replica.retired_ms is not None:
             replica.downtime_ms += now_ms - replica.retired_ms
@@ -393,8 +437,15 @@ class Fleet:
 
         Returns:
             The request's :class:`RequestRecord` (``shed`` set if rejected).
+
+        Note:
+            Arrival-window recording is the *driver's* job — the event-loop
+            runner and the columnar sweep both bulk-record arrival times
+            upfront (the trace is known before the loop starts), so submit
+            itself only records sheds.
         """
         now_ms = request.arrival_ms
+        obs = self.obs
         record = RequestRecord(
             index=len(self.records),
             tenant=request.tenant,
@@ -406,6 +457,8 @@ class Fleet:
         if not live:
             record.shed = True
             record.shed_reason = SHED_NO_CAPACITY
+            if obs is not None:
+                obs.on_shed(now_ms, SHED_NO_CAPACITY)
             return record
         # Plain loop instead of min() over a generator of tuples: this runs
         # once per arrival, and a strict < keeps the first (lowest-id)
@@ -421,11 +474,14 @@ class Fleet:
         if projected > self.config.admit_slo_factor * request.slo_ms:
             record.shed = True
             record.shed_reason = SHED_OVERLOAD
+            if obs is not None:
+                obs.on_shed(now_ms, SHED_OVERLOAD)
             return record
-        engine_rid = best.engine.submit(
-            request.text_a, request.text_b, arrival_ms=now_ms
-        )
-        best.record_of[engine_rid] = record.index
+        # Map the engine-local id before submitting: a full batch flushes
+        # inside submit, and the observability hook resolves fleet records
+        # for every request in the executed batch — including this one.
+        best.record_of[best.engine._next_id] = record
+        best.engine.submit(request.text_a, request.text_b, arrival_ms=now_ms)
         record.replica_id = best.replica_id
         if self.min_accepted_slo_ms is None or request.slo_ms < self.min_accepted_slo_ms:
             self.min_accepted_slo_ms = request.slo_ms
@@ -445,20 +501,27 @@ class Fleet:
             return
         survivors = self.live_replicas()
         for request in evicted:
-            record = self.records[replica.record_of.pop(request.request_id)]
+            record = replica.record_of.pop(request.request_id)
             if not survivors:
                 record.shed = True
                 record.shed_reason = SHED_NO_CAPACITY
                 record.replica_id = -1
+                if self.obs is not None:
+                    # Bucketed at the migration time, not the original
+                    # arrival: that is when the request actually left the
+                    # system, and it keeps window flushes watermark-safe.
+                    self.obs.on_shed(now_ms, SHED_NO_CAPACITY)
                 continue
             target = min(
                 survivors,
                 key=lambda r: (self.projected_latency_ms(r, now_ms), r.replica_id),
             )
-            engine_rid = target.engine.submit(
+            # Pre-map for the same reason as submit: resubmission can flush
+            # a full batch (containing this request) before returning.
+            target.record_of[target.engine._next_id] = record
+            target.engine.submit(
                 request.text_a, request.text_b, arrival_ms=now_ms
             )
-            target.record_of[engine_rid] = record.index
             record.replica_id = target.replica_id
             record.migrations += 1
             self.migrations += 1
@@ -486,12 +549,11 @@ class Fleet:
                 machinery exists to prevent.
         """
         for replica in self.replicas.values():
-            for engine_rid, index in replica.record_of.items():
+            for engine_rid, record in replica.record_of.items():
                 result = replica.engine.results.get(engine_rid)
-                record = self.records[index]
                 if result is None:
                     raise RuntimeError(
-                        f"accepted request {index} vanished on replica "
+                        f"accepted request {record.index} vanished on replica "
                         f"{replica.replica_id} — fleet lost accepted work"
                     )
                 record.finish_ms = result.finish_ms

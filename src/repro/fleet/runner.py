@@ -129,6 +129,7 @@ def run_scenario(
     rate_scale: float = 1.0,
     duration_scale: float = 1.0,
     analytic: bool = False,
+    obs=None,
 ) -> FleetReport:
     """Run one scenario through a fleet and aggregate the report.
 
@@ -152,10 +153,16 @@ def run_scenario(
             report byte-identical to executed mode at a fraction of the
             cost.  ``False`` leaves ``fleet_config.serving.analytic``
             as configured.
+        obs: Optional :class:`repro.obs.FleetObserver`.  Attaching one
+            never changes a report byte; it only taps the run for metrics,
+            traces, and rolling windows, and is finalized against the
+            report before returning.  ``None`` (or a falsy null sink)
+            keeps the hot loop free of instrumentation.
 
     Returns:
         The :class:`FleetReport` (deterministic for equal arguments).
     """
+    obs = obs or None
     if analytic:
         fleet_config = replace(
             fleet_config, serving=replace(fleet_config.serving, analytic=True)
@@ -178,9 +185,17 @@ def run_scenario(
         name = "custom-trace"
         duration_ms = trace[-1].arrival_ms if trace else 0.0
 
-    fleet = Fleet(model, tokenizer, specs, fleet_config)
+    fleet = Fleet(model, tokenizer, specs, fleet_config, obs=obs)
+    if obs is not None and trace:
+        # The whole trace is known before the loop starts, so arrival
+        # windows are recorded in one bulk call instead of once per
+        # submit.  Watermark-safe: recording early only makes records
+        # available sooner than any flush that could close their window.
+        obs.on_arrivals([request.arrival_ms for request in trace])
     autoscaler = (
-        Autoscaler(fleet, autoscale, scale_spec=scale_spec) if autoscale else None
+        Autoscaler(fleet, autoscale, scale_spec=scale_spec, obs=obs)
+        if autoscale
+        else None
     )
 
     # ------------------------------------------------------------------
@@ -219,6 +234,11 @@ def run_scenario(
             fleet.fail_replica(payload, time_ms)
         else:  # _RECOVER
             fleet.recover_replica(payload, time_ms)
+        if obs is not None and kind != _ARRIVAL:
+            # Watermark-safe: fleet.advance(time_ms) already fired every
+            # batching deadline <= time_ms, so no future record can land
+            # at or before this instant — windows ending here are final.
+            obs.advance(time_ms)
 
     fleet.drain()
     records = fleet.collect()
@@ -229,10 +249,13 @@ def run_scenario(
         scale_events=autoscaler.events if autoscaler else [],
         duration_ms=max(duration_ms, last_finish),
     )
-    return FleetReport(
+    report = FleetReport(
         scenario=name,
         seed=seed,
         num_initial_replicas=len(specs),
         autoscaled=autoscaler is not None,
         stats=stats,
     )
+    if obs is not None:
+        obs.finalize(report)
+    return report

@@ -1,0 +1,48 @@
+"""Deterministic observability over the simulated clock.
+
+Everything the serving stack reports today is a post-hoc summary; this
+package adds the *during-the-run* view — and because it rides the
+deterministic simulated clock instead of wall time, the telemetry itself
+is bit-reproducible: same seed, byte-identical Prometheus dump, window
+JSONL, and Chrome trace.
+
+- :mod:`registry` — counters, gauges, fixed-bucket histograms, rendered
+  in the Prometheus text exposition format
+- :mod:`tracing` — structured spans/instants/counter tracks on simulated
+  milliseconds, exported as Chrome trace-event JSON
+  (``chrome://tracing`` / Perfetto)
+- :mod:`windows` — rolling-window JSONL streams: windowed p99, goodput,
+  shed rate, queue depth, autoscaler and failure events
+- :mod:`observer` — :class:`FleetObserver`, the sink threaded through the
+  engines' instrumentation seams, with ``ShardPartial``-style merge for
+  forked columnar shards
+
+Surfaced via ``repro.cli loadtest --metrics-out/--trace-out/--windows``
+and the ``repro.cli metrics`` renderer.
+"""
+
+from .observer import FleetObserver, NullObserver, ObsPartial
+from .registry import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+)
+from .tracing import Tracer
+from .windows import WindowTracker
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "FleetObserver",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullObserver",
+    "ObsPartial",
+    "Tracer",
+    "WindowTracker",
+    "parse_prometheus",
+]

@@ -1,0 +1,313 @@
+"""The fleet-facing observability sink.
+
+:class:`FleetObserver` is the object threaded through the instrumentation
+seams in ``serve/engine.py``, ``fleet/fleet.py``, ``fleet/runner.py``,
+``fleet/autoscale.py``, and ``fleet/columnar.py``.  It owns one
+:class:`~repro.obs.registry.MetricsRegistry`, one
+:class:`~repro.obs.tracing.Tracer`, and one
+:class:`~repro.obs.windows.WindowTracker`, and turns engine callbacks
+into metrics, spans, and window records.
+
+Two contracts, both enforced by ``tests/obs/test_differential.py``:
+
+1. **Transparency** — attaching an observer never changes a report byte.
+   Every callback only *reads* engine state.
+2. **Engine equivalence** — the event-loop and columnar engines drive the
+   same callbacks with the same values, so Prometheus dumps, window
+   JSONL, and trace JSON are byte-identical across engines, at any shard
+   count.
+
+Shard-partial transport mirrors the columnar engine's ``ShardPartial``:
+forked shard workers call :meth:`FleetObserver.take_partial` (draining
+their live buffers into a picklable payload) and the parent
+:meth:`absorbs <FleetObserver.absorb>` them, merging window accumulators
+by index and concatenating trace events.  The disabled path is ``obs is
+None`` (or the falsy :class:`NullObserver`) — zero work on the hot loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .registry import DEFAULT_LATENCY_BUCKETS_MS, MetricsRegistry
+from .tracing import Tracer
+from .windows import WindowTracker, _Win
+
+__all__ = ["FleetObserver", "NullObserver", "ObsPartial"]
+
+
+@dataclass
+class ObsPartial:
+    """Picklable slice of observer state from one shard worker."""
+
+    windows: Dict[int, _Win] = field(default_factory=dict)
+    trace_events: List[dict] = field(default_factory=list)
+
+
+class FleetObserver:
+    """Deterministic metrics + tracing + rolling windows for one run."""
+
+    def __init__(self, window_ms: float = 20.0, windows_stream=None) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+        self.latency_hist = self.registry.histogram(
+            "repro_request_latency_ms",
+            "End-to-end request latency (arrival to finish), milliseconds.",
+            buckets=DEFAULT_LATENCY_BUCKETS_MS,
+        )
+        self.windows = WindowTracker(
+            window_ms=window_ms,
+            stream=windows_stream,
+            on_flush=self.latency_hist.observe_sorted,
+        )
+        # Absorbed trace events live apart from the tracer's live buffer:
+        # a forked shard child inherits this master list but only ships
+        # what *it* recorded (tracer.take() drains the live buffer alone),
+        # so nothing is double-counted across forks.
+        self._trace_master: List[dict] = []
+        # Batch spans — the hottest trace stream by far — buffer as raw
+        # tuples and only become trace-event dicts at export time, keeping
+        # dict construction out of the observed run entirely.
+        self._batch_spans: List[tuple] = []
+        self._finalized = False
+        # Per-request callbacks bind straight to the tracker methods,
+        # skipping one call frame on the hot loop (these shadow the
+        # identically-behaved methods below, which stay as documentation
+        # and as the override points for subclasses).
+        self.on_arrival = self.windows.record_arrival
+        self.on_arrivals = self.windows.record_arrivals
+        self.on_shed = self.windows.record_shed
+        self.on_sheds = self.windows.record_sheds
+        self.on_completion = self.windows.record_completion
+        self.on_completions = self.windows.record_completions
+        self.on_batch = self._batch_spans.append
+
+    def __bool__(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    # engine callbacks (both engines call these with identical values)
+    # ------------------------------------------------------------------
+    def on_arrival(self, t_ms: float) -> None:
+        self.windows.record_arrival(t_ms)
+
+    def on_arrivals(self, times_ms) -> None:
+        self.windows.record_arrivals(times_ms)
+
+    def on_shed(self, t_ms: float, reason: str) -> None:
+        self.windows.record_shed(t_ms, reason)
+
+    def on_sheds(self, times_ms, reason: str) -> None:
+        self.windows.record_sheds(times_ms, reason)
+
+    def on_completion(self, finish_ms: float, latency_ms: float, slo_met: bool) -> None:
+        self.windows.record_completion(finish_ms, latency_ms, slo_met)
+
+    def on_completions(
+        self, finish_ms: float, latencies: List[float], slo_met: int
+    ) -> None:
+        self.windows.record_completions(finish_ms, latencies, slo_met)
+
+    def on_batch(self, span: tuple) -> None:
+        """Record one dispatched batch.
+
+        ``span`` is ``(replica_id, bucket, size, start_ms, service_ms)``.
+        It takes the whole tuple so the bound callback can be a bare list
+        append — this fires once per batch, the hottest trace stream, and
+        the trace-event dict is built later by :meth:`_batch_span_events`
+        (export is sorted, so when the dicts materialise does not change a
+        byte).
+        """
+
+        self._batch_spans.append(span)
+
+    def on_replica(self, replica_id: int, label: str, t_ms: float, cold_ms: float) -> None:
+        self.tracer.add_thread_name(replica_id, f"replica-{replica_id} [{label}]")
+        if cold_ms > 0.0:
+            self.tracer.add_span(
+                "cold-start", t_ms, cold_ms, tid=replica_id, args={"label": label}
+            )
+
+    def on_failure(self, replica_id: int, t_ms: float) -> None:
+        self.windows.record_failure(t_ms)
+        self.tracer.add_instant(
+            "replica-fail", t_ms, tid=replica_id, args={"replica": int(replica_id)}
+        )
+
+    def on_recovery(self, replica_id: int, t_ms: float, cold_ms: float) -> None:
+        self.windows.record_recovery(t_ms)
+        self.tracer.add_instant(
+            "replica-recover", t_ms, tid=replica_id, args={"replica": int(replica_id)}
+        )
+        if cold_ms > 0.0:
+            self.tracer.add_span(
+                "cold-start", t_ms, cold_ms, tid=replica_id, args={"recovery": True}
+            )
+
+    def on_tick(
+        self, t_ms: float, utilization: float, p99_ratio: float, depth: int
+    ) -> None:
+        self.tracer.add_counter(
+            "autoscaler",
+            t_ms,
+            {
+                "utilization": float(utilization),
+                "p99_over_slo": float(p99_ratio),
+                "queue_depth": float(depth),
+            },
+        )
+
+    def on_scale(self, event) -> None:
+        self.windows.record_scale(event.time_ms, event.action)
+        self.tracer.add_instant(
+            f"scale-{event.action}",
+            event.time_ms,
+            tid=0,
+            args={"reason": event.reason, "replicas": int(event.replicas_after)},
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def advance(self, watermark_ms: float) -> None:
+        """Flush every window ending at or before the watermark.
+
+        Callers guarantee no further record lands at or before the
+        watermark (see the module docstring of :mod:`repro.obs.windows`).
+        """
+
+        self.windows.flush(watermark_ms)
+
+    def _batch_span_events(self) -> List[dict]:
+        """Materialise buffered batch spans as trace-event dicts (the same
+        shape :meth:`Tracer.add_span` builds)."""
+
+        return [
+            {
+                "name": "batch",
+                "ph": "X",
+                "ts": float(start_ms) * 1000.0,
+                "dur": float(service_ms) * 1000.0,
+                "pid": 0,
+                "tid": int(replica_id),
+                "args": {"bucket": int(bucket), "size": int(size)},
+            }
+            for replica_id, bucket, size, start_ms, service_ms in self._batch_spans
+        ]
+
+    def take_partial(self) -> ObsPartial:
+        """Drain live buffers into a picklable partial (shard workers)."""
+
+        events = self.tracer.take() + self._batch_span_events()
+        self._batch_spans = []
+        # on_batch is a bare append bound to the drained list — rebind it
+        # to the fresh buffer or later spans would vanish into the partial.
+        self.on_batch = self._batch_spans.append
+        return ObsPartial(windows=self.windows.take(), trace_events=events)
+
+    def absorb(self, partial: ObsPartial) -> None:
+        """Merge a shard worker's partial, mirroring ``merge_shard_partials``."""
+
+        self.windows.absorb(partial.windows)
+        self._trace_master.extend(partial.trace_events)
+
+    def finalize(self, report) -> None:
+        """Flush remaining windows and fill the registry from the report.
+
+        Every counter/gauge value comes from the already byte-identical
+        :class:`~repro.fleet.runner.FleetReport`, so the Prometheus dump
+        inherits the engines' byte-equality for free; the latency
+        histogram is filled window-by-window from sorted latencies.
+        """
+
+        if self._finalized:
+            return
+        self._finalized = True
+        self.windows.flush_all()
+
+        reg = self.registry
+        stats = report.stats
+        reg.counter(
+            "repro_requests_total", "Requests submitted to the fleet."
+        ).inc(stats.submitted)
+        reg.counter(
+            "repro_requests_completed_total", "Requests completed."
+        ).inc(stats.completed)
+        reg.counter(
+            "repro_requests_slo_met_total", "Completed requests meeting their SLO."
+        ).inc(stats.slo_met)
+        shed = reg.counter(
+            "repro_requests_shed_total", "Requests shed, by reason.", labels=("reason",)
+        )
+        for reason in sorted(stats.shed_by_reason):
+            shed.inc(stats.shed_by_reason[reason], reason=reason)
+        reg.counter(
+            "repro_migrations_total", "Queued requests migrated off failed replicas."
+        ).inc(stats.migrations)
+        scale = reg.counter(
+            "repro_scale_events_total", "Autoscaler actions, by direction.",
+            labels=("action",),
+        )
+        for action in ("up", "down"):
+            count = sum(1 for e in stats.scale_events if e.action == action)
+            if count:
+                scale.inc(count, action=action)
+        reg.counter(
+            "repro_replica_failures_total", "Replica failure events."
+        ).inc(sum(r.failures for r in stats.replicas))
+
+        reg.gauge("repro_duration_ms", "Simulated run duration.").set(stats.duration_ms)
+        reg.gauge("repro_replicas_total", "Replicas ever provisioned.").set(
+            len(stats.replicas)
+        )
+        latency = reg.gauge(
+            "repro_latency_ms", "Fleet latency summary.", labels=("stat",)
+        )
+        latency.set(stats.p50_latency_ms, stat="p50")
+        latency.set(stats.p95_latency_ms, stat="p95")
+        latency.set(stats.p99_latency_ms, stat="p99")
+        latency.set(stats.mean_latency_ms, stat="mean")
+        latency.set(stats.max_latency_ms, stat="max")
+        reg.gauge("repro_throughput_rps", "Completed requests per second.").set(
+            stats.throughput_rps
+        )
+        reg.gauge(
+            "repro_goodput_rps", "SLO-meeting completions per second."
+        ).set(stats.goodput_rps)
+        reg.gauge("repro_shed_rate", "Shed fraction of submitted requests.").set(
+            stats.shed_rate
+        )
+        reg.gauge("repro_slo_attainment", "SLO-met fraction of completions.").set(
+            stats.slo_attainment
+        )
+
+    # ------------------------------------------------------------------
+    # output
+    # ------------------------------------------------------------------
+    def render_prometheus(self) -> str:
+        return self.registry.render()
+
+    def trace_json(self) -> str:
+        combined = Tracer()
+        combined.events = (
+            self._trace_master + self.tracer.events + self._batch_span_events()
+        )
+        return combined.to_json()
+
+    def window_lines(self) -> List[str]:
+        return list(self.windows.lines)
+
+
+class NullObserver:
+    """A falsy no-op sink: every seam tests ``if obs:`` (or ``is not None``
+    after normalisation), so passing this keeps the hot loop untouched."""
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __getattr__(self, name: str):
+        def _noop(*args, **kwargs):
+            return None
+
+        return _noop

@@ -1,0 +1,287 @@
+"""Deterministic metrics registry with Prometheus text exposition.
+
+A tiny, dependency-free metrics core: counters, gauges, and fixed-bucket
+histograms, rendered in the Prometheus text exposition format.  Unlike a
+production client library there is no clock, no process state, and no
+background thread — every value is driven by the deterministic simulated
+clock, so the same run produces a byte-identical dump.
+
+Determinism rules baked into :meth:`MetricsRegistry.render`:
+
+- metric families are sorted by name,
+- samples within a family are sorted by their label tuples,
+- histogram buckets appear in boundary order with a final ``+Inf``,
+- values are formatted by a single pure function of the float bits.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "parse_prometheus",
+]
+
+#: Fixed latency bucket boundaries (milliseconds) used by the fleet
+#: observer's request-latency histogram.
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    1.0,
+    2.0,
+    5.0,
+    10.0,
+    20.0,
+    50.0,
+    100.0,
+    200.0,
+    500.0,
+    1000.0,
+    2000.0,
+    5000.0,
+)
+
+LabelValues = Tuple[Tuple[str, str], ...]
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value deterministically.
+
+    Integral values print without a fractional part; everything else uses
+    Python's shortest round-trip ``repr`` — a pure function of the double,
+    so identical floats always render identically.
+    """
+
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _format_labels(labels: LabelValues) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{val}"' for key, val in labels)
+    return "{" + body + "}"
+
+
+def _label_tuple(declared: Tuple[str, ...], values: Dict[str, str]) -> LabelValues:
+    if set(values) != set(declared):
+        raise ValueError(
+            f"expected labels {sorted(declared)}, got {sorted(values)}"
+        )
+    return tuple((key, str(values[key])) for key in declared)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing sum, optionally split by labels."""
+
+    name: str
+    help: str
+    label_names: Tuple[str, ...] = ()
+    samples: Dict[LabelValues, float] = field(default_factory=dict)
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        key = _label_tuple(self.label_names, labels)
+        self.samples[key] = self.samples.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self.samples.get(_label_tuple(self.label_names, labels), 0.0)
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} counter"]
+        for key in sorted(self.samples):
+            lines.append(
+                f"{self.name}{_format_labels(key)} {_format_value(self.samples[key])}"
+            )
+        return lines
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value, optionally split by labels."""
+
+    name: str
+    help: str
+    label_names: Tuple[str, ...] = ()
+    samples: Dict[LabelValues, float] = field(default_factory=dict)
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: str) -> None:
+        self.samples[_label_tuple(self.label_names, labels)] = float(value)
+
+    def value(self, **labels: str) -> float:
+        return self.samples.get(_label_tuple(self.label_names, labels), 0.0)
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} gauge"]
+        for key in sorted(self.samples):
+            lines.append(
+                f"{self.name}{_format_labels(key)} {_format_value(self.samples[key])}"
+            )
+        return lines
+
+
+@dataclass
+class Histogram:
+    """A fixed-boundary histogram (no labels; boundaries set at creation)."""
+
+    name: str
+    help: str
+    buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS
+    counts: List[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+    kind = "histogram"
+
+    def __post_init__(self) -> None:
+        ordered = tuple(float(b) for b in self.buckets)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError(f"histogram {self.name} buckets must be strictly increasing")
+        self.buckets = ordered
+        if not self.counts:
+            self.counts = [0] * (len(ordered) + 1)  # trailing slot is +Inf
+
+    def observe(self, value: float) -> None:
+        slot = bisect_left(self.buckets, float(value))
+        self.counts[slot] += 1
+        self.total += float(value)
+        self.count += 1
+
+    def observe_sorted(self, values: Sequence[float]) -> None:
+        """Fold in an ascending-sorted batch of observations.
+
+        Feeding values in sorted order keeps the float accumulation of
+        ``_sum`` a pure function of the multiset, which is what lets two
+        engines that complete requests in different orders render the
+        same histogram bytes.  Because the batch is sorted, bucket counts
+        come from one ``bisect`` per boundary instead of one per value
+        (same inclusive-``le`` placement as :meth:`observe`), and only the
+        running sum still walks the values — in the same ascending order
+        ``observe`` would have, so the float bits match exactly.
+        """
+
+        if not values:
+            return
+        counts = self.counts
+        pos = 0
+        for slot, bound in enumerate(self.buckets):
+            nxt = bisect_right(values, bound, pos)
+            counts[slot] += nxt - pos
+            pos = nxt
+        counts[-1] += len(values) - pos
+        total = self.total
+        for value in values:
+            total += float(value)
+        self.total = total
+        self.count += len(values)
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} histogram"]
+        cumulative = 0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            cumulative += bucket_count
+            lines.append(
+                f'{self.name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        cumulative += self.counts[-1]
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{self.name}_sum {_format_value(self.total)}")
+        lines.append(f"{self.name}_count {self.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Create-and-collect registry for counters, gauges, and histograms.
+
+    >>> reg = MetricsRegistry()
+    >>> shed = reg.counter("shed_total", "Requests shed.", labels=("reason",))
+    >>> shed.inc(3, reason="overload")
+    >>> print(reg.render(), end="")
+    # HELP shed_total Requests shed.
+    # TYPE shed_total counter
+    shed_total{reason="overload"} 3
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _register(self, metric):
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            if type(existing) is not type(metric):
+                raise ValueError(
+                    f"metric {metric.name} already registered as {existing.kind}"
+                )
+            return existing
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str, labels: Tuple[str, ...] = ()) -> Counter:
+        return self._register(Counter(name, help, tuple(labels)))
+
+    def gauge(self, name: str, help: str, labels: Tuple[str, ...] = ()) -> Gauge:
+        return self._register(Gauge(name, help, tuple(labels)))
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> Histogram:
+        return self._register(Histogram(name, help, tuple(buckets)))
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def render(self) -> str:
+        """Render every family in the Prometheus text exposition format."""
+
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            lines.extend(self._metrics[name].render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, float]]:
+    """Parse a Prometheus text dump into ``{family: {sample_key: value}}``.
+
+    Only the subset emitted by :meth:`MetricsRegistry.render` is supported;
+    used by the ``repro.cli metrics`` renderer and the test suite to make
+    assertions about dumps without string-scraping.
+    """
+
+    families: Dict[str, Dict[str, float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                families.setdefault(parts[2].split("_bucket")[0], {})
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"malformed sample line: {line!r}")
+        base = name_part.split("{", 1)[0]
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base[: -len(suffix)] in families:
+                family = base[: -len(suffix)]
+                break
+        else:
+            family = base
+        families.setdefault(family, {})[name_part] = float(value_part)
+    return families

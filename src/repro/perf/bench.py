@@ -478,7 +478,7 @@ def run_cluster_suite(quick: bool = False, seed: int = 0) -> Dict:
 def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
     """Analytic-mode fleet simulation: equivalence gates, speedups, 100M trace.
 
-    Four pinned experiments over one frozen synthetic model:
+    Five pinned experiments over one frozen synthetic model:
 
     1. **Equivalence + speedup** — the same steady scenario through the
        same fleet twice, executed vs. analytic.  The suite *asserts* the
@@ -499,6 +499,12 @@ def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
        columnar only (the event loop would take an hour), sharded into
        deterministic time windows.  Like the mega run it is never shrunk
        in ``--quick``: completing it is the contract.
+    5. **Observability overhead** — a dense steady trace through the
+       event-loop analytic engine with a live
+       :class:`~repro.obs.FleetObserver` vs. with observability disabled.
+       The suite *asserts* the observed report is byte-identical to the
+       plain one (the transparency contract) and that the overhead ratio
+       stays under 10%; the ratio is gated, the walls are informational.
 
     Args:
         quick: Shrink the equivalence trace (the 1M/100M runs are never
@@ -512,9 +518,10 @@ def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
 
     Raises:
         RuntimeError: If the analytic report differs from the executed one
-            (or the columnar report from the analytic one) by even one
-            byte, either speedup falls below its 10x contract, or a
-            headline trace shrank below its request floor.
+            (or the columnar report from the analytic one, or the observed
+            report from the plain one) by even one byte, either speedup
+            falls below its 10x contract, observability costs 10% or
+            more, or a headline trace shrank below its request floor.
     """
     from ..fleet import (
         FleetConfig,
@@ -580,6 +587,74 @@ def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
         raise RuntimeError(
             f"analytic mode is only {speedup:.1f}x faster than executed mode "
             "on the pinned scenario — below the 10x contract; refusing to "
+            "benchmark"
+        )
+
+    # --- the observability gate: attach-for-free or refuse ---------------
+    # A denser steady trace than the equivalence run (fixed per-run costs
+    # would otherwise swamp the per-request overhead this measures), same
+    # exact pipeline; a fresh FleetObserver per repeat so nothing
+    # accumulates across timing runs.
+    from ..obs import FleetObserver
+
+    obs_rate_scale, obs_duration_scale = 8.0, 8.0
+
+    def run_obs_steady(obs):
+        return run_scenario(
+            "steady",
+            model,
+            tokenizer,
+            specs,
+            fleet_config,
+            seed=seed,
+            rate_scale=obs_rate_scale,
+            duration_scale=obs_duration_scale,
+            analytic=True,
+            obs=obs,
+        )
+
+    # The ratio divides two wall clocks on a machine whose load drifts, so
+    # the runs interleave (both sides of each pair see the same machine)
+    # and the gate compares floor to floor — the minimum is the standard
+    # low-noise estimator, and the observed side allocates enough that a
+    # stray GC pass would land on it disproportionately, so collection is
+    # parked during the timed region and run between pairs instead.
+    import gc as _gc
+    from time import perf_counter as _clock
+
+    obs_pairs = 5 if quick else 15
+    obs_captured = {
+        "plain": run_obs_steady(None),  # warmup pair; kept for the
+        "observed": run_obs_steady(FleetObserver()),  # transparency check
+    }
+    obs_off_best = obs_on_best = float("inf")
+    gc_was_enabled = _gc.isenabled()
+    _gc.collect()
+    _gc.disable()
+    try:
+        for _ in range(obs_pairs):
+            start = _clock()
+            run_obs_steady(None)
+            obs_off_best = min(obs_off_best, (_clock() - start) * 1e3)
+            start = _clock()
+            run_obs_steady(FleetObserver())
+            obs_on_best = min(obs_on_best, (_clock() - start) * 1e3)
+            _gc.collect()
+    finally:
+        if gc_was_enabled:
+            _gc.enable()
+    if obs_captured["observed"].to_json() != obs_captured["plain"].to_json():
+        raise RuntimeError(
+            "attaching a FleetObserver changed the report — the transparency "
+            "contract is broken; refusing to benchmark"
+        )
+    obs_overhead = (
+        obs_on_best / obs_off_best if obs_off_best else float("inf")
+    )
+    if obs_overhead >= 1.10:
+        raise RuntimeError(
+            f"observability costs {(obs_overhead - 1.0) * 100:.1f}% on the "
+            "pinned steady trace — at or above the 10% ceiling; refusing to "
             "benchmark"
         )
 
@@ -691,6 +766,18 @@ def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
         "analytic_speedup_vs_executed": _metric(
             speedup, "x", higher_is_better=True
         ),
+        "obs_off_wall_ms": _metric(
+            obs_off_best, "ms", higher_is_better=False, gated=False
+        ),
+        "obs_on_wall_ms": _metric(
+            obs_on_best, "ms", higher_is_better=False, gated=False
+        ),
+        # Median of interleaved same-run pair ratios (observed wall / plain
+        # wall); the hard <1.10 ceiling above is the contract, this gates
+        # drift inside it.
+        "obs_overhead_ratio": _metric(
+            obs_overhead, "x", higher_is_better=False
+        ),
         "mega_wall_ms": _metric(
             mega_wall.best_ms, "ms", higher_is_better=False, gated=False
         ),
@@ -769,6 +856,14 @@ def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
             "columnar": {
                 "byte_identical": True,
                 "native_kernel": native_available(),
+            },
+            "observability": {
+                "scenario": "steady",
+                "rate_scale": obs_rate_scale,
+                "duration_scale": obs_duration_scale,
+                "submitted": obs_captured["plain"].stats.submitted,
+                "byte_identical": True,
+                "overhead_ceiling": 1.10,
             },
             "giga": {
                 "scenario": "flash-crowd",

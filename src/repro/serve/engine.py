@@ -175,6 +175,10 @@ class ServingEngine:
         self._last_finish_ms = 0.0
         self._real_tokens = 0
         self._padded_tokens = 0
+        # Observability seam: called as on_batch(requests, dispatch, bucket,
+        # size) after each executed batch.  None (the default) keeps the hot
+        # loop free of instrumentation work.
+        self.on_batch = None
 
     # ------------------------------------------------------------------
     # request path
@@ -407,6 +411,8 @@ class ServingEngine:
                 cache_hit=request.cache_hit,
                 slo_met=slo_ms is None or latency <= slo_ms,
             )
+        if self.on_batch is not None:
+            self.on_batch(requests, dispatch, bucket, batch.size)
 
 
 def generate_trace(

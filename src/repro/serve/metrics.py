@@ -27,6 +27,10 @@ def percentile(values: Sequence[float], q: float) -> float:
     Raises:
         ValueError: If ``q`` is out of range or ``values`` is empty.
     """
+    # Same check order as percentile_sorted — range before emptiness — so
+    # both functions raise the same error on the same bad input.
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
     # len(), not truthiness: a numpy array of more than one element raises
     # "truth value is ambiguous" under `if not values`, and degenerate
     # shards hand this exact shape to the merge path.

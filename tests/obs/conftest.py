@@ -1,0 +1,69 @@
+"""Fixtures for the observability tests: the fleet suite's frozen cluster.
+
+The differential suite re-runs the fleet equivalence matrix with an
+observer attached, so it serves the exact same frozen synthetic model on
+the same deliberately weak design points as ``tests/fleet`` — byte
+comparisons only mean something when the underlying runs are the ones the
+fleet suite already proves identical.
+"""
+
+import pytest
+
+from repro.accel import AcceleratorConfig
+from repro.bert import BertConfig
+from repro.fleet import FleetConfig, ReplicaSpec
+from repro.perf.workloads import HashTokenizer, build_synthetic_integer_model
+from repro.serve import ServingConfig
+
+
+@pytest.fixture(scope="session")
+def cluster_model():
+    """A small frozen integer model shared by every obs test."""
+    config = BertConfig(
+        vocab_size=512,
+        hidden_size=64,
+        num_hidden_layers=2,
+        num_attention_heads=4,
+        intermediate_size=128,
+        max_position_embeddings=64,
+        num_labels=2,
+    )
+    return build_synthetic_integer_model(config, seed=0)
+
+
+@pytest.fixture(scope="session")
+def hash_tokenizer():
+    return HashTokenizer(vocab_size=512)
+
+
+@pytest.fixture
+def weak_spec():
+    """A deliberately slow design point (overload with few requests)."""
+    return ReplicaSpec(
+        accel_config=AcceleratorConfig(num_pus=2, num_pes=2, num_multipliers=4),
+        name="weak",
+    )
+
+
+@pytest.fixture
+def hetero_specs(weak_spec):
+    """Two design points, so routing ties and projections are exercised."""
+    strong = ReplicaSpec(
+        accel_config=AcceleratorConfig(num_pus=4, num_pes=2, num_multipliers=8),
+        name="strong",
+    )
+    return [weak_spec, strong]
+
+
+@pytest.fixture
+def fleet_config():
+    return FleetConfig(
+        serving=ServingConfig(
+            max_batch_size=8,
+            max_wait_ms=5.0,
+            buckets=(16, 32, 64),
+            num_devices=1,
+            cache_capacity=512,
+        ),
+        admit_slo_factor=1.0,
+    )

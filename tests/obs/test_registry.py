@@ -1,0 +1,142 @@
+"""The metrics registry: deterministic Prometheus text exposition."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    MetricsRegistry,
+    parse_prometheus,
+)
+from repro.obs.registry import _format_value
+
+
+class TestValueFormatting:
+    def test_integral_floats_print_as_ints(self):
+        assert _format_value(3.0) == "3"
+        assert _format_value(0.0) == "0"
+        assert _format_value(-2.0) == "-2"
+
+    def test_fractional_floats_round_trip(self):
+        assert _format_value(2.5) == "2.5"
+        assert float(_format_value(0.1)) == 0.1
+
+    def test_huge_integral_floats_stay_repr(self):
+        # past 1e15 int(float) stops being a faithful rendering of the bits
+        assert _format_value(1e18) == repr(1e18)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", "X.")
+        c.inc()
+        c.inc(2)
+        assert c.value() == 3.0
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("x_total", "X.")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_labelled_samples_render_sorted(self):
+        reg = MetricsRegistry()
+        c = reg.counter("shed_total", "Shed.", labels=("reason",))
+        c.inc(2, reason="overload")
+        c.inc(1, reason="capacity")
+        out = reg.render()
+        lines = [l for l in out.splitlines() if not l.startswith("#")]
+        assert lines == [
+            'shed_total{reason="capacity"} 1',
+            'shed_total{reason="overload"} 2',
+        ]
+
+    def test_wrong_labels_rejected(self):
+        c = MetricsRegistry().counter("x_total", "X.", labels=("reason",))
+        with pytest.raises(ValueError, match="expected labels"):
+            c.inc(1, tenant="a")
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = MetricsRegistry().gauge("g", "G.")
+        g.set(1.5)
+        g.set(2.5)
+        assert g.value() == 2.5
+
+
+class TestHistogram:
+    def test_buckets_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_ms", "L.", buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 50.0):
+            h.observe(v)
+        out = reg.render()
+        assert 'lat_ms_bucket{le="1"} 2' in out
+        assert 'lat_ms_bucket{le="10"} 3' in out
+        assert 'lat_ms_bucket{le="+Inf"} 4' in out
+        assert "lat_ms_count 4" in out
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        # le is inclusive: an observation exactly at a boundary counts there
+        h = MetricsRegistry().histogram("h", "H.", buckets=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.counts[0] == 1
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            MetricsRegistry().histogram("h", "H.", buckets=(10.0, 1.0))
+
+    def test_observe_sorted_matches_observe(self):
+        a = MetricsRegistry().histogram("h", "H.")
+        b = MetricsRegistry().histogram("h", "H.")
+        values = [5.0, 1.0, 3.0, 700.0]
+        for v in sorted(values):
+            a.observe(v)
+        b.observe_sorted(sorted(values))
+        assert a.render() == b.render()
+
+
+class TestRegistry:
+    def test_families_render_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.gauge("zeta", "Z.").set(1)
+        reg.counter("alpha_total", "A.").inc()
+        out = reg.render()
+        assert out.index("alpha_total") < out.index("zeta")
+        assert out.endswith("\n")
+
+    def test_reregistration_returns_same_metric(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "X.")
+        b = reg.counter("x_total", "X.")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x", "X.")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x", "X.")
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+
+    def test_default_buckets_are_strictly_increasing(self):
+        assert list(DEFAULT_LATENCY_BUCKETS_MS) == sorted(
+            set(DEFAULT_LATENCY_BUCKETS_MS)
+        )
+
+
+class TestParseRoundTrip:
+    def test_parse_reads_back_rendered_values(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs_total", "R.").inc(7)
+        shed = reg.counter("shed_total", "S.", labels=("reason",))
+        shed.inc(2, reason="overload")
+        h = reg.histogram("lat_ms", "L.", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        families = parse_prometheus(reg.render())
+        assert families["reqs_total"]["reqs_total"] == 7.0
+        assert families["shed_total"]['shed_total{reason="overload"}'] == 2.0
+        assert families["lat_ms"]['lat_ms_bucket{le="+Inf"}'] == 2.0
+        assert families["lat_ms"]["lat_ms_count"] == 2.0

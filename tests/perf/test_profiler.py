@@ -64,3 +64,50 @@ class TestProfiler:
             pass
         profiler.reset()
         assert profiler.spans == {}
+
+
+class TestChromeTrace:
+    """Opt-in per-entry tracing, exported via the shared obs tracer."""
+
+    def test_aggregate_mode_keeps_no_entries(self):
+        profiler = Profiler()
+        with profiler.span("x"):
+            pass
+        assert profiler.entries == []
+        with pytest.raises(ValueError, match="trace=True"):
+            profiler.chrome_trace()
+
+    def test_entries_are_epoch_relative(self):
+        profiler = Profiler(trace=True)
+        with profiler.span("first"):
+            time.sleep(0.001)
+        with profiler.span("second"):
+            pass
+        (name_a, start_a, dur_a), (name_b, start_b, dur_b) = profiler.entries
+        assert (name_a, name_b) == ("first", "second")
+        assert start_a == 0.0
+        assert start_b >= dur_a  # second began after first ended
+        assert dur_a >= 0.5
+
+    def test_chrome_document_shape(self):
+        import json
+
+        profiler = Profiler(trace=True)
+        with profiler.span("stage"):
+            pass
+        doc = profiler.chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+        meta, span = doc["traceEvents"]
+        assert meta["ph"] == "M" and meta["args"]["name"] == "profiler"
+        assert span["ph"] == "X" and span["name"] == "stage"
+        json.loads(profiler.chrome_trace_json())
+
+    def test_reset_clears_trace_state(self):
+        profiler = Profiler(trace=True)
+        with profiler.span("x"):
+            pass
+        profiler.reset()
+        assert profiler.entries == []
+        with profiler.span("y"):
+            pass
+        assert profiler.entries[0][1] == 0.0  # epoch restarted

@@ -34,6 +34,14 @@ class TestPercentile:
             [1.0, 3.0, 5.0, 9.0], 75
         )
 
+    def test_error_ordering_matches_sorted_variant(self):
+        # empty + out-of-range q: both variants must report the range
+        # error (the caller's bug) rather than the emptiness error
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([], 150)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile_sorted([], 150)
+
 
 class TestPercentileSorted:
     """The single-sort fast path must be bit-identical to `percentile`."""
