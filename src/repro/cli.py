@@ -11,6 +11,7 @@ Subcommands::
     python -m repro.cli loadtest  --scenario flash-crowd --replicas 2 [--autoscale] [--analytic]
     python -m repro.cli loadtest  --scenario flash-crowd --columnar --shards 4 --rate-scale 640
     python -m repro.cli loadtest  --scenario flash-crowd --metrics-out m.prom --trace-out t.json --windows w.jsonl
+    python -m repro.cli loadtest  --scenario flash-crowd --chaos-plan plan.json --retries 2 --breaker --brownout
     python -m repro.cli metrics   --prom m.prom [--windows w.jsonl] [--trace t.json]
     python -m repro.cli search    --space table3 [--scenario flash-crowd] [--json out.json]
     python -m repro.cli bench     [--quick] [--suite kernels|serve|cluster|fleet|dse|all]
@@ -256,7 +257,15 @@ def cmd_serve(args) -> int:
 
 
 def _parse_failures(specs):
-    """Parse ``--fail REPLICA@FAIL_MS[:RECOVER_MS]`` flags."""
+    """Parse ``--fail REPLICA@FAIL_MS[:RECOVER_MS]`` flags.
+
+    Syntax errors and value errors get distinct messages: a spec that
+    does not match the grammar reports the expected shape, while a spec
+    that parses but is invalid (negative/NaN/inf times, recovery at or
+    before the failure) surfaces :class:`FailureEvent`'s own validation
+    message — ``--fail 0@nan`` should say *why* it is rejected, not just
+    re-print the grammar.
+    """
     from .fleet import FailureEvent
 
     failures = []
@@ -264,17 +273,21 @@ def _parse_failures(specs):
         try:
             replica_part, times = spec.split("@", 1)
             fail_part, _, recover_part = times.partition(":")
-            failures.append(
-                FailureEvent(
-                    replica_id=int(replica_part),
-                    fail_ms=float(fail_part),
-                    recover_ms=float(recover_part) if recover_part else None,
-                )
-            )
+            replica_id = int(replica_part)
+            fail_ms = float(fail_part)
+            recover_ms = float(recover_part) if recover_part else None
         except (ValueError, IndexError):
             raise SystemExit(
                 f"--fail expects REPLICA@FAIL_MS[:RECOVER_MS], got {spec!r}"
             )
+        try:
+            failures.append(
+                FailureEvent(
+                    replica_id=replica_id, fail_ms=fail_ms, recover_ms=recover_ms
+                )
+            )
+        except ValueError as exc:
+            raise SystemExit(f"--fail {spec!r}: {exc}")
     return failures
 
 
@@ -362,6 +375,37 @@ def cmd_loadtest(args) -> int:
         else None
     )
     failures = _parse_failures(args.fail)
+    chaos = None
+    if args.chaos_plan:
+        from .fleet import load_chaos_plan
+
+        try:
+            chaos = load_chaos_plan(args.chaos_plan)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise SystemExit(f"--chaos-plan {args.chaos_plan}: {exc}")
+    resilience = None
+    if (
+        args.retries > 0
+        or args.hedge
+        or args.breaker
+        or args.brownout
+        or args.timeout_ms is not None
+    ):
+        from .fleet import ResiliencePolicy
+
+        try:
+            resilience = ResiliencePolicy(
+                max_retries=args.retries,
+                backoff_base_ms=args.retry_backoff_ms,
+                retry_budget_ratio=args.retry_budget,
+                hedge=args.hedge,
+                hedge_factor=args.hedge_factor,
+                timeout_ms=args.timeout_ms,
+                breaker=args.breaker,
+                brownout=args.brownout,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"resilience flags: {exc}")
     # In a fixed fleet the replica ids are exactly 0..replicas-1, so an id
     # beyond that is a typo.  With --autoscale, churn mints fresh ids
     # without bound (ids are never reused), so any id may come to exist;
@@ -421,6 +465,8 @@ def cmd_loadtest(args) -> int:
                     shards=args.shards,
                     shard_processes=args.shard_procs,
                     obs=obs,
+                    chaos=chaos,
+                    resilience=resilience,
                 )
             else:
                 report = run_scenario(
@@ -436,6 +482,8 @@ def cmd_loadtest(args) -> int:
                     duration_scale=args.duration_scale,
                     analytic=args.analytic,
                     obs=obs,
+                    chaos=chaos,
+                    resilience=resilience,
                 )
             print(report.render())
             print()
@@ -637,6 +685,15 @@ def cmd_search(args) -> int:
             for i in picks
         ]
 
+        chaos = None
+        if getattr(args, "chaos_plan", None):
+            from .fleet import load_chaos_plan
+
+            try:
+                chaos = load_chaos_plan(args.chaos_plan)
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                raise SystemExit(f"--chaos-plan {args.chaos_plan}: {exc}")
+
         model, tokenizer, fleet_config = _synthetic_cluster(args)
         scenario = catalog[args.scenario]
         p99_target = args.p99_target
@@ -656,6 +713,7 @@ def cmd_search(args) -> int:
             seed=args.seed,
             rate_scale=args.rate_scale,
             duration_scale=args.duration_scale,
+            chaos=chaos,
         )
         print(result.render())
 
@@ -847,6 +905,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a replica failure (repeatable)",
     )
     loadtest.add_argument(
+        "--chaos-plan", metavar="PATH",
+        help="load a seeded chaos plan (JSON: fail-stop, gray windows, "
+        "correlated zone outages; see docs/robustness.md) and inject it "
+        "alongside any --fail events",
+    )
+    loadtest.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry shed/timed-out admissions up to N times with seeded "
+        "exponential backoff + jitter (0 = off)",
+    )
+    loadtest.add_argument(
+        "--retry-backoff-ms", type=float, default=5.0,
+        help="first retry delay in simulated ms (doubles per attempt)",
+    )
+    loadtest.add_argument(
+        "--retry-budget", type=float, default=0.0, metavar="RATIO",
+        help="retry-budget tokens accrued per admitted original "
+        "(0 = unmetered retries)",
+    )
+    loadtest.add_argument(
+        "--timeout-ms", type=float, default=None,
+        help="shed (into the retry path) any admission whose projected "
+        "completion exceeds this instead of queueing it",
+    )
+    loadtest.add_argument(
+        "--hedge", action="store_true",
+        help="duplicate risky admissions onto the second-best replica; "
+        "first finisher wins, the twin is cancelled",
+    )
+    loadtest.add_argument(
+        "--hedge-factor", type=float, default=0.75,
+        help="hedge when projected latency > factor * SLO",
+    )
+    loadtest.add_argument(
+        "--breaker", action="store_true",
+        help="per-replica circuit breaker over windowed straggle rates "
+        "(closed/open/half-open)",
+    )
+    loadtest.add_argument(
+        "--brownout", action="store_true",
+        help="degrade the admission bound stepwise under overload before "
+        "shedding (brownout ladder)",
+    )
+    loadtest.add_argument(
         "--rate-scale", type=float, default=1.0,
         help="multiply the whole arrival-rate curve (scale traffic volume)",
     )
@@ -955,6 +1057,12 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--no-autoscale", action="store_true",
         help="plan: skip the autoscaled plan variants",
+    )
+    search.add_argument(
+        "--chaos-plan", metavar="PATH",
+        help="plan: replay every candidate under this chaos plan (JSON; "
+        "see docs/robustness.md) — feasible means the targets hold both "
+        "clean and under chaos (N+1 sizing by simulation)",
     )
     search.add_argument("--rate-scale", type=float, default=1.0)
     search.add_argument("--duration-scale", type=float, default=1.0)

@@ -14,6 +14,10 @@ autoscaler recovers the tail, and what a replica failure costs.
   injection + drain/recovery
 - :mod:`autoscale` — utilization + p99 driven replica scaling with
   simulator-priced cold starts
+- :mod:`chaos` — seeded chaos plans (fail-stop, gray/straggler windows,
+  correlated zone outages) and the resilience policy that answers them:
+  retries with exponential backoff + a retry budget, request hedging,
+  per-replica circuit breakers, and brownout degradation
 - :mod:`metrics` — empty-safe per-tenant / per-replica aggregation,
   goodput, shed rates
 - :mod:`runner` — the deterministic event loop behind
@@ -27,6 +31,21 @@ Everything runs on the simulated clock: same seed, byte-identical report.
 """
 
 from .autoscale import AutoscalePolicy, Autoscaler, ScaleEvent
+from .chaos import (
+    BrownoutLadder,
+    ChaosPlan,
+    ChaosStats,
+    CircuitBreaker,
+    GrayWindow,
+    ResiliencePolicy,
+    RetryBudget,
+    SHED_BREAKER,
+    SHED_TIMEOUT,
+    ZoneOutage,
+    backoff_delay_ms,
+    chaos_plan_from_dict,
+    load_chaos_plan,
+)
 from .columnar import (
     ColumnarFleetState,
     ShardPartial,
@@ -65,6 +84,19 @@ __all__ = [
     "AutoscalePolicy",
     "Autoscaler",
     "ScaleEvent",
+    "BrownoutLadder",
+    "ChaosPlan",
+    "ChaosStats",
+    "CircuitBreaker",
+    "GrayWindow",
+    "ResiliencePolicy",
+    "RetryBudget",
+    "SHED_BREAKER",
+    "SHED_TIMEOUT",
+    "ZoneOutage",
+    "backoff_delay_ms",
+    "chaos_plan_from_dict",
+    "load_chaos_plan",
     "ColumnarFleetState",
     "ColumnarTrace",
     "ShardPartial",

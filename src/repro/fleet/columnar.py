@@ -42,15 +42,28 @@ for shard counts 1, 2, 5, and 7.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from ..serve.metrics import percentile
 from ..serve.router import service_table
 from .autoscale import SCALE_DOWN, SCALE_UP, AutoscalePolicy, ScaleEvent
+from .chaos import (
+    SHED_BREAKER,
+    SHED_TIMEOUT,
+    BrownoutLadder,
+    ChaosPlan,
+    ChaosStats,
+    CircuitBreaker,
+    GrayWindow,
+    ResiliencePolicy,
+    RetryBudget,
+    backoff_delay_ms,
+)
 from .fleet import (
     SHED_NO_CAPACITY,
     SHED_OVERLOAD,
@@ -60,7 +73,10 @@ from .fleet import (
 )
 from .metrics import build_fleet_stats_columns, build_replica_stats
 from .runner import (
+    _ARRIVAL,
     _FAIL,
+    _GRAY_END,
+    _GRAY_START,
     _RECOVER,
     _TICK,
     FailureEvent,
@@ -79,9 +95,13 @@ from . import _native
 # Shed codes in the completion columns (0 = completed).
 SHED_CODE_OVERLOAD = 1
 SHED_CODE_NO_CAPACITY = 2
+SHED_CODE_BREAKER = 3
+SHED_CODE_TIMEOUT = 4
 SHED_REASON_OF_CODE = {
     SHED_CODE_OVERLOAD: SHED_OVERLOAD,
     SHED_CODE_NO_CAPACITY: SHED_NO_CAPACITY,
+    SHED_CODE_BREAKER: SHED_BREAKER,
+    SHED_CODE_TIMEOUT: SHED_TIMEOUT,
 }
 
 
@@ -108,6 +128,14 @@ class _Rep:
     retired_ms: Optional[float] = None
     failures: int = 0
     downtime_ms: float = 0.0
+    # down because of a fail-stop (vs scaled away) — recover guard,
+    # mirroring Replica.failed
+    failed: bool = False
+    # gray-window service multiplier (DeviceRouter.slowdown's twin);
+    # 1.0 costs no float op
+    slowdown: float = 1.0
+    # per-replica straggle detector when the resilience policy enables it
+    breaker: Optional[CircuitBreaker] = None
     pending: int = 0
     # Per-bucket FIFO queues of (request index, enqueue ms); `order` lists
     # bucket slots in first-use order (the batcher's dict insertion order,
@@ -137,6 +165,19 @@ class ColumnarFleetState:
     last_tick: float = 0.0
     busy_snapshot: float = 0.0
     events: List[ScaleEvent] = field(default_factory=list)
+    # chaos-layer state (rides the shard pickle like everything else)
+    chaos: ChaosStats = field(default_factory=ChaosStats)
+    budget: Optional[RetryBudget] = None
+    brownout: Optional[BrownoutLadder] = None
+    # scheduled backoff retries: min-heap of (due_ms, seq, idx, attempt);
+    # seq increments in scheduling order, matching the event loop's
+    # event-sequence numbering of _RETRY events (same relative order).
+    retry_heap: List[Tuple[float, int, int, int]] = field(default_factory=list)
+    retry_seq: int = 0
+    # hedged pairs: (rid, request idx) -> (twin rid, shared bucket slot),
+    # both directions, plus the set of primary keys (for hedge_wins).
+    hedge: Dict[Tuple[int, int], Tuple[int, int]] = field(default_factory=dict)
+    hedge_primary: Set[Tuple[int, int]] = field(default_factory=set)
 
 
 @dataclass
@@ -234,6 +275,9 @@ class _Prepared:
     autoscale: Optional[AutoscalePolicy]
     scale_spec: Optional[ReplicaSpec]
     model_config: object
+    resilience: Optional[ResiliencePolicy] = None
+    has_grays: bool = False          # any gray window in the event stream
+    chaos_active: bool = False       # attach the report's chaos section
 
     @property
     def num_requests(self) -> int:
@@ -258,6 +302,9 @@ def _prepare(
     seed: int,
     rate_scale: float,
     duration_scale: float,
+    grays: Sequence[GrayWindow] = (),
+    resilience: Optional[ResiliencePolicy] = None,
+    chaos_active: bool = False,
 ) -> _Prepared:
     policy = fleet_config.serving
     if policy.max_seq_len > model.config.max_position_embeddings:
@@ -367,7 +414,13 @@ def _prepare(
         )
 
     events = sorted(
-        control_events(duration_ms, autoscale, failures, first_seq=arrival.shape[0]),
+        control_events(
+            duration_ms,
+            autoscale,
+            failures,
+            first_seq=arrival.shape[0],
+            grays=grays,
+        ),
         key=lambda e: (e[0], e[1], e[2]),
     )
     return _Prepared(
@@ -386,6 +439,9 @@ def _prepare(
         autoscale=autoscale,
         scale_spec=scale_spec,
         model_config=model.config,
+        resilience=resilience,
+        has_grays=bool(grays),
+        chaos_active=chaos_active,
     )
 
 
@@ -445,13 +501,26 @@ class ColumnarFleetEngine:
         self.bucket_values = list(policy.buckets)
         self.ref_idx = self.bucket_values.index(reference_bucket(policy.buckets))
         self.track_hist = prep.autoscale is not None
+        self.resilience = prep.resilience
+        self.resilient = (
+            prep.resilience is not None and prep.resilience.enabled
+        )
+        self._hedging = self.resilient and prep.resilience.hedge
+        # The per-arrival resilient path needs the live state from inside
+        # _flush (hedge cancellation, breaker telemetry); the engine
+        # stashes the current state here for the duration of a window.
+        self._cur_state: Optional[ColumnarFleetState] = None
         self._tables: Dict[Tuple[object, object], _DesignTables] = {}
         if use_native is None:
             use_native = _native.available()
         # The C kernel covers the arrival sweep only; the autoscaler's
         # history bookkeeping keeps those runs on the (still exact)
-        # Python sweep.
-        self.use_native = bool(use_native) and _native.available()
+        # Python sweep.  Gray windows stretch realized service inside the
+        # flush, which the kernel does not model — they force the (still
+        # exact) Python sweep too.
+        self.use_native = (
+            bool(use_native) and _native.available() and not prep.has_grays
+        )
         # Global scratch for the native kernel (allocated lazily).
         self._finish_scratch: Optional[np.ndarray] = None
         self._shed_scratch: Optional[np.ndarray] = None
@@ -487,6 +556,11 @@ class ColumnarFleetEngine:
     # ------------------------------------------------------------------
     def initial_state(self) -> ColumnarFleetState:
         state = ColumnarFleetState()
+        policy = self.prep.resilience
+        if policy is not None:
+            state.budget = RetryBudget.from_policy(policy)
+            if policy.brownout:
+                state.brownout = BrownoutLadder.from_policy(policy)
         for spec in self.prep.specs:
             self._add_replica(state, spec, now=0.0, cold=False)
         # Autoscaler construction snapshots total busy time (zero at t=0).
@@ -508,6 +582,9 @@ class ColumnarFleetEngine:
             seen=[False] * self.B,
             hist=[] if self.track_hist else None,
         )
+        policy = self.prep.resilience
+        if policy is not None and policy.breaker:
+            rep.breaker = CircuitBreaker.from_policy(policy)
         state.next_id += 1
         state.replicas.append(rep)
         self._rebuild_live(state)
@@ -528,15 +605,21 @@ class ColumnarFleetEngine:
         rep.live = False
         rep.retired_ms = now
         rep.failures += 1
+        rep.failed = True
         self._rebuild_live(state)
         if self.obs is not None:
             self.obs.on_failure(rep.rid, now)
         self._migrate(state, rep, now, acc)
 
     def _recover(self, state: ColumnarFleetState, rid: int, now: float):
+        # Same down-cause guard as Fleet.recover_replica: only a replica
+        # that is down *because it failed* comes back; one the autoscaler
+        # scaled away while down stays retired (see the fleet docstring
+        # contract and tests/fleet/test_chaos.py).
         rep = state.replicas[rid] if rid < len(state.replicas) else None
-        if rep is None or rep.live or rep.failures == 0:
+        if rep is None or rep.live or not rep.failed:
             return
+        rep.failed = False
         cold = self.tables_for(rep.spec).cold_ms
         rep.busy_until = max(rep.busy_until, now + cold)
         if self.obs is not None:
@@ -575,7 +658,11 @@ class ColumnarFleetEngine:
         take = min(len(queue), self.M)
         requests, rep.queues[b] = queue[:take], queue[take:]
         rep.pending -= take
-        service = self.tables_for(rep.spec).svc[b][take]
+        # `nominal` is the memoized simulator price (the router estimate);
+        # a gray window stretches the *realized* service exactly like
+        # DeviceRouter.dispatch — same multiply, same operands.
+        nominal = self.tables_for(rep.spec).svc[b][take]
+        service = nominal if rep.slowdown == 1.0 else nominal * rep.slowdown
         start = flush_ms if flush_ms > rep.busy_until else rep.busy_until
         fin = start + service
         rep.busy_until = fin
@@ -603,6 +690,58 @@ class ColumnarFleetEngine:
                 if lat <= float(slo[idx]):
                     met += 1
             obs.on_completions(fin, latencies, met)
+        # Same consumer order as Fleet._install_batch_hook: observer,
+        # then circuit breaker, then hedge cancellation.
+        breaker = rep.breaker
+        if breaker is not None:
+            transition = breaker.observe(
+                fin,
+                service > self.resilience.breaker_straggle_factor * nominal,
+            )
+            # opens/closes roll up from the breakers at finalize (the
+            # live counters the event loop keeps are the same sums).
+            if transition is not None and obs is not None:
+                obs.on_breaker(rep.rid, fin, transition)
+        if self._hedging:
+            state = self._cur_state
+            for idx, _enq in requests:
+                key = (rep.rid, idx)
+                twin = state.hedge.pop(key, None)
+                if twin is None:
+                    continue
+                twin_rid, twin_b = twin
+                del state.hedge[(twin_rid, idx)]
+                # cancel the still-queued twin copy (DynamicBatcher.cancel)
+                twin_rep = state.replicas[twin_rid]
+                twin_q = twin_rep.queues[twin_b]
+                pos = -1
+                for j, (qidx, _qenq) in enumerate(twin_q):
+                    if qidx == idx:
+                        pos = j
+                        break
+                if pos < 0:
+                    raise RuntimeError(
+                        f"hedged twin of request {idx} on replica "
+                        f"{twin_rid} was not cancellable — hedge "
+                        f"bookkeeping out of sync"
+                    )
+                del twin_q[pos]
+                twin_rep.pending -= 1
+                if pos == 0:
+                    nd = None
+                    wait = self.wait
+                    for b2 in twin_rep.order:
+                        q = twin_rep.queues[b2]
+                        if q:
+                            cand = q[0][1] + wait
+                            if nd is None or cand < nd:
+                                nd = cand
+                    twin_rep.next_dl = nd
+                if key in state.hedge_primary:
+                    state.hedge_primary.discard(key)
+                else:
+                    state.chaos.hedge_wins += 1
+                    state.hedge_primary.discard((twin_rid, idx))
         # recompute the earliest pending deadline (batcher invariant)
         nd = None
         wait = self.wait
@@ -633,7 +772,14 @@ class ColumnarFleetEngine:
 
     def _enqueue(
         self, rep: _Rep, b: int, idx: int, now: float, acc: _Accum
-    ) -> None:
+    ) -> bool:
+        """Enqueue one request; returns True when it flushed on the spot.
+
+        The return value mirrors the event loop's ``engine_rid not in
+        engine.results`` probe after submit: a full batch flushes inside
+        the enqueue and executes the request immediately (hedging only
+        duplicates requests that are still queued).
+        """
         queue = rep.queues[b]
         queue.append((idx, now))
         rep.pending += 1
@@ -646,6 +792,8 @@ class ColumnarFleetEngine:
                 rep.next_dl = deadline
         if len(queue) >= self.M:
             self._flush(rep, b, now, acc)
+            return True
+        return False
 
     def _advance(self, state: ColumnarFleetState, now: float, acc: _Accum) -> None:
         """``Fleet.advance``: fire due deadlines on live replicas, id order."""
@@ -674,7 +822,19 @@ class ColumnarFleetEngine:
         rep.next_dl = None
         evicted.sort(key=lambda e: e[1])  # stable, like evict_all
         replicas = state.replicas
+        hedging = self._hedging
         for idx, _enq, b in evicted:
+            if hedging:
+                twin = state.hedge.pop((rep.rid, idx), None)
+                if twin is not None:
+                    # One copy of a hedged pair was queued here; the twin
+                    # (still queued elsewhere) carries the request alone —
+                    # drop this copy instead of migrating it, exactly like
+                    # Fleet._migrate_pending.
+                    del state.hedge[(twin[0], idx)]
+                    state.hedge_primary.discard((rep.rid, idx))
+                    state.hedge_primary.discard((twin[0], idx))
+                    continue
             survivors = state.live
             if not survivors:
                 acc.shed_idx_py.append(idx)
@@ -804,6 +964,13 @@ class ColumnarFleetEngine:
     ) -> None:
         if hi <= lo:
             return
+        if self.resilient:
+            # The resilient admission path is inherently per-arrival
+            # (breaker probes, brownout hysteresis, retries racing the
+            # trace) — and even the no-live-replica case must route
+            # through it so sheds can become scheduled retries.
+            self._run_arrivals_resilient(state, lo, hi, acc)
+            return
         if not state.live:
             # No live replica: every arrival sheds with no-capacity, and
             # with no queues there are no deadlines to fire (vectorized).
@@ -884,6 +1051,9 @@ class ColumnarFleetEngine:
         price = [t.price_full for t in tabs]
         ref = [t.ref_price for t in tabs]
         svc = [t.svc for t in tabs]
+        # Gray-window multipliers are control-event state: they can only
+        # change between sweeps, so a local snapshot is exact.
+        slows = [r.slowdown for r in lreps]
         hists = [r.hist for r in lreps]
         done_idx = acc.done_idx_py
         done_fin = acc.done_fin_py
@@ -899,6 +1069,8 @@ class ColumnarFleetEngine:
             take = len(queue) if len(queue) < M else M
             requests, queues[k][b] = queue[:take], queue[take:]
             service = svc[k][b][take]
+            if slows[k] != 1.0:
+                service = service * slows[k]
             bu = busy_until[k]
             start = flush_ms if flush_ms > bu else bu
             fin = start + service
@@ -1115,6 +1287,192 @@ class ColumnarFleetEngine:
             rep.next_dl = None if math.isinf(nd) else nd
 
     # ------------------------------------------------------------------
+    # resilient request path (chaos layer) — mirrors Fleet._attempt
+    # ------------------------------------------------------------------
+    def _run_arrivals_resilient(
+        self, state: ColumnarFleetState, lo: int, hi: int, acc: _Accum
+    ) -> None:
+        """Per-arrival resilient sweep, retries interleaved on the clock.
+
+        A retry due strictly before an arrival fires first; one due at
+        the same instant fires after every arrival of that instant —
+        the event loop's ``_ARRIVAL < _RETRY`` kind ordering.
+        """
+        arrival = self.prep.arrival
+        if self.obs is not None and hi > lo:
+            self.obs.on_arrivals(arrival[lo:hi])
+        policy = self.prep.resilience
+        accrue = policy.max_retries > 0
+        budget = state.budget
+        heap = state.retry_heap
+        heappop = heapq.heappop
+        step = 1 << 20
+        pos = lo
+        while pos < hi:
+            end = min(pos + step, hi)
+            ts = arrival[pos:end].tolist()
+            for k2 in range(end - pos):
+                t = ts[k2]
+                while heap and heap[0][0] < t:
+                    due, _seq, idx, attempt = heappop(heap)
+                    self._advance(state, due, acc)
+                    self._attempt_resilient(state, idx, attempt, due, acc)
+                self._advance(state, t, acc)
+                if accrue:
+                    budget.accrue()
+                self._attempt_resilient(state, pos + k2, 0, t, acc)
+            pos = end
+
+    def _fire_retries(
+        self,
+        state: ColumnarFleetState,
+        acc: _Accum,
+        limit: float,
+        inclusive: bool,
+    ) -> None:
+        """Fire scheduled retries up to ``limit`` (their due instants).
+
+        ``inclusive`` matches the event-kind ordering against the control
+        event being processed: retries at a tick's instant precede the
+        tick (``_RETRY < _TICK``) but follow fail/recover/gray events.
+        """
+        heap = state.retry_heap
+        heappop = heapq.heappop
+        while heap and (heap[0][0] <= limit if inclusive else heap[0][0] < limit):
+            due, _seq, idx, attempt = heappop(heap)
+            self._advance(state, due, acc)
+            self._attempt_resilient(state, idx, attempt, due, acc)
+
+    def _attempt_resilient(
+        self,
+        state: ColumnarFleetState,
+        idx: int,
+        attempt: int,
+        now: float,
+        acc: _Accum,
+    ) -> None:
+        """One admission attempt — the exact twin of ``Fleet._attempt``."""
+        policy = self.prep.resilience
+        obs = self.obs
+        replicas = state.replicas
+        live = state.live
+        if not live:
+            self._shed_or_retry(state, idx, attempt, now, acc, SHED_CODE_NO_CAPACITY)
+            return
+        if policy.breaker:
+            candidates = []
+            for rid in live:
+                rep = replicas[rid]
+                breaker = rep.breaker
+                before = breaker.state
+                ok = breaker.allows(now)
+                if breaker.state is not before and obs is not None:
+                    obs.on_breaker(rid, now, breaker.state)
+                if ok:
+                    candidates.append(rep)
+            if not candidates:
+                self._shed_or_retry(state, idx, attempt, now, acc, SHED_CODE_BREAKER)
+                return
+        else:
+            candidates = [replicas[rid] for rid in live]
+        best = candidates[0]
+        projected = self._projection(best, now)
+        second: Optional[_Rep] = None
+        second_proj = math.inf
+        for rep in candidates[1:]:
+            challenger = self._projection(rep, now)
+            if challenger < projected:
+                second = best
+                second_proj = projected
+                best = rep
+                projected = challenger
+            elif challenger < second_proj:
+                second = rep
+                second_proj = challenger
+        if policy.timeout_ms is not None and projected > policy.timeout_ms:
+            state.chaos.timeouts += 1
+            self._shed_or_retry(state, idx, attempt, now, acc, SHED_CODE_TIMEOUT)
+            return
+        slo = float(self.prep.slo[idx])
+        base = self.factor * slo
+        ladder = state.brownout
+        if ladder is None:
+            if projected > base:
+                self._shed_or_retry(state, idx, attempt, now, acc, SHED_CODE_OVERLOAD)
+                return
+        else:
+            if (
+                ladder.level > 0
+                and now - ladder.last_change_ms >= ladder.dwell_ms
+                and projected <= base * ladder.levels[ladder.level - 1]
+            ):
+                ladder.level -= 1
+                ladder.last_change_ms = now
+                ladder.deescalations += 1
+                state.chaos.brownout_deescalations += 1
+                if obs is not None:
+                    obs.on_brownout(now, ladder.level)
+            bound = base * ladder.levels[ladder.level]
+            top = len(ladder.levels) - 1
+            while projected > bound and ladder.level < top:
+                ladder.level += 1
+                ladder.last_change_ms = now
+                ladder.escalations += 1
+                state.chaos.brownout_escalations += 1
+                if obs is not None:
+                    obs.on_brownout(now, ladder.level)
+                bound = base * ladder.levels[ladder.level]
+            if projected > bound:
+                self._shed_or_retry(state, idx, attempt, now, acc, SHED_CODE_OVERLOAD)
+                return
+        b = int(self.prep.bucket_idx[idx])
+        flushed = self._enqueue(best, b, idx, now, acc)
+        if self.track_hist and (state.min_slo is None or slo < state.min_slo):
+            state.min_slo = slo
+        if (
+            policy.hedge
+            and second is not None
+            and projected > policy.hedge_factor * slo
+            and not flushed
+        ):
+            # Bookkeeping before the twin enqueue: the twin itself may
+            # flush immediately and win on the spot (cancelling the
+            # still-queued primary through _flush).
+            primary_key = (best.rid, idx)
+            state.hedge[primary_key] = (second.rid, b)
+            state.hedge[(second.rid, idx)] = (best.rid, b)
+            state.hedge_primary.add(primary_key)
+            state.chaos.hedges += 1
+            self._enqueue(second, b, idx, now, acc)
+
+    def _shed_or_retry(
+        self,
+        state: ColumnarFleetState,
+        idx: int,
+        attempt: int,
+        now: float,
+        acc: _Accum,
+        code: int,
+    ) -> None:
+        """Schedule a backoff retry, or make the shed final."""
+        policy = self.prep.resilience
+        if policy.max_retries > 0 and attempt < policy.max_retries:
+            if state.budget.spend():
+                delay = backoff_delay_ms(policy, self.prep.seed, idx, attempt + 1)
+                state.chaos.retries += 1
+                heapq.heappush(
+                    state.retry_heap,
+                    (now + delay, state.retry_seq, idx, attempt + 1),
+                )
+                state.retry_seq += 1
+                return
+            state.chaos.retry_budget_exhausted += 1
+        acc.shed_idx_py.append(idx)
+        acc.shed_code_py.append(code)
+        if self.obs is not None:
+            self.obs.on_shed(now, SHED_REASON_OF_CODE[code])
+
+    # ------------------------------------------------------------------
     # windows, drain, report
     # ------------------------------------------------------------------
     def run_window(
@@ -1126,31 +1484,66 @@ class ColumnarFleetEngine:
     ) -> ShardPartial:
         """Process one time window: arrivals [alo, ahi) + control events."""
         acc = _Accum()
+        self._cur_state = state
         arrival = self.prep.arrival
+        resilient = self.resilient
         pos = alo
         for event in events:
             time_ms, kind = event[0], event[1]
             # arrivals strictly before the control event — and also the
-            # arrivals *at* a tick's timestamp (arrival kind < tick kind).
-            side = "right" if kind == _TICK else "left"
+            # arrivals *at* a tick's timestamp (arrival kind < tick kind;
+            # every other control kind precedes arrivals at its instant).
+            side = "right" if kind > _ARRIVAL else "left"
             j = int(np.searchsorted(arrival[pos:ahi], time_ms, side=side)) + pos
             self._run_arrivals(state, pos, j, acc)
             pos = j
+            if resilient:
+                # Retries due before this event fire first; ones due *at*
+                # its instant precede only a tick (_RETRY < _TICK, but
+                # recover/gray/fail kinds < _RETRY).
+                self._fire_retries(state, acc, time_ms, inclusive=kind == _TICK)
             self._advance(state, time_ms, acc)
             if kind == _TICK:
                 self._tick(state, time_ms, acc)
             elif kind == _FAIL:
                 self._fail(state, event[3], time_ms, acc)
+            elif kind == _GRAY_START:
+                rid, slowdown, end_ms = event[3]
+                # Unknown ids are a no-op, like Fleet.set_slowdown — but
+                # the trace instant is still recorded (the plan said so).
+                if rid < len(state.replicas):
+                    state.replicas[rid].slowdown = slowdown
+                if self.obs is not None:
+                    self.obs.on_gray(rid, time_ms, end_ms, slowdown)
+            elif kind == _GRAY_END:
+                rid = event[3]
+                if rid < len(state.replicas):
+                    state.replicas[rid].slowdown = 1.0
             else:  # _RECOVER
                 self._recover(state, event[3], time_ms)
             if time_ms > state.now:
                 state.now = time_ms
         self._run_arrivals(state, pos, ahi, acc)
+        self._cur_state = None
+        return acc.to_partial()
+
+    def drain_retries(self, state: ColumnarFleetState) -> ShardPartial:
+        """Fire every retry still scheduled past the last window's events.
+
+        The event loop's heap empties itself — retries are first-class
+        events — so the columnar run drains the retry heap explicitly
+        before the final queue drain.
+        """
+        acc = _Accum()
+        self._cur_state = state
+        self._fire_retries(state, acc, math.inf, inclusive=True)
+        self._cur_state = None
         return acc.to_partial()
 
     def drain(self, state: ColumnarFleetState) -> ShardPartial:
         """``Fleet.drain``: flush remaining queues, all replicas, id order."""
         acc = _Accum()
+        self._cur_state = state
         for rep in state.replicas:
             if rep.pending == 0:
                 continue
@@ -1160,6 +1553,7 @@ class ColumnarFleetEngine:
                 now = max(now, deadline)
                 self._fire_dues(rep, now, acc)
             rep.next_dl = None
+        self._cur_state = None
         return acc.to_partial()
 
     def finalize(
@@ -1196,6 +1590,17 @@ class ColumnarFleetEngine:
             )
             for rep in state.replicas
         ]
+        chaos = None
+        if prep.chaos_active:
+            # Breaker transitions were counted inside each breaker (no
+            # shared counter is reachable from _flush); the rollup here
+            # equals the event loop's live tally — observe() increments
+            # its own opens/closes alongside the fleet's.
+            chaos = state.chaos
+            for rep in state.replicas:
+                if rep.breaker is not None:
+                    chaos.breaker_opens += rep.breaker.opens
+                    chaos.breaker_closes += rep.breaker.closes
         stats = build_fleet_stats_columns(
             duration_ms=duration,
             tenant_names=prep.tenant_names,
@@ -1208,6 +1613,7 @@ class ColumnarFleetEngine:
             migrations=state.migrations,
             replicas=replica_rows,
             scale_events=list(state.events),
+            chaos=chaos,
         )
         return FleetReport(
             scenario=prep.name,
@@ -1332,6 +1738,8 @@ def run_scenario_columnar(
     shard_processes: bool = False,
     native: Optional[bool] = None,
     obs=None,
+    chaos: Optional[ChaosPlan] = None,
+    resilience: Optional[ResiliencePolicy] = None,
 ) -> FleetReport:
     """Columnar twin of :func:`repro.fleet.runner.run_scenario`.
 
@@ -1366,11 +1774,22 @@ def run_scenario_columnar(
             report byte; metric streams are byte-identical to the
             event-loop runner's at any shard count (the C kernel is
             bypassed while an observer is attached).
+        chaos: Optional :class:`~repro.fleet.chaos.ChaosPlan` — same
+            semantics as the event-loop runner's parameter (fail-stops,
+            zone outages, gray windows).
+        resilience: Optional :class:`~repro.fleet.chaos.ResiliencePolicy`
+            — enables the per-arrival resilient admission path (timeout,
+            breaker, brownout, retries, hedging), byte-identical to the
+            event loop's at any shard count.
 
     Returns:
         The :class:`FleetReport`.
     """
     obs = obs or None
+    grays: Sequence[GrayWindow] = ()
+    if chaos is not None:
+        failures = tuple(failures) + chaos.failure_events()
+        grays = chaos.grays
     prep = _prepare(
         scenario,
         model,
@@ -1383,6 +1802,9 @@ def run_scenario_columnar(
         seed,
         rate_scale,
         duration_scale,
+        grays=grays,
+        resilience=resilience,
+        chaos_active=chaos is not None or resilience is not None,
     )
     engine = ColumnarFleetEngine(prep, use_native=native, obs=obs)
     state = engine.initial_state()
@@ -1404,7 +1826,14 @@ def run_scenario_columnar(
                     for rep in state.replicas
                     if rep.next_dl is not None
                 ]
+                if state.retry_heap:
+                    # A scheduled retry may still shed (or admit work
+                    # that flushes) at its due instant — hold the
+                    # watermark back to it.
+                    pending.append(state.retry_heap[0][0])
                 obs.advance(min([edge] + pending))
+    if engine.resilient:
+        partials.append(engine.drain_retries(state))
     partials.append(engine.drain(state))
     report = engine.finalize(state, partials)
     if obs is not None:

@@ -42,6 +42,17 @@ from typing import Dict, List, Optional, Tuple
 from ..accel.config import AcceleratorConfig
 from ..accel.devices import FpgaDevice, ZCU102
 from ..serve.engine import ServingConfig, ServingEngine
+from .chaos import (
+    BREAKER_OPEN,
+    SHED_BREAKER,
+    SHED_TIMEOUT,
+    BrownoutLadder,
+    ChaosStats,
+    CircuitBreaker,
+    ResiliencePolicy,
+    RetryBudget,
+    backoff_delay_ms,
+)
 from .scenarios import FleetRequest
 
 SHED_OVERLOAD = "overload"          # projected latency beyond the admit bound
@@ -108,6 +119,10 @@ class Replica:
     live: bool = True
     retired_ms: Optional[float] = None
     failures: int = 0
+    # True while down *because of a fail-stop* (vs. scaled away) — the
+    # recover_replica guard, so recovery never resurrects capacity the
+    # autoscaler deliberately removed.
+    failed: bool = False
     downtime_ms: float = 0.0   # cumulative failed time (excluded from live time)
     # engine request id -> fleet record, for failover remapping and the
     # observability hook (the object itself, so per-completion telemetry
@@ -116,6 +131,9 @@ class Replica:
     # bucket -> full-size-batch service ms on this design point (admission
     # pricing; filled from the fleet-wide design-point cache at attach time)
     bucket_price: Dict[int, float] = field(default_factory=dict)
+    # per-replica straggle detector; None unless the resilience policy
+    # enables the circuit breaker
+    breaker: Optional[CircuitBreaker] = None
 
 
 @dataclass
@@ -152,6 +170,8 @@ class Fleet:
         specs: List[ReplicaSpec],
         config: FleetConfig = FleetConfig(),
         obs=None,
+        resilience: Optional[ResiliencePolicy] = None,
+        seed: int = 0,
     ):
         """Args:
             model: The frozen integer model every replica serves (shared —
@@ -162,6 +182,12 @@ class Fleet:
             config: Cluster policy.
             obs: Optional :class:`repro.obs.FleetObserver`; ``None`` (or a
                 falsy null sink) keeps every seam off the hot path.
+            resilience: Optional :class:`~repro.fleet.chaos.ResiliencePolicy`
+                enabling the resilient admission path (:meth:`submit_resilient`).
+                ``None`` keeps :meth:`submit` the only request path and every
+                resilience seam off the hot loop.
+            seed: Run seed — only consumed by the deterministic retry
+                backoff hash, never by request routing.
 
         Raises:
             ValueError: If ``specs`` is empty.
@@ -172,6 +198,27 @@ class Fleet:
         self.tokenizer = tokenizer
         self.config = config
         self.obs = obs or None
+        self.resilience = resilience
+        self.seed = seed
+        # Resilience counters (the report's chaos section; attached by the
+        # driver only for chaos-aware runs).
+        self.chaos = ChaosStats()
+        self._budget = (
+            RetryBudget.from_policy(resilience) if resilience is not None else None
+        )
+        self._brownout = (
+            BrownoutLadder.from_policy(resilience)
+            if resilience is not None and resilience.brownout
+            else None
+        )
+        # Backoff retries scheduled since the driver last drained them:
+        # (due_ms, record, request, next_attempt).  The fleet cannot see
+        # the event heap, so the runner re-enqueues these as timed events.
+        self._retry_out: List[tuple] = []
+        # Hedged pairs: (replica_id, engine_request_id) -> its twin's key,
+        # both directions, plus the set of primary keys (for hedge_wins).
+        self._hedge_twin: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._hedge_primary: set = set()
         self.replicas: Dict[int, Replica] = {}
         self.records: List[RequestRecord] = []
         self.now_ms = 0.0
@@ -237,39 +284,103 @@ class Fleet:
         cold_ms = self.cold_start_ms(replica) if cold else 0.0
         if cold:
             engine.router.block_until(now_ms + cold_ms)
+        if self.resilience is not None and self.resilience.breaker:
+            replica.breaker = CircuitBreaker.from_policy(self.resilience)
         self.replicas[replica.replica_id] = replica
         self._rebuild_live()
         if self.obs is not None:
             self.obs.on_replica(replica.replica_id, spec.label, now_ms, cold_ms)
-            self._install_obs_hook(replica)
+        if self.obs is not None or replica.breaker is not None or (
+            self.resilience is not None and self.resilience.hedge
+        ):
+            self._install_batch_hook(replica)
         return replica
 
-    def _install_obs_hook(self, replica: Replica) -> None:
-        """Wire the engine's batch seam to the observer.
+    def _install_batch_hook(self, replica: Replica) -> None:
+        """Wire the engine's batch seam to its fleet-level consumers.
 
-        The closure translates engine-local batch results into fleet-level
-        telemetry: latency against the *original* arrival in the fleet
-        record (a migrated request keeps its true arrival), SLO against the
-        record's own bound — exactly the numbers the report is built from.
+        Up to three consumers share the one seam, in fixed order:
+
+        1. The observer — translates engine-local batch results into
+           fleet-level telemetry: latency against the *original* arrival
+           in the fleet record (a migrated request keeps its true
+           arrival), SLO against the record's own bound — exactly the
+           numbers the report is built from.  This block is byte-for-byte
+           the pre-chaos hook.
+        2. The replica's circuit breaker — scores realized service
+           against the nominal (memoized) simulator price, so a gray
+           window's stretched batches register as straggles.
+        3. The hedging layer — the first copy of a hedged request to
+           execute cancels its still-queued twin (replicas advance
+           sequentially on the shared clock, so the twin is always still
+           cancellable).
+
+        Installed only when at least one consumer is active; plain runs
+        keep the seam entirely off the hot path.
         """
-        on_batch = self.obs.on_batch
-        on_completions = self.obs.on_completions
+        obs = self.obs
+        on_batch = obs.on_batch if obs is not None else None
+        on_completions = obs.on_completions if obs is not None else None
         record_of = replica.record_of
         rid = replica.replica_id
+        breaker = replica.breaker
+        estimate = replica.engine.router.estimate_latency_ms
+        policy = self.resilience
+        hedging = policy is not None and policy.hedge
+        straggle_factor = (
+            policy.breaker_straggle_factor if policy is not None else 0.0
+        )
+        chaos = self.chaos
 
         def hook(requests, dispatch, bucket, size):
-            on_batch((rid, bucket, size, dispatch.start_ms, dispatch.service_ms))
-            finish = dispatch.finish_ms
-            latencies = []
-            append = latencies.append
-            met = 0
-            for request in requests:
-                record = record_of[request.request_id]
-                latency = finish - record.arrival_ms
-                append(latency)
-                if latency <= record.slo_ms:
-                    met += 1
-            on_completions(finish, latencies, met)
+            if on_batch is not None:
+                on_batch((rid, bucket, size, dispatch.start_ms, dispatch.service_ms))
+                finish = dispatch.finish_ms
+                latencies = []
+                append = latencies.append
+                met = 0
+                for request in requests:
+                    record = record_of[request.request_id]
+                    latency = finish - record.arrival_ms
+                    append(latency)
+                    if latency <= record.slo_ms:
+                        met += 1
+                on_completions(finish, latencies, met)
+            if breaker is not None:
+                nominal = estimate(bucket, size)
+                transition = breaker.observe(
+                    dispatch.finish_ms,
+                    dispatch.service_ms > straggle_factor * nominal,
+                )
+                if transition is not None:
+                    if transition == BREAKER_OPEN:
+                        chaos.breaker_opens += 1
+                    else:
+                        chaos.breaker_closes += 1
+                    if obs is not None:
+                        obs.on_breaker(rid, dispatch.finish_ms, transition)
+            if hedging:
+                for request in requests:
+                    key = (rid, request.request_id)
+                    twin_key = self._hedge_twin.pop(key, None)
+                    if twin_key is None:
+                        continue
+                    del self._hedge_twin[twin_key]
+                    twin_rid, twin_engine_rid = twin_key
+                    twin = self.replicas[twin_rid]
+                    if not twin.engine.cancel_pending(twin_engine_rid):
+                        raise RuntimeError(
+                            f"hedged twin {twin_engine_rid} on replica "
+                            f"{twin_rid} was not cancellable — hedge "
+                            f"bookkeeping out of sync"
+                        )
+                    del twin.record_of[twin_engine_rid]
+                    record_of[request.request_id].replica_id = rid
+                    if key in self._hedge_primary:
+                        self._hedge_primary.discard(key)
+                    else:
+                        chaos.hedge_wins += 1
+                        self._hedge_primary.discard(twin_key)
 
         replica.engine.on_batch = hook
 
@@ -333,6 +444,7 @@ class Fleet:
         replica.live = False
         replica.retired_ms = now_ms
         replica.failures += 1
+        replica.failed = True
         self._rebuild_live()
         if self.obs is not None:
             self.obs.on_failure(replica_id, now_ms)
@@ -341,19 +453,41 @@ class Fleet:
     def recover_replica(self, replica_id: int, now_ms: float) -> None:
         """Bring a failed replica back behind a fresh cold-start window.
 
+        Contract — recovery is a **silent no-op** when the target cannot
+        meaningfully recover, because a failure plan is written against
+        replica ids the autoscaler may reshape under it:
+
+        - *unknown id*: the replica was never created (e.g. the plan
+          assumed a scale-up that never happened);
+        - *already live*: nothing to do;
+        - *not down by fail-stop* (``failed`` unset): the replica is down
+          because the **autoscaler scaled it away**, not because it
+          failed — recovery must not resurrect capacity the autoscaler
+          deliberately removed.  This is the race where a planned
+          fail/recover pair straddles a scale-down of the same id: the
+          fail half also no-ops (see :meth:`fail_replica`), so the pair
+          drops out cleanly instead of fighting the autoscaler.  The
+          guard is the explicit down-cause flag, not ``failures == 0`` —
+          a replica that failed, recovered, and was *later* scaled away
+          must stay gone too.
+
+        Both engines implement this exact guard, so the race resolves
+        byte-identically (``tests/fleet/test_chaos.py`` pins it).
+
         Args:
             replica_id: Which replica recovers.
             now_ms: Simulated recovery time.
         """
         replica = self.replicas.get(replica_id)
-        if replica is None or replica.live or replica.failures == 0:
-            return  # unknown or never failed (e.g. scaled away) — no-op
+        if replica is None or replica.live or not replica.failed:
+            return  # unknown, live, or scaled away (not failed) — no-op
         replica.engine.advance(now_ms)
         cold_ms = self.cold_start_ms(replica)
         replica.engine.router.block_until(now_ms + cold_ms)
         if self.obs is not None:
             self.obs.on_recovery(replica_id, now_ms, cold_ms)
         replica.live = True
+        replica.failed = False
         if replica.retired_ms is not None:
             replica.downtime_ms += now_ms - replica.retired_ms
         replica.retired_ms = None
@@ -487,6 +621,202 @@ class Fleet:
             self.min_accepted_slo_ms = request.slo_ms
         return record
 
+    # ------------------------------------------------------------------
+    # resilient request path (chaos layer)
+    # ------------------------------------------------------------------
+    def set_slowdown(self, replica_id: int, slowdown: float) -> None:
+        """Enter/leave a gray window: stretch one replica's realized service.
+
+        Applied directly on the replica's router — the admission
+        projections deliberately keep pricing the *nominal* schedule (a
+        router cannot know a node went gray; only the circuit breaker,
+        watching realized service, reacts).  Setting it on a currently
+        failed replica is fine: the slowdown persists across recovery
+        until the window's end event clears it.  Unknown ids are a no-op
+        (a plan may target a replica the autoscaler never created).
+        """
+        replica = self.replicas.get(replica_id)
+        if replica is None:
+            return
+        replica.engine.router.slowdown = slowdown
+
+    def take_retries(self) -> List[tuple]:
+        """Drain retries scheduled since the last drain.
+
+        The runner owns the event heap, so the fleet hands scheduled
+        backoff retries back as ``(due_ms, record, request, attempt)``
+        tuples for re-entry as timed events.
+        """
+        out = self._retry_out
+        self._retry_out = []
+        return out
+
+    def submit_resilient(self, request: FleetRequest) -> RequestRecord:
+        """Route one arrival through the resilient admission path.
+
+        The chaos-aware sibling of :meth:`submit`: same record bookkeeping
+        and routing rule, plus (in order) circuit-breaker filtering,
+        timeout fail-fast, brownout degradation of the admission bound,
+        hedging of risky admissions, and scheduling of backoff retries
+        instead of final sheds while attempts remain.
+        """
+        now_ms = request.arrival_ms
+        record = RequestRecord(
+            index=len(self.records),
+            tenant=request.tenant,
+            slo_ms=request.slo_ms,
+            arrival_ms=now_ms,
+        )
+        self.records.append(record)
+        policy = self.resilience
+        if self._budget is not None and policy.max_retries > 0:
+            self._budget.accrue()
+        self._attempt(record, request, 0, now_ms)
+        return record
+
+    def retry_attempt(self, payload: tuple, now_ms: float) -> None:
+        """Re-run admission for one backoff retry (a ``_RETRY`` event)."""
+        record, request, attempt = payload
+        self._attempt(record, request, attempt, now_ms)
+
+    def _attempt(
+        self, record: RequestRecord, request: FleetRequest, attempt: int, now_ms: float
+    ) -> None:
+        """One admission attempt; sheds become retries while attempts remain."""
+        policy = self.resilience
+        obs = self.obs
+        live = self._live
+        if not live:
+            self._shed_or_retry(record, request, attempt, now_ms, SHED_NO_CAPACITY)
+            return
+        # Circuit-breaker filter, in replica-id order (the same order both
+        # engines mutate breaker state in, so lazy open -> half-open
+        # transitions land identically).
+        if policy.breaker:
+            candidates = []
+            for replica in live:
+                breaker = replica.breaker
+                before = breaker.state
+                ok = breaker.allows(now_ms)
+                if breaker.state is not before and obs is not None:
+                    obs.on_breaker(replica.replica_id, now_ms, breaker.state)
+                if ok:
+                    candidates.append(replica)
+            if not candidates:
+                self._shed_or_retry(record, request, attempt, now_ms, SHED_BREAKER)
+                return
+        else:
+            candidates = live
+        # Best and runner-up by projection, strict < keeping the lowest id
+        # on ties — identical to submit's rule, plus the second-best
+        # tracking the hedge needs.
+        projected_of = self.projected_latency_ms
+        best = candidates[0]
+        projected = projected_of(best, now_ms)
+        second: Optional[Replica] = None
+        second_proj = float("inf")
+        for candidate in candidates[1:]:
+            challenger = projected_of(candidate, now_ms)
+            if challenger < projected:
+                second = best
+                second_proj = projected
+                best = candidate
+                projected = challenger
+            elif challenger < second_proj:
+                second = candidate
+                second_proj = challenger
+        if policy.timeout_ms is not None and projected > policy.timeout_ms:
+            self.chaos.timeouts += 1
+            self._shed_or_retry(record, request, attempt, now_ms, SHED_TIMEOUT)
+            return
+        base = self.config.admit_slo_factor * record.slo_ms
+        ladder = self._brownout
+        if ladder is None:
+            if projected > base:
+                self._shed_or_retry(record, request, attempt, now_ms, SHED_OVERLOAD)
+                return
+        else:
+            # De-escalate at most one level per admission, behind dwell
+            # hysteresis; escalate as far as needed (shed only at the top).
+            if (
+                ladder.level > 0
+                and now_ms - ladder.last_change_ms >= ladder.dwell_ms
+                and projected <= base * ladder.levels[ladder.level - 1]
+            ):
+                ladder.level -= 1
+                ladder.last_change_ms = now_ms
+                ladder.deescalations += 1
+                self.chaos.brownout_deescalations += 1
+                if obs is not None:
+                    obs.on_brownout(now_ms, ladder.level)
+            bound = base * ladder.levels[ladder.level]
+            top = len(ladder.levels) - 1
+            while projected > bound and ladder.level < top:
+                ladder.level += 1
+                ladder.last_change_ms = now_ms
+                ladder.escalations += 1
+                self.chaos.brownout_escalations += 1
+                if obs is not None:
+                    obs.on_brownout(now_ms, ladder.level)
+                bound = base * ladder.levels[ladder.level]
+            if projected > bound:
+                self._shed_or_retry(record, request, attempt, now_ms, SHED_OVERLOAD)
+                return
+        engine_rid = best.engine._next_id
+        best.record_of[engine_rid] = record
+        best.engine.submit(request.text_a, request.text_b, arrival_ms=now_ms)
+        record.replica_id = best.replica_id
+        if self.min_accepted_slo_ms is None or record.slo_ms < self.min_accepted_slo_ms:
+            self.min_accepted_slo_ms = record.slo_ms
+        if (
+            policy.hedge
+            and second is not None
+            and projected > policy.hedge_factor * record.slo_ms
+            and engine_rid not in best.engine.results
+        ):
+            # The primary copy is still queued (its enqueue did not flush a
+            # full batch), so duplicate onto the runner-up; whichever copy
+            # executes first cancels the other via the batch hook.  All
+            # hedge bookkeeping is installed *before* the twin submit —
+            # the twin itself may flush immediately and win on the spot.
+            twin_engine_rid = second.engine._next_id
+            primary_key = (best.replica_id, engine_rid)
+            twin_key = (second.replica_id, twin_engine_rid)
+            self._hedge_twin[primary_key] = twin_key
+            self._hedge_twin[twin_key] = primary_key
+            self._hedge_primary.add(primary_key)
+            second.record_of[twin_engine_rid] = record
+            self.chaos.hedges += 1
+            second.engine.submit(request.text_a, request.text_b, arrival_ms=now_ms)
+
+    def _shed_or_retry(
+        self,
+        record: RequestRecord,
+        request: FleetRequest,
+        attempt: int,
+        now_ms: float,
+        reason: str,
+    ) -> None:
+        """Schedule a backoff retry, or make the shed final.
+
+        A retry is scheduled only while attempts remain *and* the retry
+        budget grants a token; the deterministic delay comes from
+        :func:`~repro.fleet.chaos.backoff_delay_ms` on
+        ``(seed, record.index, attempt + 1)``.
+        """
+        policy = self.resilience
+        if policy is not None and policy.max_retries > 0 and attempt < policy.max_retries:
+            if self._budget.spend():
+                delay = backoff_delay_ms(policy, self.seed, record.index, attempt + 1)
+                self.chaos.retries += 1
+                self._retry_out.append((now_ms + delay, record, request, attempt + 1))
+                return
+            self.chaos.retry_budget_exhausted += 1
+        record.shed = True
+        record.shed_reason = reason
+        if self.obs is not None:
+            self.obs.on_shed(now_ms, reason)
+
     def _migrate_pending(self, replica: Replica, now_ms: float) -> None:
         """Move a dead/draining replica's queued requests to the survivors.
 
@@ -502,6 +832,18 @@ class Fleet:
         survivors = self.live_replicas()
         for request in evicted:
             record = replica.record_of.pop(request.request_id)
+            key = (replica.replica_id, request.request_id)
+            twin_key = self._hedge_twin.pop(key, None)
+            if twin_key is not None:
+                # One copy of a hedged pair was queued here; the twin
+                # (still queued elsewhere) carries the request alone from
+                # now on — dropping this copy instead of migrating it
+                # avoids double execution.
+                del self._hedge_twin[twin_key]
+                self._hedge_primary.discard(key)
+                self._hedge_primary.discard(twin_key)
+                record.replica_id = twin_key[0]
+                continue
             if not survivors:
                 record.shed = True
                 record.shed_reason = SHED_NO_CAPACITY

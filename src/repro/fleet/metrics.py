@@ -16,6 +16,7 @@ import numpy as np
 
 from ..serve.metrics import percentile, percentile_sorted
 from .autoscale import ScaleEvent
+from .chaos import ChaosStats
 from .fleet import Replica, RequestRecord
 
 
@@ -92,6 +93,9 @@ class FleetStats:
     tenants: Dict[str, TenantStats] = field(default_factory=dict)
     replicas: List[ReplicaStats] = field(default_factory=list)
     scale_events: List[ScaleEvent] = field(default_factory=list)
+    # Resilience counters; None unless a ResiliencePolicy was active, so
+    # plain runs render/serialize their exact pre-chaos bytes.
+    chaos: Optional[ChaosStats] = None
 
     @property
     def shed_rate(self) -> float:
@@ -119,6 +123,8 @@ class FleetStats:
         ]
         for reason in sorted(self.shed_by_reason):
             lines.append(f"shed[{reason}]:  {self.shed_by_reason[reason]}")
+        if self.chaos is not None:
+            lines.extend(self.chaos.render())
         for name in sorted(self.tenants):
             t = self.tenants[name]
             lines.append(
@@ -139,6 +145,12 @@ class FleetStats:
 
     def to_dict(self) -> Dict:
         """JSON-ready stable dict (sorted keys downstream)."""
+        doc = self._base_dict()
+        if self.chaos is not None:
+            doc["chaos"] = self.chaos.to_dict()
+        return doc
+
+    def _base_dict(self) -> Dict:
         return {
             "duration_ms": self.duration_ms,
             "submitted": self.submitted,
@@ -222,6 +234,7 @@ def build_fleet_stats(
     replicas: List[Replica],
     scale_events: List[ScaleEvent],
     duration_ms: float,
+    chaos: Optional[ChaosStats] = None,
 ) -> FleetStats:
     """Aggregate a finished fleet run into :class:`FleetStats`.
 
@@ -231,6 +244,8 @@ def build_fleet_stats(
         scale_events: The autoscaler's audit trail (empty if disabled).
         duration_ms: Denominator for throughput/goodput — the scenario
             duration or the last completion, whichever is later.
+        chaos: Resilience counters when a policy was active, else ``None``
+            (the report then keeps its pre-chaos bytes).
 
     Returns:
         The empty-safe :class:`FleetStats`.
@@ -318,6 +333,7 @@ def build_fleet_stats(
         tenants=tenants,
         replicas=replica_stats,
         scale_events=list(scale_events),
+        chaos=chaos,
     )
 
 
@@ -414,6 +430,7 @@ def build_fleet_stats_columns(
     migrations: int,
     replicas: List[ReplicaStats],
     scale_events: List[ScaleEvent],
+    chaos: Optional[ChaosStats] = None,
 ) -> FleetStats:
     """:func:`build_fleet_stats` over columns instead of record objects.
 
@@ -523,4 +540,5 @@ def build_fleet_stats_columns(
         tenants=tenants,
         replicas=list(replicas),
         scale_events=list(scale_events),
+        chaos=chaos,
     )

@@ -6,25 +6,31 @@ ticks, and the failure plan's fail/recover points — processes them in
 deterministic time order, drains the fleet, and aggregates a
 :class:`FleetReport`.  Same seed, same inputs, byte-identical report.
 
-Event ordering at equal timestamps is fixed (recover < fail < arrival <
-tick) so a replica recovering exactly when a request arrives is routable
-for it, and a tick sees the state *after* the traffic of its instant.
+Event ordering at equal timestamps is fixed (recover < gray-end < fail <
+gray-start < arrival < retry < tick) so a replica recovering exactly when
+a request arrives is routable for it, a gray window closing at a failure
+instant clears the slowdown first, retries landing with an arrival yield
+to it, and a tick sees the state *after* the traffic of its instant.
+The relative order of the original kinds (recover < fail < arrival <
+tick) is unchanged, so pre-chaos runs keep their exact bytes.
 """
 
 from __future__ import annotations
 
 import heapq
 import json
+import math
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Union
 
 from .autoscale import AutoscalePolicy, Autoscaler
+from .chaos import ChaosPlan, ResiliencePolicy
 from .fleet import Fleet, FleetConfig, ReplicaSpec
 from .metrics import FleetStats, build_fleet_stats
 from .scenarios import FleetRequest, Scenario, builtin_scenarios
 
 # event kinds, in same-timestamp processing order
-_RECOVER, _FAIL, _ARRIVAL, _TICK = 0, 1, 2, 3
+_RECOVER, _GRAY_END, _FAIL, _GRAY_START, _ARRIVAL, _RETRY, _TICK = range(7)
 
 
 def control_events(
@@ -32,8 +38,9 @@ def control_events(
     autoscale: Optional[AutoscalePolicy],
     failures: Sequence["FailureEvent"],
     first_seq: int,
+    grays: Sequence = (),
 ) -> List[tuple]:
-    """Autoscaler ticks and failure events as ``(time, kind, seq, payload)``.
+    """Ticks, failures, and gray windows as ``(time, kind, seq, payload)``.
 
     The single source of the non-arrival event stream, shared by the
     event-loop runner and the columnar engine so both see *identical*
@@ -47,6 +54,9 @@ def control_events(
         failures: Planned replica failures/recoveries.
         first_seq: Sequence number of the first generated event (the
             runner numbers arrivals first).
+        grays: :class:`~repro.fleet.chaos.GrayWindow` straggler windows
+            (a start event carries ``(replica_id, slowdown, end_ms)``, an
+            end event carries the replica id).
 
     Returns:
         Event tuples in generation order (not time-sorted).
@@ -65,6 +75,13 @@ def control_events(
         if failure.recover_ms is not None:
             events.append((failure.recover_ms, _RECOVER, seq, failure.replica_id))
             seq += 1
+    for gray in grays:
+        events.append(
+            (gray.start_ms, _GRAY_START, seq, (gray.replica_id, gray.slowdown, gray.end_ms))
+        )
+        seq += 1
+        events.append((gray.end_ms, _GRAY_END, seq, gray.replica_id))
+        seq += 1
     return events
 
 
@@ -79,10 +96,16 @@ class FailureEvent:
     def __post_init__(self):
         if self.replica_id < 0:
             raise ValueError(f"replica_id must be >= 0, got {self.replica_id}")
-        if self.fail_ms < 0:
-            raise ValueError(f"fail_ms must be >= 0, got {self.fail_ms}")
-        if self.recover_ms is not None and self.recover_ms <= self.fail_ms:
-            raise ValueError("recover_ms must come after fail_ms")
+        if not math.isfinite(self.fail_ms) or self.fail_ms < 0:
+            raise ValueError(f"fail_ms must be finite and >= 0, got {self.fail_ms}")
+        if self.recover_ms is not None:
+            if not math.isfinite(self.recover_ms):
+                raise ValueError(f"recover_ms must be finite, got {self.recover_ms}")
+            if self.recover_ms <= self.fail_ms:
+                raise ValueError(
+                    f"recover_ms ({self.recover_ms}) must come after "
+                    f"fail_ms ({self.fail_ms})"
+                )
 
 
 @dataclass
@@ -130,6 +153,8 @@ def run_scenario(
     duration_scale: float = 1.0,
     analytic: bool = False,
     obs=None,
+    chaos: Optional[ChaosPlan] = None,
+    resilience: Optional[ResiliencePolicy] = None,
 ) -> FleetReport:
     """Run one scenario through a fleet and aggregate the report.
 
@@ -158,11 +183,25 @@ def run_scenario(
             traces, and rolling windows, and is finalized against the
             report before returning.  ``None`` (or a falsy null sink)
             keeps the hot loop free of instrumentation.
+        chaos: Optional :class:`~repro.fleet.chaos.ChaosPlan`.  Its
+            fail-stop and zone-outage events are appended after any
+            explicit ``failures``; its gray windows stretch the named
+            replica's realized service times over ``[start, end)``.
+        resilience: Optional :class:`~repro.fleet.chaos.ResiliencePolicy`.
+            When given, arrivals go through the resilient admission path
+            (timeout fail-fast, circuit breaker, brownout ladder, retries
+            with seeded backoff, hedging) and the report gains a ``chaos``
+            stats section.  ``None`` keeps the plain fast path and the
+            report's historical bytes.
 
     Returns:
         The :class:`FleetReport` (deterministic for equal arguments).
     """
     obs = obs or None
+    grays = ()
+    if chaos is not None:
+        failures = tuple(failures) + chaos.failure_events()
+        grays = chaos.grays
     if analytic:
         fleet_config = replace(
             fleet_config, serving=replace(fleet_config.serving, analytic=True)
@@ -185,7 +224,9 @@ def run_scenario(
         name = "custom-trace"
         duration_ms = trace[-1].arrival_ms if trace else 0.0
 
-    fleet = Fleet(model, tokenizer, specs, fleet_config, obs=obs)
+    fleet = Fleet(
+        model, tokenizer, specs, fleet_config, obs=obs, resilience=resilience, seed=seed
+    )
     if obs is not None and trace:
         # The whole trace is known before the loop starts, so arrival
         # windows are recorded in one bulk call instead of once per
@@ -210,19 +251,23 @@ def run_scenario(
     for request in trace:
         events.append((request.arrival_ms, _ARRIVAL, seq, request))
         seq += 1
-    events.extend(
-        control_events(
-            duration_ms,
-            autoscale if autoscaler is not None else None,
-            failures,
-            seq,
-        )
+    control = control_events(
+        duration_ms,
+        autoscale if autoscaler is not None else None,
+        failures,
+        seq,
+        grays=grays,
     )
+    seq += len(control)  # retries are numbered after all static events
+    events.extend(control)
     heapq.heapify(events)
 
     heappop = heapq.heappop
+    heappush = heapq.heappush
     advance = fleet.advance
-    submit = fleet.submit
+    resilient = resilience is not None and resilience.enabled
+    submit = fleet.submit_resilient if resilient else fleet.submit
+    take_retries = fleet.take_retries if resilient else None
     while events:
         time_ms, kind, _, payload = heappop(events)
         advance(time_ms)
@@ -230,10 +275,26 @@ def run_scenario(
             submit(payload)
         elif kind == _TICK:
             autoscaler.tick(time_ms)
+        elif kind == _RETRY:
+            fleet.retry_attempt(payload, time_ms)
         elif kind == _FAIL:
             fleet.fail_replica(payload, time_ms)
+        elif kind == _GRAY_START:
+            rid, slowdown, end_ms = payload
+            fleet.set_slowdown(rid, slowdown)
+            if obs is not None:
+                obs.on_gray(rid, time_ms, end_ms, slowdown)
+        elif kind == _GRAY_END:
+            fleet.set_slowdown(payload, 1.0)
         else:  # _RECOVER
             fleet.recover_replica(payload, time_ms)
+        if take_retries is not None:
+            # Failed admissions scheduled a backoff retry: re-enter the
+            # event stream as first-class timed events so retries race
+            # arrivals/ticks/failures on the shared simulated clock.
+            for retry_ms, record, request, attempt in take_retries():
+                heappush(events, (retry_ms, _RETRY, seq, (record, request, attempt)))
+                seq += 1
         if obs is not None and kind != _ARRIVAL:
             # Watermark-safe: fleet.advance(time_ms) already fired every
             # batching deadline <= time_ms, so no future record can land
@@ -248,6 +309,9 @@ def run_scenario(
         replicas=list(fleet.replicas.values()),
         scale_events=autoscaler.events if autoscaler else [],
         duration_ms=max(duration_ms, last_finish),
+        # The chaos section appears iff the caller opted into the chaos
+        # layer (a plan or a policy) — plain runs keep their exact bytes.
+        chaos=fleet.chaos if (chaos is not None or resilience is not None) else None,
     )
     report = FleetReport(
         scenario=name,

@@ -28,7 +28,7 @@ None`` (or the falsy :class:`NullObserver`) — zero work on the hot loop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .registry import DEFAULT_LATENCY_BUCKETS_MS, MetricsRegistry
 from .tracing import Tracer
@@ -43,6 +43,9 @@ class ObsPartial:
 
     windows: Dict[int, _Win] = field(default_factory=dict)
     trace_events: List[dict] = field(default_factory=list)
+    # earliest replica failure this shard observed (None = none) — the
+    # parent folds these with min() for the MTTR gauge
+    first_failure_ms: Optional[float] = None
 
 
 class FleetObserver:
@@ -70,6 +73,7 @@ class FleetObserver:
         # tuples and only become trace-event dicts at export time, keeping
         # dict construction out of the observed run entirely.
         self._batch_spans: List[tuple] = []
+        self._first_failure_ms: Optional[float] = None
         self._finalized = False
         # Per-request callbacks bind straight to the tracker methods,
         # skipping one call frame on the hot loop (these shadow the
@@ -131,6 +135,8 @@ class FleetObserver:
 
     def on_failure(self, replica_id: int, t_ms: float) -> None:
         self.windows.record_failure(t_ms)
+        if self._first_failure_ms is None or t_ms < self._first_failure_ms:
+            self._first_failure_ms = t_ms
         self.tracer.add_instant(
             "replica-fail", t_ms, tid=replica_id, args={"replica": int(replica_id)}
         )
@@ -166,6 +172,31 @@ class FleetObserver:
             tid=0,
             args={"reason": event.reason, "replicas": int(event.replicas_after)},
         )
+
+    # ------------------------------------------------------------------
+    # chaos-layer callbacks
+    # ------------------------------------------------------------------
+    def on_gray(
+        self, replica_id: int, t_ms: float, end_ms: float, slowdown: float
+    ) -> None:
+        """A gray (straggler) window opened on a replica."""
+        self.tracer.add_span(
+            "gray-window",
+            t_ms,
+            end_ms - t_ms,
+            tid=replica_id,
+            args={"slowdown": float(slowdown)},
+        )
+
+    def on_breaker(self, replica_id: int, t_ms: float, state: str) -> None:
+        """A replica's circuit breaker changed state (open/half-open/closed)."""
+        self.tracer.add_instant(
+            f"breaker-{state}", t_ms, tid=replica_id, args={"state": state}
+        )
+
+    def on_brownout(self, t_ms: float, level: int) -> None:
+        """The brownout ladder moved to ``level`` (0 = normal admission)."""
+        self.tracer.add_counter("brownout", t_ms, {"level": float(level)})
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -204,13 +235,23 @@ class FleetObserver:
         # on_batch is a bare append bound to the drained list — rebind it
         # to the fresh buffer or later spans would vanish into the partial.
         self.on_batch = self._batch_spans.append
-        return ObsPartial(windows=self.windows.take(), trace_events=events)
+        first_failure, self._first_failure_ms = self._first_failure_ms, None
+        return ObsPartial(
+            windows=self.windows.take(),
+            trace_events=events,
+            first_failure_ms=first_failure,
+        )
 
     def absorb(self, partial: ObsPartial) -> None:
         """Merge a shard worker's partial, mirroring ``merge_shard_partials``."""
 
         self.windows.absorb(partial.windows)
         self._trace_master.extend(partial.trace_events)
+        t = partial.first_failure_ms
+        if t is not None and (
+            self._first_failure_ms is None or t < self._first_failure_ms
+        ):
+            self._first_failure_ms = t
 
     def finalize(self, report) -> None:
         """Flush remaining windows and fill the registry from the report.
@@ -281,6 +322,72 @@ class FleetObserver:
         reg.gauge("repro_slo_attainment", "SLO-met fraction of completions.").set(
             stats.slo_attainment
         )
+
+        chaos = getattr(stats, "chaos", None)
+        if chaos is not None:
+            reg.counter(
+                "repro_retries_total", "Backoff retries scheduled."
+            ).inc(chaos.retries)
+            reg.counter(
+                "repro_retry_budget_exhausted_total",
+                "Retries denied by the retry budget.",
+            ).inc(chaos.retry_budget_exhausted)
+            reg.counter(
+                "repro_timeouts_total", "Admissions failed fast on timeout."
+            ).inc(chaos.timeouts)
+            reg.counter(
+                "repro_hedges_total", "Requests duplicated onto a second replica."
+            ).inc(chaos.hedges)
+            reg.counter(
+                "repro_hedge_wins_total", "Hedged requests won by the secondary."
+            ).inc(chaos.hedge_wins)
+            breaker = reg.counter(
+                "repro_breaker_transitions_total",
+                "Circuit-breaker transitions, by direction.",
+                labels=("transition",),
+            )
+            breaker.inc(chaos.breaker_opens, transition="open")
+            breaker.inc(chaos.breaker_closes, transition="close")
+            brownout = reg.counter(
+                "repro_brownout_transitions_total",
+                "Brownout ladder moves, by direction.",
+                labels=("direction",),
+            )
+            brownout.inc(chaos.brownout_escalations, direction="escalate")
+            brownout.inc(chaos.brownout_deescalations, direction="deescalate")
+            reg.gauge(
+                "repro_mttr_ms",
+                "Time from first failure until windowed goodput is back at "
+                ">= 90% of the pre-failure baseline (-1 = never recovered, "
+                "0 = no failure observed).",
+            ).set(self._mttr_ms())
+
+    def _mttr_ms(self) -> float:
+        """Mean-time-to-recovery from the closed goodput window series.
+
+        Baseline = mean goodput over the windows that closed entirely
+        before the first failure; recovery = the first window at or after
+        the failure whose goodput reaches 90% of that baseline.  The
+        result is that window's end minus the failure instant.  Pure
+        function of the (already byte-identical) window series and
+        failure instants, so both engines agree on it exactly.
+        """
+        first = self._first_failure_ms
+        if first is None:
+            return 0.0
+        window_ms = self.windows.window_ms
+        fail_idx = int(first / window_ms)
+        series = self.windows.goodput_series
+        baseline_values = [g for idx, g in series if idx < fail_idx]
+        if not baseline_values:
+            return -1.0
+        baseline = sum(baseline_values) / len(baseline_values)
+        if baseline <= 0.0:
+            return 0.0  # nothing was being served — trivially recovered
+        for idx, goodput in series:
+            if idx >= fail_idx and goodput >= 0.9 * baseline:
+                return (idx + 1) * window_ms - first
+        return -1.0
 
     # ------------------------------------------------------------------
     # output

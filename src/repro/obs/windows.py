@@ -71,6 +71,9 @@ class WindowTracker:
         self._master: Dict[int, _Win] = {}
         self._next_flush = 0
         self._depth = 0  # admitted-but-unfinished carry across windows
+        # (index, goodput_rps) per closed window, in flush order — the
+        # compact series MTTR is computed from at finalize.
+        self.goodput_series: List[tuple] = []
 
     # ------------------------------------------------------------------
     # recording (always into the live buffer)
@@ -230,6 +233,7 @@ class WindowTracker:
         ordered = sorted(win.latencies)
         shed_total = sum(win.shed.values())
         self._depth += win.arrivals - shed_total - win.completions
+        self.goodput_series.append((index, win.slo_met / (self.window_ms / 1000.0)))
         self._closed.append((index, win, ordered, shed_total, self._depth))
         if self.on_flush is not None:
             self.on_flush(ordered)

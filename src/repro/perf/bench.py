@@ -505,6 +505,18 @@ def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
        The suite *asserts* the observed report is byte-identical to the
        plain one (the transparency contract) and that the overhead ratio
        stays under 10%; the ratio is gated, the walls are informational.
+    6. **Chaos recovery** — a correlated two-replica zone outage with a
+       simultaneous gray (4x straggler) window on the lone survivor,
+       against timeouts + retries + circuit breaker + the autoscaler.
+       The suite *asserts* the fleet recovers: windowed goodput after
+       the outage climbs back to >= 90% of the pre-failure baseline
+       (the observer's MTTR gauge reports a real recovery time, and the
+       post-recovery goodput fraction is gated).
+    7. **Chaos overhead when disabled** — the same steady trace with a
+       fully *disabled* :class:`~repro.fleet.chaos.ResiliencePolicy`
+       attached vs. plain.  The suite *asserts* the ratio stays under
+       1.05: threading the chaos seams through the engines must be
+       zero-cost when nothing is enabled.
 
     Args:
         quick: Shrink the equivalence trace (the 1M/100M runs are never
@@ -521,11 +533,19 @@ def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
             (or the columnar report from the analytic one, or the observed
             report from the plain one) by even one byte, either speedup
             falls below its 10x contract, observability costs 10% or
-            more, or a headline trace shrank below its request floor.
+            more, a headline trace shrank below its request floor, the
+            fleet fails to recover >= 90% of pre-failure goodput after
+            the pinned outage, or disabled chaos seams cost 5% or more.
     """
+    from ..accel.config import AcceleratorConfig
     from ..fleet import (
+        AutoscalePolicy,
+        ChaosPlan,
         FleetConfig,
+        GrayWindow,
         ReplicaSpec,
+        ResiliencePolicy,
+        ZoneOutage,
         native_available,
         run_scenario,
         run_scenario_columnar,
@@ -658,6 +678,140 @@ def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
             "benchmark"
         )
 
+    # --- the chaos recovery gate: survive a two-replica zone outage -----
+    # Three deliberately weak replicas; two share a zone that goes dark
+    # for a correlated window while the lone survivor simultaneously goes
+    # *gray* (4x straggler) — the worst 200ms the drill can stage.  The
+    # default ZCU102 design point absorbs any outage without breaking a
+    # sweat, so the drill uses the same slow design point the chaos test
+    # matrix uses, plus a tight 1.0x-SLO admission bound and a 25ms
+    # request timeout so the resilience mechanisms demonstrably fire
+    # (retries, timeouts, breaker opens all > 0 on this pinned trace).
+    # Retries + breaker + the autoscaler must bring windowed goodput back
+    # to >= 90% of the pre-failure baseline — the observer's MTTR gauge
+    # is the recovery detector (it encodes exactly that criterion over
+    # the goodput window series).
+    weak_chaos_spec = ReplicaSpec(
+        accel_config=AcceleratorConfig(num_pus=2, num_pes=2, num_multipliers=4),
+        name="weak",
+    )
+    chaos_fleet_config = FleetConfig(serving=serving, admit_slo_factor=1.0)
+    chaos_plan = ChaosPlan(
+        name="bench-zone-outage",
+        zones=(("zone-a", (0, 1)),),
+        outages=(ZoneOutage(zone="zone-a", at_ms=300.0, recover_ms=500.0),),
+        grays=(
+            GrayWindow(
+                replica_id=2, start_ms=300.0, end_ms=500.0, slowdown=4.0
+            ),
+        ),
+    )
+    chaos_policy = ResiliencePolicy(
+        max_retries=2,
+        backoff_base_ms=3.0,
+        retry_budget_ratio=1.0,
+        retry_budget_burst=20.0,
+        breaker=True,
+        breaker_straggle_factor=2.0,
+        breaker_window=6,
+        breaker_min_samples=3,
+        breaker_open_ms=30.0,
+        timeout_ms=25.0,
+    )
+    chaos_obs = FleetObserver()
+    chaos_report = run_scenario(
+        "steady",
+        model,
+        tokenizer,
+        [weak_chaos_spec] * 3,
+        chaos_fleet_config,
+        seed=seed,
+        rate_scale=6.0,
+        duration_scale=4.0,
+        analytic=True,
+        scale_spec=weak_chaos_spec,
+        autoscale=AutoscalePolicy(
+            min_replicas=1, max_replicas=6, interval_ms=50.0, cooldown_ticks=1
+        ),
+        chaos=chaos_plan,
+        resilience=chaos_policy,
+        obs=chaos_obs,
+    )
+    mttr_ms = next(
+        float(line.split()[-1])
+        for line in chaos_obs.render_prometheus().splitlines()
+        if line.startswith("repro_mttr_ms ")
+    )
+    if mttr_ms < 0.0:
+        raise RuntimeError(
+            "the fleet never recovered 90% of pre-failure goodput after the "
+            "pinned two-replica zone outage — the recovery contract is "
+            "broken; refusing to benchmark"
+        )
+    # The sustained post-recovery fraction (not just the first recovered
+    # window MTTR keys on): mean goodput over the windows after the zone
+    # comes back vs. the pre-failure baseline.
+    chaos_windows = [json.loads(line) for line in chaos_obs.window_lines()]
+    baseline_goodput = [
+        w["goodput_rps"] for w in chaos_windows if w["end_ms"] <= 300.0
+    ]
+    recovered_goodput = [
+        w["goodput_rps"] for w in chaos_windows if w["start_ms"] >= 500.0
+    ]
+    chaos_recovery_frac = (
+        (sum(recovered_goodput) / len(recovered_goodput))
+        / (sum(baseline_goodput) / len(baseline_goodput))
+    )
+    if chaos_recovery_frac < 0.9:
+        raise RuntimeError(
+            f"post-outage goodput sustains only {chaos_recovery_frac * 100:.1f}% "
+            "of the pre-failure baseline — below the 90% recovery contract; "
+            "refusing to benchmark"
+        )
+
+    # --- the chaos overhead gate: zero-cost when disabled ---------------
+    # Same interleaved floor-vs-floor protocol as the observability gate;
+    # the disabled policy exercises every chaos seam the engines grew
+    # (admission path selection, report attachment) with no mechanism on.
+    disabled_policy = ResiliencePolicy()
+    chaos_off_best = chaos_disabled_best = float("inf")
+    _gc.collect()
+    _gc.disable()
+    try:
+        for _ in range(obs_pairs):
+            start = _clock()
+            run_obs_steady(None)
+            chaos_off_best = min(chaos_off_best, (_clock() - start) * 1e3)
+            start = _clock()
+            run_scenario(
+                "steady",
+                model,
+                tokenizer,
+                specs,
+                fleet_config,
+                seed=seed,
+                rate_scale=obs_rate_scale,
+                duration_scale=obs_duration_scale,
+                analytic=True,
+                resilience=disabled_policy,
+            )
+            chaos_disabled_best = min(
+                chaos_disabled_best, (_clock() - start) * 1e3
+            )
+            _gc.collect()
+    finally:
+        if gc_was_enabled:
+            _gc.enable()
+    chaos_disabled_overhead = (
+        chaos_disabled_best / chaos_off_best if chaos_off_best else float("inf")
+    )
+    if chaos_disabled_overhead >= 1.05:
+        raise RuntimeError(
+            f"disabled chaos seams cost {(chaos_disabled_overhead - 1.0) * 100:.1f}% "
+            "on the pinned steady trace — at or above the 5% ceiling; "
+            "refusing to benchmark"
+        )
+
     # --- the headline: ~1.06M requests of flash crowd, analytic ---------
     mega_rate_scale, mega_duration_scale, mega_replicas = 64.0, 70.0, 8
     mega_captured = {}
@@ -778,6 +932,25 @@ def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
         "obs_overhead_ratio": _metric(
             obs_overhead, "x", higher_is_better=False
         ),
+        # Deterministic (simulated-clock) recovery numbers for the pinned
+        # two-replica zone outage; the hard floors above are the contract,
+        # these gate drift inside it.
+        "sim_chaos_mttr_ms": _metric(
+            mttr_ms, "ms", higher_is_better=False
+        ),
+        "sim_chaos_recovery_goodput_frac": _metric(
+            chaos_recovery_frac, "", higher_is_better=True
+        ),
+        "chaos_off_wall_ms": _metric(
+            chaos_off_best, "ms", higher_is_better=False, gated=False
+        ),
+        "chaos_disabled_wall_ms": _metric(
+            chaos_disabled_best, "ms", higher_is_better=False, gated=False
+        ),
+        # Floor-over-floor ratio under the hard <1.05 ceiling above.
+        "chaos_disabled_overhead_ratio": _metric(
+            chaos_disabled_overhead, "x", higher_is_better=False
+        ),
         "mega_wall_ms": _metric(
             mega_wall.best_ms, "ms", higher_is_better=False, gated=False
         ),
@@ -864,6 +1037,23 @@ def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
                 "submitted": obs_captured["plain"].stats.submitted,
                 "byte_identical": True,
                 "overhead_ceiling": 1.10,
+            },
+            "chaos": {
+                "scenario": "steady",
+                "rate_scale": 6.0,
+                "duration_scale": 4.0,
+                "plan": chaos_plan.name,
+                "outage": "replicas (0, 1) down 300-500 ms (zone-a); "
+                "replica 2 gray 4x over the same window",
+                "resilience": "timeout + retries + budget + breaker "
+                "+ autoscale",
+                "submitted": chaos_report.stats.submitted,
+                "retries": chaos_report.stats.chaos.retries,
+                "timeouts": chaos_report.stats.chaos.timeouts,
+                "breaker_opens": chaos_report.stats.chaos.breaker_opens,
+                "mttr_ms": mttr_ms,
+                "recovery_floor": 0.9,
+                "disabled_overhead_ceiling": 1.05,
             },
             "giga": {
                 "scenario": "flash-crowd",

@@ -21,6 +21,11 @@ Cost is measured two ways, selectable as the planning objective:
 
 Feasibility requires the fleet-wide p99 under the target, the shed rate
 under the target, and (by default) every tenant's p99 within its own SLO.
+With a chaos plan attached the planner turns *redundancy-aware*: each
+candidate is additionally replayed under the plan (plus any resilience
+policy), and only plans whose targets hold both clean and under chaos are
+feasible — "cheapest fleet that survives the named outage", N+1 sizing by
+simulation rather than by rule of thumb.
 Everything is deterministic: equal arguments give byte-identical plans.
 """
 
@@ -32,6 +37,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..fleet.autoscale import AutoscalePolicy
+from ..fleet.chaos import ChaosPlan, ResiliencePolicy
 from ..fleet.columnar import run_scenario_columnar
 from ..fleet.fleet import FleetConfig, ReplicaSpec
 from ..fleet.runner import FleetReport, run_scenario
@@ -91,9 +97,16 @@ class PlanOutcome:
     replica_seconds: float
     energy_j: float
     report: FleetReport
+    # chaos replay verdict — None when no chaos plan was supplied.  The
+    # headline ``feasible`` already folds this in (clean AND chaos); the
+    # split fields say *which* leg a rejected plan failed.
+    chaos_feasible: Optional[bool] = None
+    chaos_p99_ms: float = 0.0
+    chaos_shed_rate: float = 0.0
+    chaos_goodput_rps: float = 0.0
 
     def to_dict(self) -> Dict:
-        return {
+        doc = {
             "plan": self.plan.label,
             "replicas": [spec.label for spec in self.plan.replicas],
             "autoscaled": self.plan.autoscale is not None,
@@ -105,6 +118,14 @@ class PlanOutcome:
             "replica_seconds": self.replica_seconds,
             "energy_j": self.energy_j,
         }
+        if self.chaos_feasible is not None:
+            doc["chaos"] = {
+                "feasible": self.chaos_feasible,
+                "p99_ms": self.chaos_p99_ms,
+                "shed_rate": self.chaos_shed_rate,
+                "goodput_rps": self.chaos_goodput_rps,
+            }
+        return doc
 
 
 @dataclass
@@ -120,6 +141,7 @@ class PlanningResult:
     outcomes: List[PlanOutcome]
     best: Optional[PlanOutcome]
     truncated: bool  # the budget cut the candidate list short
+    chaos_plan: Optional[str] = None  # chaos plan name when redundancy-aware
 
     def render(self) -> str:
         """Deterministic human-readable planning report."""
@@ -128,14 +150,27 @@ class PlanningResult:
             f"p99 <= {self.target.p99_ms:.0f} ms, "
             f"shed <= {self.target.max_shed_rate * 100:.1f}%, seed {self.seed})",
             f"plans evaluated: {len(self.outcomes)}"
-            + (" (budget-truncated)" if self.truncated else ""),
+            + (" (budget-truncated)" if self.truncated else "")
+            + (
+                f"  [each replayed under chaos plan {self.chaos_plan!r}]"
+                if self.chaos_plan is not None
+                else ""
+            ),
         ]
         for outcome in self.outcomes:
             verdict = "ok " if outcome.feasible else "MISS"
+            chaos_part = ""
+            if outcome.chaos_feasible is not None:
+                chaos_verdict = "ok" if outcome.chaos_feasible else "MISS"
+                chaos_part = (
+                    f"  chaos[{chaos_verdict} p99 {outcome.chaos_p99_ms:.2f} ms "
+                    f"shed {outcome.chaos_shed_rate * 100:.1f}%]"
+                )
             lines.append(
                 f"  [{verdict}] {outcome.plan.label:<40} "
                 f"p99 {outcome.p99_ms:8.2f} ms  shed {outcome.shed_rate * 100:5.1f}%  "
                 f"{outcome.replica_seconds:7.3f} replica-s  {outcome.energy_j:8.3f} J"
+                + chaos_part
             )
         if self.best is None:
             lines.append("no feasible plan within the search space")
@@ -162,6 +197,7 @@ class PlanningResult:
             "max_replicas": self.max_replicas,
             "budget": self.budget,
             "seed": self.seed,
+            "chaos_plan": self.chaos_plan,
             "truncated": self.truncated,
             "outcomes": [outcome.to_dict() for outcome in self.outcomes],
             "best": self.best.to_dict() if self.best is not None else None,
@@ -266,6 +302,8 @@ def plan_capacity(
     rate_scale: float = 1.0,
     duration_scale: float = 1.0,
     engine: str = "columnar",
+    chaos: Optional[ChaosPlan] = None,
+    resilience: Optional[ResiliencePolicy] = None,
 ) -> PlanningResult:
     """Search fleet plans and return the cheapest one meeting the SLOs.
 
@@ -292,6 +330,15 @@ def plan_capacity(
             ``"event"`` walks the event-loop runner per plan.  The two
             engines emit byte-identical reports, so the planning result
             is the same either way — columnar is simply much faster.
+        chaos: Replay every candidate under this chaos plan as well; a
+            plan is feasible only if the targets hold *both* clean and
+            under chaos.  This is N+1 sizing by simulation: the cheapest
+            feasible plan is the cheapest fleet that survives the named
+            outage, not just the cheapest that serves the happy path.
+        resilience: Resilience policy (retries/hedging/breaker/brownout)
+            active during the chaos replay.  Ignored unless ``chaos`` is
+            given — the clean leg always runs bare so its costs stay
+            comparable across planner invocations.
 
     Returns:
         The :class:`PlanningResult`; ``best`` is ``None`` when nothing
@@ -348,10 +395,9 @@ def plan_capacity(
         runs = resolved.generate_columns(
             seed=seed, rate_scale=rate_scale, duration_scale=duration_scale
         )
-    outcomes: List[PlanOutcome] = []
-    for plan in candidates:
+    def _evaluate(plan: PlanSpec, with_chaos: bool) -> FleetReport:
         if engine == "columnar":
-            report = run_scenario_columnar(
+            return run_scenario_columnar(
                 runs,
                 model,
                 tokenizer,
@@ -360,22 +406,40 @@ def plan_capacity(
                 autoscale=plan.autoscale,
                 scale_spec=plan.replicas[0],
                 seed=seed,
+                chaos=chaos if with_chaos else None,
+                resilience=resilience if with_chaos else None,
             )
-        else:
-            report = run_scenario(
-                scenario,
-                model,
-                tokenizer,
-                list(plan.replicas),
-                fleet_config,
-                autoscale=plan.autoscale,
-                scale_spec=plan.replicas[0],
-                seed=seed,
-                rate_scale=rate_scale,
-                duration_scale=duration_scale,
-                analytic=True,
+        return run_scenario(
+            scenario,
+            model,
+            tokenizer,
+            list(plan.replicas),
+            fleet_config,
+            autoscale=plan.autoscale,
+            scale_spec=plan.replicas[0],
+            seed=seed,
+            rate_scale=rate_scale,
+            duration_scale=duration_scale,
+            analytic=True,
+            chaos=chaos if with_chaos else None,
+            resilience=resilience if with_chaos else None,
+        )
+
+    outcomes: List[PlanOutcome] = []
+    for plan in candidates:
+        outcome = _score_outcome(
+            _evaluate(plan, False), plan, labels, target, tenant_slos
+        )
+        if chaos is not None:
+            degraded = _score_outcome(
+                _evaluate(plan, True), plan, labels, target, tenant_slos
             )
-        outcomes.append(_score_outcome(report, plan, labels, target, tenant_slos))
+            outcome.chaos_feasible = degraded.feasible
+            outcome.chaos_p99_ms = degraded.p99_ms
+            outcome.chaos_shed_rate = degraded.shed_rate
+            outcome.chaos_goodput_rps = degraded.goodput_rps
+            outcome.feasible = outcome.feasible and degraded.feasible
+        outcomes.append(outcome)
 
     feasible = [outcome for outcome in outcomes if outcome.feasible]
     best: Optional[PlanOutcome] = None
@@ -395,6 +459,7 @@ def plan_capacity(
         outcomes=outcomes,
         best=best,
         truncated=truncated,
+        chaos_plan=chaos.name if chaos is not None else None,
     )
 
 

@@ -232,6 +232,31 @@ class DynamicBatcher:
         """Earliest pending deadline, or ``None`` when idle."""
         return self._next_deadline
 
+    def cancel(self, request_id: int) -> Optional[PendingRequest]:
+        """Remove one queued request by its engine request id.
+
+        The hedge primitive: when one copy of a hedged request dispatches,
+        the still-queued twin is cancelled *before* it can flush.  The
+        maintained earliest-deadline invariant is preserved — removing a
+        queue's head (or emptying a queue) recomputes it.
+
+        Args:
+            request_id: The engine-local id carried by the queued payload.
+
+        Returns:
+            The removed :class:`PendingRequest`, or ``None`` if no queued
+            request carries that id (it already flushed).
+        """
+        for queue in self._queues.values():
+            for i, pending in enumerate(queue):
+                if pending.payload.request_id == request_id:
+                    del queue[i]
+                    self._pending -= 1
+                    if i == 0:
+                        self._recompute_next_deadline()
+                    return pending
+        return None
+
     def evict_all(self) -> List[PendingRequest]:
         """Remove every queued request *without* executing anything.
 

@@ -252,6 +252,21 @@ class ServingEngine:
         if now_ms > self.now_ms:
             self.now_ms = now_ms
 
+    def cancel_pending(self, request_id: int) -> bool:
+        """Cancel one queued-but-unexecuted request (the hedge seam).
+
+        When a hedged request's other copy dispatches first, the fleet
+        cancels this engine's still-queued copy so it never executes.
+        Already-executed requests cannot be cancelled (their batch ran).
+
+        Args:
+            request_id: Id returned by :meth:`submit`.
+
+        Returns:
+            True iff a queued request was removed.
+        """
+        return self.batcher.cancel(request_id) is not None
+
     def evict_pending(self) -> List[Request]:
         """Pull every queued-but-unexecuted request out of the batcher.
 

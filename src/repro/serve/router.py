@@ -95,6 +95,11 @@ class DeviceRouter:
             for i, (cfg, dev) in enumerate(specs)
         ]
         self._latency_cache: Dict[Tuple[DeviceSpec, int, int], float] = {}
+        # Gray-failure seam: a straggling node serves every batch this
+        # many times slower than the nominal schedule.  1.0 (the default)
+        # takes no extra float op, so healthy runs keep their exact bytes;
+        # the fleet's chaos layer toggles it over gray windows.
+        self.slowdown = 1.0
 
     def estimate_latency_ms(
         self, seq_len: int, batch_size: int, device_id: int = 0
@@ -147,6 +152,11 @@ class DeviceRouter:
 
         device = min(self.devices, key=finish_key)
         service_ms = self.estimate_latency_ms(seq_len, batch_size, device.device_id)
+        if self.slowdown != 1.0:
+            # Gray window: realized service stretches; device selection
+            # (above) deliberately stays nominal — a router cannot know a
+            # node went gray, only the circuit breaker can observe it.
+            service_ms = service_ms * self.slowdown
         start_ms = max(ready_ms, device.busy_until_ms)
         finish_ms = start_ms + service_ms
         device.busy_until_ms = finish_ms

@@ -237,6 +237,72 @@ class TestTenantSlos:
         assert strict.best is None
 
 
+class TestChaosAwarePlanning:
+    """With a chaos plan, feasible means surviving the outage too."""
+
+    @pytest.fixture(scope="class")
+    def chaos_planning(self, request):
+        from repro.fleet import ChaosPlan, ZoneOutage
+
+        ladder = request.getfixturevalue("design_ladder")
+        model = request.getfixturevalue("cluster_model")
+        tokenizer = request.getfixturevalue("hash_tokenizer")
+        fleet_config = request.getfixturevalue("fleet_config")
+        # One zone holding replica 0: every single-replica plan goes
+        # fully dark for the outage window; pairs keep a survivor.
+        plan = ChaosPlan(
+            name="zone-a-down",
+            zones=(("zone-a", (0,)),),
+            outages=(ZoneOutage(zone="zone-a", at_ms=150.0, recover_ms=600.0),),
+        )
+        return plan_capacity(
+            "steady",
+            ladder[1:],  # mid + default: clean-feasible even solo
+            SloTarget(p99_ms=150.0, max_shed_rate=0.05),
+            model,
+            tokenizer,
+            fleet_config=fleet_config,
+            max_replicas=2,
+            include_autoscale=False,
+            rate_scale=2.0,
+            seed=0,
+            chaos=plan,
+        )
+
+    def test_chaos_verdicts_recorded(self, chaos_planning):
+        assert chaos_planning.chaos_plan == "zone-a-down"
+        assert all(
+            o.chaos_feasible is not None for o in chaos_planning.outcomes
+        )
+        doc = chaos_planning.to_dict()
+        assert doc["chaos_plan"] == "zone-a-down"
+        assert all("chaos" in o for o in doc["outcomes"])
+
+    def test_redundancy_required(self, chaos_planning):
+        """Clean-feasible singles die with zone-a; only N+1 plans win."""
+        singles = [
+            o for o in chaos_planning.outcomes if len(o.plan.replicas) == 1
+        ]
+        assert singles and all(not o.feasible for o in singles)
+        assert all(not o.chaos_feasible for o in singles)
+        assert chaos_planning.best is not None
+        assert len(chaos_planning.best.plan.replicas) >= 2
+        assert chaos_planning.best.chaos_feasible
+
+    def test_render_shows_both_verdicts(self, chaos_planning):
+        rendered = chaos_planning.render()
+        assert "replayed under chaos plan 'zone-a-down'" in rendered
+        assert "chaos[" in rendered
+
+    def test_no_chaos_omits_the_section(self, planning):
+        assert planning.chaos_plan is None
+        assert planning.to_dict()["chaos_plan"] is None
+        assert all(
+            o.chaos_feasible is None for o in planning.outcomes
+        )
+        assert "chaos[" not in planning.render()
+
+
 class TestPlanEngines:
     """The columnar and event-loop inner loops return the same plans."""
 

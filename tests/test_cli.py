@@ -225,6 +225,65 @@ class TestLoadtest:
         with pytest.raises(SystemExit, match="at most 1 replica"):
             main(["loadtest", "--replicas", "1", "--fail", "5@10"])
 
+    @pytest.mark.parametrize(
+        "spec,why",
+        [
+            ("0@nan", "finite"),
+            ("0@inf", "finite"),
+            ("0@-5", ">= 0"),
+            ("0@100:50", "after"),
+            ("0@100:100", "after"),
+            ("-1@100", "replica_id"),
+        ],
+    )
+    def test_invalid_fail_values_get_a_reasoned_error(self, spec, why):
+        """Value errors surface the validation message, not just the grammar."""
+        with pytest.raises(SystemExit, match=why):
+            main(["loadtest", f"--fail={spec}"])
+
+    def test_chaos_plan_and_resilience_flags(self, tmp_path, capsys):
+        import json
+
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "name": "drill",
+            "zones": {"east": [0]},
+            "events": [
+                {"kind": "gray", "replica": 1, "start_ms": 20.0,
+                 "end_ms": 120.0, "slowdown": 3.0},
+                {"kind": "zone", "zone": "east", "at_ms": 40.0,
+                 "recover_ms": 100.0},
+            ],
+        }))
+        args = [
+            "loadtest", "--scenario", "flash-crowd", "--replicas", "2",
+            "--pus", "2", "--pes", "2", "--multipliers", "4",
+            "--rate-scale", "2", "--chaos-plan", str(plan),
+            "--retries", "2", "--retry-budget", "1.0", "--breaker",
+            "--brownout",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "retries:" in first and "breaker:" in first
+        # CLI chaos runs hold the same determinism contract: the
+        # columnar engine replays the flags to the same bytes.
+        assert main(args + ["--columnar", "--shards", "2"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_bad_chaos_plan_rejected(self, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"events": [{"kind": "meteor"}]}')
+        with pytest.raises(SystemExit, match="unknown chaos event kind"):
+            main(["loadtest", "--chaos-plan", str(plan)])
+
+    def test_missing_chaos_plan_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="chaos-plan"):
+            main(["loadtest", "--chaos-plan", str(tmp_path / "nope.json")])
+
+    def test_bad_resilience_flags_rejected(self):
+        with pytest.raises(SystemExit, match="timeout_ms"):
+            main(["loadtest", "--timeout-ms", "-5"])
+
 
 class TestSimulateJson:
     def test_json_written_with_design_shape(self, tmp_path, capsys):
