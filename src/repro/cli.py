@@ -574,6 +574,62 @@ def _render_metric_value(value: float) -> str:
     return str(int(value)) if float(value).is_integer() else repr(value)
 
 
+def cmd_obs(args) -> int:
+    """Analyze observability artifacts: ``report``, ``alerts``, ``diff``.
+
+    The reading side of the obs layer (``repro.obs.analysis``): a
+    deterministic per-run report (attribution + critical paths), an
+    offline burn-rate alert replay over a windows stream, and a ranked
+    regression-attribution diff between two runs.  All output is a pure
+    function of the artifact bytes, so CI byte-diffs it across reruns.
+    """
+    from .obs.analysis import RunArtifacts, diff_runs, render_diff, render_report
+
+    if args.obs_cmd == "report":
+        if not (args.prom or args.windows or args.trace):
+            raise SystemExit(
+                "obs report: pass at least one of --prom/--windows/--trace"
+            )
+        artifacts = RunArtifacts.load(
+            prom_path=args.prom,
+            windows_path=args.windows,
+            trace_path=args.trace,
+        )
+        print(render_report(artifacts, top=args.top), end="")
+        return 0
+
+    if args.obs_cmd == "alerts":
+        artifacts = RunArtifacts.load(windows_path=args.windows)
+        evaluator = artifacts.alert_replay()
+        print(
+            f"[obs] {args.windows}: {evaluator.windows_seen} window(s), "
+            f"{len(evaluator.rules)} rule(s)"
+        )
+        if evaluator.transitions:
+            for t_ms, name, action in evaluator.transitions:
+                print(f"t={t_ms:.3f}ms {action} {name}")
+        else:
+            print("no transitions")
+        firing = sorted(n for n, f in evaluator.firing().items() if f)
+        print("firing at end: " + (", ".join(firing) if firing else "none"))
+        return 0
+
+    # obs diff: each artifact flag takes a BEFORE AFTER pair
+    if not (args.prom or args.windows or args.trace):
+        raise SystemExit("obs diff: pass at least one of --prom/--windows/--trace")
+
+    def side(index: int) -> RunArtifacts:
+        return RunArtifacts.load(
+            prom_path=args.prom[index] if args.prom else None,
+            windows_path=args.windows[index] if args.windows else None,
+            trace_path=args.trace[index] if args.trace else None,
+        )
+
+    report = diff_runs(side(0), side(1), top=args.top)
+    print(render_diff(report), end="")
+    return 0
+
+
 def _design_name(report) -> str:
     """A collision-free design-point name for the planner ladder.
 
@@ -1009,6 +1065,48 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--windows", help="window JSONL stream from --windows")
     metrics.add_argument("--trace", help="Chrome trace JSON from --trace-out")
     metrics.set_defaults(func=cmd_metrics)
+
+    obs = sub.add_parser(
+        "obs", help="analyze observability artifacts (report / alerts / diff)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_cmd", required=True)
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="deterministic per-run report: attribution, alerts, critical paths",
+    )
+    obs_report.add_argument("--prom", help="Prometheus text dump from --metrics-out")
+    obs_report.add_argument("--windows", help="window JSONL stream from --windows")
+    obs_report.add_argument("--trace", help="Chrome trace JSON from --trace-out")
+    obs_report.add_argument(
+        "--top", type=int, default=5, help="critical paths to list (default 5)"
+    )
+    obs_report.set_defaults(func=cmd_obs)
+    obs_alerts = obs_sub.add_parser(
+        "alerts", help="replay the burn-rate alert policy over a windows stream"
+    )
+    obs_alerts.add_argument(
+        "--windows", required=True, help="window JSONL stream from --windows"
+    )
+    obs_alerts.set_defaults(func=cmd_obs)
+    obs_diff = obs_sub.add_parser(
+        "diff", help="ranked regression attribution between two runs"
+    )
+    obs_diff.add_argument(
+        "--prom", nargs=2, metavar=("BEFORE", "AFTER"),
+        help="two Prometheus dumps to compare",
+    )
+    obs_diff.add_argument(
+        "--windows", nargs=2, metavar=("BEFORE", "AFTER"),
+        help="two window JSONL streams to compare",
+    )
+    obs_diff.add_argument(
+        "--trace", nargs=2, metavar=("BEFORE", "AFTER"),
+        help="two Chrome traces to compare",
+    )
+    obs_diff.add_argument(
+        "--top", type=int, default=10, help="rows per ranked section (default 10)"
+    )
+    obs_diff.set_defaults(func=cmd_obs)
 
     search = sub.add_parser(
         "search",

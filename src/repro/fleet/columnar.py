@@ -679,16 +679,31 @@ class ColumnarFleetEngine:
                 hist.append((fin, fin - enq))
         obs = self.obs
         if obs is not None:
-            obs.on_batch((rep.rid, self.bucket_values[b], take, start, service))
             arrival = self.prep.arrival
             slo = self.prep.slo
             latencies = []
             met = 0
-            for idx, _enq in requests:
-                lat = fin - float(arrival[idx])
+            # Worst-request critical path, same multiset min/max as the
+            # event-loop hook: arr is the fleet arrival column, enq the
+            # queue tuple's enqueue time — identical IEEE operands.
+            worst_arr = worst_enq = float("inf")
+            last_enq = float("-inf")
+            for idx, enq in requests:
+                arr = float(arrival[idx])
+                lat = fin - arr
                 latencies.append(lat)
                 if lat <= float(slo[idx]):
                     met += 1
+                if arr < worst_arr or (arr == worst_arr and enq < worst_enq):
+                    worst_arr = arr
+                    worst_enq = enq
+                if enq > last_enq:
+                    last_enq = enq
+            obs.on_batch((
+                rep.rid, self.bucket_values[b], take, start, service,
+                fin - worst_arr, worst_enq - worst_arr,
+                last_enq - worst_enq, start - last_enq,
+            ))
             obs.on_completions(fin, latencies, met)
         # Same consumer order as Fleet._install_batch_hook: observer,
         # then circuit breaker, then hedge cancellation.
@@ -1085,14 +1100,26 @@ class ColumnarFleetEngine:
                 if hist is not None:
                     hist.append((fin, fin - enq))
             if obs is not None:
-                obs.on_batch((rids[k], values[b], take, start, service))
                 latencies = []
                 met = 0
-                for idx, _enq in requests:
-                    lat = fin - float(arrival_col[idx])
+                worst_arr = worst_enq = inf
+                last_enq = -inf
+                for idx, enq in requests:
+                    arr = float(arrival_col[idx])
+                    lat = fin - arr
                     latencies.append(lat)
                     if lat <= float(slo_col[idx]):
                         met += 1
+                    if arr < worst_arr or (arr == worst_arr and enq < worst_enq):
+                        worst_arr = arr
+                        worst_enq = enq
+                    if enq > last_enq:
+                        last_enq = enq
+                obs.on_batch((
+                    rids[k], values[b], take, start, service,
+                    fin - worst_arr, worst_enq - worst_arr,
+                    last_enq - worst_enq, start - last_enq,
+                ))
                 obs.on_completions(fin, latencies, met)
             nd = inf
             q_k = queues[k]

@@ -334,17 +334,37 @@ class Fleet:
 
         def hook(requests, dispatch, bucket, size):
             if on_batch is not None:
-                on_batch((rid, bucket, size, dispatch.start_ms, dispatch.service_ms))
                 finish = dispatch.finish_ms
                 latencies = []
                 append = latencies.append
                 met = 0
+                # Worst request = earliest fleet arrival (ties: earliest
+                # enqueue) — a pure multiset min, so both engines pick the
+                # same request regardless of iteration order.  Its phase
+                # decomposition rides the batch span for the critical-path
+                # analyzer: wl = wr (retry/hedge) + wb (batch formation) +
+                # wq (queue wait) + service, up to float rounding.
+                worst_arr = worst_enq = float("inf")
+                last_enq = float("-inf")
                 for request in requests:
                     record = record_of[request.request_id]
-                    latency = finish - record.arrival_ms
+                    arr = record.arrival_ms
+                    latency = finish - arr
                     append(latency)
                     if latency <= record.slo_ms:
                         met += 1
+                    enq = request.arrival_ms
+                    if arr < worst_arr or (arr == worst_arr and enq < worst_enq):
+                        worst_arr = arr
+                        worst_enq = enq
+                    if enq > last_enq:
+                        last_enq = enq
+                start = dispatch.start_ms
+                on_batch((
+                    rid, bucket, size, start, dispatch.service_ms,
+                    finish - worst_arr, worst_enq - worst_arr,
+                    last_enq - worst_enq, start - last_enq,
+                ))
                 on_completions(finish, latencies, met)
             if breaker is not None:
                 nominal = estimate(bucket, size)

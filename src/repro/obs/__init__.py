@@ -16,11 +16,25 @@ JSONL, and Chrome trace.
 - :mod:`observer` — :class:`FleetObserver`, the sink threaded through the
   engines' instrumentation seams, with ``ShardPartial``-style merge for
   forked columnar shards
+- :mod:`analysis` — the reading side: burn-rate SLO alerting evaluated
+  inside the run, mergeable quantile sketches, critical-path and
+  run-diff attribution over the emitted artifacts
 
-Surfaced via ``repro.cli loadtest --metrics-out/--trace-out/--windows``
-and the ``repro.cli metrics`` renderer.
+Surfaced via ``repro.cli loadtest --metrics-out/--trace-out/--windows``,
+the ``repro.cli metrics`` renderer, and the ``repro.cli obs`` analysis
+subcommands.
 """
 
+from .analysis import (
+    AlertEvaluator,
+    BurnRateRule,
+    QuantileSketch,
+    RunArtifacts,
+    default_policy,
+    diff_runs,
+    render_diff,
+    render_report,
+)
 from .observer import FleetObserver, NullObserver, ObsPartial
 from .registry import (
     Counter,
@@ -34,6 +48,8 @@ from .tracing import Tracer
 from .windows import WindowTracker
 
 __all__ = [
+    "AlertEvaluator",
+    "BurnRateRule",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS_MS",
     "FleetObserver",
@@ -42,7 +58,13 @@ __all__ = [
     "MetricsRegistry",
     "NullObserver",
     "ObsPartial",
+    "QuantileSketch",
+    "RunArtifacts",
     "Tracer",
     "WindowTracker",
+    "default_policy",
+    "diff_runs",
     "parse_prometheus",
+    "render_diff",
+    "render_report",
 ]

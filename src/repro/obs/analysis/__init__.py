@@ -1,0 +1,54 @@
+"""Analysis layer over the deterministic observability streams.
+
+Where :mod:`repro.obs` *emits* — Prometheus dumps, windows JSONL, Chrome
+traces — this subpackage *reads*: burn-rate alerting evaluated live
+inside the run, mergeable quantile sketches behind the windowed
+percentiles, and offline attribution/diff tooling over the artifacts.
+
+- :mod:`sketch` — :class:`QuantileSketch`, a deterministic log-bucket
+  digest with an exactly commutative/associative merge
+- :mod:`alerts` — multi-window multi-burn-rate SLO rules
+  (:class:`AlertEvaluator`), page/ticket tiers, replayable offline
+- :mod:`analyze` — artifact loaders, per-tenant/per-replica attribution,
+  critical-path extraction from batch spans
+- :mod:`diff` — ranked regression attribution between two runs
+
+Surfaced via the ``repro.cli obs`` subcommands (``report``, ``alerts``,
+``diff``).
+"""
+
+from .alerts import AlertEvaluator, BurnRateRule, default_policy, replay_windows
+from .analyze import (
+    CriticalPath,
+    PHASES,
+    ReplicaPhases,
+    RunArtifacts,
+    critical_paths,
+    render_report,
+    replica_phases,
+    tenant_table,
+)
+from .diff import DiffReport, DiffRow, diff_runs, render_diff
+from .sketch import RESOLUTION, SUBBUCKETS, QuantileSketch
+
+__all__ = [
+    "AlertEvaluator",
+    "BurnRateRule",
+    "CriticalPath",
+    "DiffReport",
+    "DiffRow",
+    "PHASES",
+    "QuantileSketch",
+    "RESOLUTION",
+    "ReplicaPhases",
+    "RunArtifacts",
+    "SUBBUCKETS",
+    "critical_paths",
+    "default_policy",
+    "diff_runs",
+    "render_diff",
+    "render_report",
+    "replay_windows",
+    "replica_phases",
+    "tenant_table",
+]

@@ -1,0 +1,265 @@
+"""Run-to-run regression attribution over observability artifacts.
+
+Given two runs' artifacts (``before`` and ``after``), produce a ranked
+report of what moved: which replica and critical-path phase (the causal
+signal — a slowdown localizes to where the time is actually spent),
+which tenants felt it (the symptom), and how the headline metrics
+shifted.  The ranking is by relative change with deterministic
+tiebreaks, so identical artifact pairs always produce identical reports
+— CI greps the top attribution line after injecting a known slowdown.
+
+The window streams also get an alignment check: because the observer
+flushes to the run-duration horizon, two runs of equal duration emit the
+same window indices, and the first window where the p99 diverges is a
+useful "when did it start" anchor.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .analyze import PHASES, RunArtifacts, replica_phases, tenant_table
+
+__all__ = ["DiffRow", "DiffReport", "diff_runs", "render_diff"]
+
+#: Relative changes smaller than this are noise, not regressions.
+REL_EPSILON = 1e-9
+
+#: Absolute floor below which a value counts as zero for ratio purposes.
+ABS_FLOOR = 1e-12
+
+
+@dataclass
+class DiffRow:
+    """One ranked delta.
+
+    ``kind`` is ``replica-phase``, ``tenant``, or ``metric``; ``subject``
+    names the entity, ``metric`` the quantity.  ``rel`` is the relative
+    change (``inf`` when something appeared from zero).
+    """
+
+    kind: str
+    subject: str
+    metric: str
+    before: float
+    after: float
+    rel: float
+
+    @property
+    def score(self) -> float:
+        return abs(self.rel)
+
+
+@dataclass
+class DiffReport:
+    """Ranked attribution plus the raw sections, ready to render."""
+
+    replica_rows: List[DiffRow]
+    tenant_rows: List[DiffRow]
+    metric_rows: List[DiffRow]
+    windows_before: int
+    windows_after: int
+    first_divergence: Optional[dict]  # the first diverging window doc pair
+
+    def top_attribution(self) -> Optional[DiffRow]:
+        """The single strongest replica-phase mover (None without traces)."""
+        return self.replica_rows[0] if self.replica_rows else None
+
+
+def _relative(before: float, after: float) -> float:
+    if abs(before) > ABS_FLOOR:
+        return (after - before) / abs(before)
+    if abs(after) > ABS_FLOOR:
+        return float("inf")
+    return 0.0
+
+
+def _rank(rows: List[DiffRow]) -> List[DiffRow]:
+    """Largest relative change first; name tiebreaks keep it stable."""
+    meaningful = [row for row in rows if row.score > REL_EPSILON]
+    meaningful.sort(key=lambda row: (-min(row.score, 1e18), row.subject, row.metric))
+    return meaningful
+
+
+def _replica_rows(a: RunArtifacts, b: RunArtifacts) -> List[DiffRow]:
+    if a.trace is None or b.trace is None:
+        return []
+    before = replica_phases(a.trace)
+    after = replica_phases(b.trace)
+    rows: List[DiffRow] = []
+    for tid in sorted(set(before) | set(after)):
+        entry_a = before.get(tid)
+        entry_b = after.get(tid)
+        label = (entry_b or entry_a).label
+        for phase in PHASES:
+            mean_a = entry_a.mean_ms(phase) if entry_a else 0.0
+            mean_b = entry_b.mean_ms(phase) if entry_b else 0.0
+            rows.append(
+                DiffRow(
+                    kind="replica-phase",
+                    subject=f"replica {tid} [{label}]",
+                    metric=phase,
+                    before=mean_a,
+                    after=mean_b,
+                    rel=_relative(mean_a, mean_b),
+                )
+            )
+    return _rank(rows)
+
+
+def _tenant_rows(a: RunArtifacts, b: RunArtifacts) -> List[DiffRow]:
+    if a.prom is None or b.prom is None:
+        return []
+    before = tenant_table(a.prom)
+    after = tenant_table(b.prom)
+    rows: List[DiffRow] = []
+    for tenant in sorted(set(before) | set(after)):
+        row_a = before.get(tenant, {})
+        row_b = after.get(tenant, {})
+        for stat in sorted(set(row_a) | set(row_b)):
+            value_a = row_a.get(stat, 0.0)
+            value_b = row_b.get(stat, 0.0)
+            rows.append(
+                DiffRow(
+                    kind="tenant",
+                    subject=f"tenant {tenant}",
+                    metric=stat,
+                    before=value_a,
+                    after=value_b,
+                    rel=_relative(value_a, value_b),
+                )
+            )
+    return _rank(rows)
+
+
+#: Headline scalar families compared one-to-one between dumps.
+_HEADLINE_FAMILIES = (
+    "repro_latency_ms",
+    "repro_throughput_rps",
+    "repro_goodput_rps",
+    "repro_shed_rate",
+    "repro_slo_attainment",
+    "repro_mttr_ms",
+    "repro_requests_total",
+    "repro_requests_completed_total",
+    "repro_requests_shed_total",
+    "repro_retries_total",
+    "repro_hedges_total",
+    "repro_alert_transitions_total",
+)
+
+
+def _metric_rows(a: RunArtifacts, b: RunArtifacts) -> List[DiffRow]:
+    if a.prom is None or b.prom is None:
+        return []
+    rows: List[DiffRow] = []
+    for family in _HEADLINE_FAMILIES:
+        samples_a = a.prom.get(family, {})
+        samples_b = b.prom.get(family, {})
+        for key in sorted(set(samples_a) | set(samples_b)):
+            value_a = samples_a.get(key, 0.0)
+            value_b = samples_b.get(key, 0.0)
+            rows.append(
+                DiffRow(
+                    kind="metric",
+                    subject=key,
+                    metric="",
+                    before=value_a,
+                    after=value_b,
+                    rel=_relative(value_a, value_b),
+                )
+            )
+    return _rank(rows)
+
+
+def _window_divergence(
+    a: RunArtifacts, b: RunArtifacts
+) -> Tuple[int, int, Optional[dict]]:
+    if a.windows is None or b.windows is None:
+        return 0, 0, None
+    for doc_a, doc_b in zip(a.windows, b.windows):
+        if doc_a != doc_b:
+            return (
+                len(a.windows),
+                len(b.windows),
+                {
+                    "index": doc_a["index"],
+                    "start_ms": doc_a["start_ms"],
+                    "p99_before": doc_a["latency_p99_ms"],
+                    "p99_after": doc_b["latency_p99_ms"],
+                },
+            )
+    return len(a.windows), len(b.windows), None
+
+
+def diff_runs(a: RunArtifacts, b: RunArtifacts, top: int = 10) -> DiffReport:
+    """Compare two runs' artifacts into a ranked :class:`DiffReport`."""
+    windows_a, windows_b, divergence = _window_divergence(a, b)
+    return DiffReport(
+        replica_rows=_replica_rows(a, b)[: max(0, top)],
+        tenant_rows=_tenant_rows(a, b)[: max(0, top)],
+        metric_rows=_metric_rows(a, b)[: max(0, top)],
+        windows_before=windows_a,
+        windows_after=windows_b,
+        first_divergence=divergence,
+    )
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.3f}"
+
+
+def _fmt_rel(rel: float) -> str:
+    if rel == float("inf"):
+        return "new"
+    return f"{rel * 100.0:+.1f}%"
+
+
+def render_diff(report: DiffReport) -> str:
+    """Deterministic text rendering (the ``repro.cli obs diff`` payload)."""
+    lines: List[str] = []
+    lines.append("== regression attribution: replica phases (ranked) ==")
+    if report.replica_rows:
+        for rank, row in enumerate(report.replica_rows, start=1):
+            lines.append(
+                f"{rank}. {row.subject} {row.metric}: {_fmt(row.before)} -> "
+                f"{_fmt(row.after)} ms/batch ({_fmt_rel(row.rel)})"
+            )
+    else:
+        lines.append("no trace artifacts (or no phase movement)")
+    lines.append("")
+    lines.append("== tenant impact (ranked) ==")
+    if report.tenant_rows:
+        for rank, row in enumerate(report.tenant_rows, start=1):
+            lines.append(
+                f"{rank}. {row.subject} {row.metric}: {_fmt(row.before)} -> "
+                f"{_fmt(row.after)} ({_fmt_rel(row.rel)})"
+            )
+    else:
+        lines.append("no tenant movement")
+    lines.append("")
+    lines.append("== headline deltas (ranked) ==")
+    if report.metric_rows:
+        for rank, row in enumerate(report.metric_rows, start=1):
+            lines.append(
+                f"{rank}. {row.subject}: {_fmt(row.before)} -> "
+                f"{_fmt(row.after)} ({_fmt_rel(row.rel)})"
+            )
+    else:
+        lines.append("no headline movement")
+    if report.windows_before or report.windows_after:
+        lines.append("")
+        lines.append("== window stream ==")
+        lines.append(
+            f"windows: {report.windows_before} vs {report.windows_after}"
+        )
+        div = report.first_divergence
+        if div is None:
+            lines.append("streams identical")
+        else:
+            lines.append(
+                f"first divergence at window {div['index']} "
+                f"(t={_fmt(div['start_ms'])}ms): "
+                f"p99 {_fmt(div['p99_before'])} -> {_fmt(div['p99_after'])}"
+            )
+    return "\n".join(lines) + "\n"

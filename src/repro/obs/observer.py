@@ -28,9 +28,11 @@ None`` (or the falsy :class:`NullObserver`) — zero work on the hot loop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
-from .registry import DEFAULT_LATENCY_BUCKETS_MS, MetricsRegistry
+from .analysis.alerts import AlertEvaluator, BurnRateRule
+from .analysis.sketch import QuantileSketch, _slot_edges
+from .registry import MetricsRegistry
 from .tracing import Tracer
 from .windows import WindowTracker, _Win
 
@@ -46,23 +48,35 @@ class ObsPartial:
     # earliest replica failure this shard observed (None = none) — the
     # parent folds these with min() for the MTTR gauge
     first_failure_ms: Optional[float] = None
+    # window-close-derived state: the run-level latency sketch merges, the
+    # alert evaluator is adopted whole (it is sequential per-window state
+    # — only the side that actually closed windows has any; window closes
+    # happen exclusively in the parent process, so shipping it keeps the
+    # alert stream byte-identical at every shard count by construction)
+    run_sketch: QuantileSketch = field(default_factory=QuantileSketch)
+    alerts: Optional[AlertEvaluator] = None
 
 
 class FleetObserver:
     """Deterministic metrics + tracing + rolling windows for one run."""
 
-    def __init__(self, window_ms: float = 20.0, windows_stream=None) -> None:
+    def __init__(
+        self,
+        window_ms: float = 20.0,
+        windows_stream=None,
+        alert_policy: Optional[Sequence[BurnRateRule]] = None,
+    ) -> None:
         self.registry = MetricsRegistry()
         self.tracer = Tracer()
-        self.latency_hist = self.registry.histogram(
-            "repro_request_latency_ms",
-            "End-to-end request latency (arrival to finish), milliseconds.",
-            buckets=DEFAULT_LATENCY_BUCKETS_MS,
-        )
+        # Burn-rate alerting is always on: it costs a handful of integer
+        # adds per closed window, and running it by default means every
+        # differential and overhead gate covers the evaluator too.
+        self.alerts = AlertEvaluator(alert_policy)
+        self._run_sketch = QuantileSketch()
         self.windows = WindowTracker(
             window_ms=window_ms,
             stream=windows_stream,
-            on_flush=self.latency_hist.observe_sorted,
+            on_close=self._on_window_close,
         )
         # Absorbed trace events live apart from the tracer's live buffer:
         # a forked shard child inherits this master list but only ships
@@ -116,15 +130,36 @@ class FleetObserver:
     def on_batch(self, span: tuple) -> None:
         """Record one dispatched batch.
 
-        ``span`` is ``(replica_id, bucket, size, start_ms, service_ms)``.
-        It takes the whole tuple so the bound callback can be a bare list
-        append — this fires once per batch, the hottest trace stream, and
-        the trace-event dict is built later by :meth:`_batch_span_events`
-        (export is sorted, so when the dicts materialise does not change a
-        byte).
+        ``span`` is ``(replica_id, bucket, size, start_ms, service_ms,
+        wl, wr, wb, wq)`` where the ``w*`` tail is the critical-path
+        decomposition of the batch's **worst request** (earliest fleet
+        arrival, ties by earliest enqueue): ``wl`` its end-to-end latency,
+        ``wr`` retry/hedge time (arrival to final enqueue), ``wb`` batch
+        formation (its enqueue to the batch's last enqueue), ``wq`` queue
+        wait (last enqueue to dispatch); ``wl == wr + wb + wq +
+        service_ms`` up to float rounding.  It takes the whole tuple so
+        the bound
+        callback can be a bare list append — this fires once per batch,
+        the hottest trace stream, and the trace-event dict is built later
+        by :meth:`_batch_span_events` (export is sorted, so when the
+        dicts materialise does not change a byte).
         """
 
         self._batch_spans.append(span)
+
+    def _on_window_close(self, index: int, win, sketch, shed_total: int) -> None:
+        """One window closed: fold its sketch into the run-level digest
+        and step the burn-rate alert evaluator, emitting any transitions
+        as trace instants at the window's end."""
+
+        self._run_sketch = self._run_sketch.merge(sketch)
+        end_ms = (index + 1) * self.windows.window_ms
+        for t_ms, name, action in self.alerts.observe_window(
+            end_ms, win.arrivals, win.completions, win.slo_met, shed_total
+        ):
+            self.tracer.add_instant(
+                f"alert-{action}", t_ms, tid=0, args={"alert": name}
+            )
 
     def on_replica(self, replica_id: int, label: str, t_ms: float, cold_ms: float) -> None:
         self.tracer.add_thread_name(replica_id, f"replica-{replica_id} [{label}]")
@@ -222,9 +257,17 @@ class FleetObserver:
                 "dur": float(service_ms) * 1000.0,
                 "pid": 0,
                 "tid": int(replica_id),
-                "args": {"bucket": int(bucket), "size": int(size)},
+                "args": {
+                    "bucket": int(bucket),
+                    "size": int(size),
+                    "wl": float(wl),
+                    "wr": float(wr),
+                    "wb": float(wb),
+                    "wq": float(wq),
+                },
             }
-            for replica_id, bucket, size, start_ms, service_ms in self._batch_spans
+            for replica_id, bucket, size, start_ms, service_ms, wl, wr, wb, wq
+            in self._batch_spans
         ]
 
     def take_partial(self) -> ObsPartial:
@@ -236,10 +279,16 @@ class FleetObserver:
         # to the fresh buffer or later spans would vanish into the partial.
         self.on_batch = self._batch_spans.append
         first_failure, self._first_failure_ms = self._first_failure_ms, None
+        run_sketch, self._run_sketch = self._run_sketch, QuantileSketch()
+        alerts, self.alerts = self.alerts, AlertEvaluator(
+            policy=self.alerts.rules
+        )
         return ObsPartial(
             windows=self.windows.take(),
             trace_events=events,
             first_failure_ms=first_failure,
+            run_sketch=run_sketch,
+            alerts=alerts,
         )
 
     def absorb(self, partial: ObsPartial) -> None:
@@ -252,6 +301,16 @@ class FleetObserver:
             self._first_failure_ms is None or t < self._first_failure_ms
         ):
             self._first_failure_ms = t
+        self._run_sketch = self._run_sketch.merge(partial.run_sketch)
+        # The alert evaluator is sequential window state, not a mergeable
+        # delta: adopt whichever side has actually seen windows.  Shard
+        # children never close windows (only the parent flushes), so at
+        # most one side is ever non-empty.
+        if (
+            partial.alerts is not None
+            and partial.alerts.windows_seen > self.alerts.windows_seen
+        ):
+            self.alerts = partial.alerts
 
     def finalize(self, report) -> None:
         """Flush remaining windows and fill the registry from the report.
@@ -259,13 +318,17 @@ class FleetObserver:
         Every counter/gauge value comes from the already byte-identical
         :class:`~repro.fleet.runner.FleetReport`, so the Prometheus dump
         inherits the engines' byte-equality for free; the latency
-        histogram is filled window-by-window from sorted latencies.
+        histogram comes from the run-level quantile sketch (bucket
+        boundaries are the sketch's own slot edges, so the fill is
+        exact).  The flush horizon is the report duration, which pads the
+        window stream with explicit empty trailing windows — two runs of
+        equal duration always align index-for-index.
         """
 
         if self._finalized:
             return
         self._finalized = True
-        self.windows.flush_all()
+        self.windows.flush_all(horizon_ms=report.stats.duration_ms)
 
         reg = self.registry
         stats = report.stats
@@ -323,6 +386,10 @@ class FleetObserver:
             stats.slo_attainment
         )
 
+        self._fill_latency_histogram(reg)
+        self._fill_attribution_gauges(reg, stats)
+        self._fill_alert_metrics(reg)
+
         chaos = getattr(stats, "chaos", None)
         if chaos is not None:
             reg.counter(
@@ -361,6 +428,108 @@ class FleetObserver:
                 ">= 90% of the pre-failure baseline (-1 = never recovered, "
                 "0 = no failure observed).",
             ).set(self._mttr_ms())
+
+    def _fill_latency_histogram(self, reg: MetricsRegistry) -> None:
+        """Materialise ``repro_request_latency_ms`` from the run sketch.
+
+        Boundaries are the sketch's own occupied slot upper edges, so
+        every bucket count is exact; placement is lower-inclusive at
+        sketch resolution (a sample exactly on a boundary counts in the
+        bucket above — the one documented deviation from strict ``le``
+        semantics, bounded by the 12.5% slot width).
+        """
+
+        sketch = self._run_sketch
+        help_text = (
+            "End-to-end request latency (arrival to finish), milliseconds; "
+            "buckets are the run sketch's log-bucket slot edges."
+        )
+        if sketch.count == 0:
+            reg.histogram("repro_request_latency_ms", help_text, buckets=(1.0,))
+            return
+        boundaries: List[float] = []
+        bucket_counts: List[int] = []
+        if sketch.zeros:
+            boundaries.append(0.0)
+            bucket_counts.append(sketch.zeros)
+        for slot, slot_count in sketch._occupied():
+            boundaries.append(_slot_edges(slot)[1])
+            bucket_counts.append(slot_count)
+        hist = reg.histogram(
+            "repro_request_latency_ms", help_text, buckets=tuple(boundaries)
+        )
+        hist.load(bucket_counts + [0], sketch.sum, sketch.count)
+
+    def _fill_attribution_gauges(self, reg: MetricsRegistry, stats) -> None:
+        """Per-tenant and per-replica gauges for offline attribution.
+
+        ``repro.obs.analysis.analyze`` slices these out of the Prometheus
+        dump — the per-entity detail already lives in the report, this
+        just makes it reachable from the artifact alone.
+        """
+
+        tenant_latency = reg.gauge(
+            "repro_tenant_latency_ms",
+            "Per-tenant latency summary.",
+            labels=("tenant", "stat"),
+        )
+        tenant_gauge = reg.gauge(
+            "repro_tenant_slo_attainment",
+            "Per-tenant SLO-met fraction of submitted traffic.",
+            labels=("tenant",),
+        )
+        tenant_shed = reg.gauge(
+            "repro_tenant_shed_rate",
+            "Per-tenant shed fraction of submitted traffic.",
+            labels=("tenant",),
+        )
+        tenant_goodput = reg.gauge(
+            "repro_tenant_goodput_rps",
+            "Per-tenant SLO-meeting completions per second.",
+            labels=("tenant",),
+        )
+        for name in sorted(stats.tenants):
+            tenant = stats.tenants[name]
+            tenant_latency.set(tenant.p50_latency_ms, tenant=name, stat="p50")
+            tenant_latency.set(tenant.p95_latency_ms, tenant=name, stat="p95")
+            tenant_latency.set(tenant.p99_latency_ms, tenant=name, stat="p99")
+            tenant_latency.set(tenant.mean_latency_ms, tenant=name, stat="mean")
+            tenant_gauge.set(tenant.slo_attainment, tenant=name)
+            tenant_shed.set(tenant.shed_rate, tenant=name)
+            tenant_goodput.set(tenant.goodput_rps, tenant=name)
+
+        replica_gauge = reg.gauge(
+            "repro_replica_stats",
+            "Per-replica service record (utilization, busy_ms, batches, requests).",
+            labels=("replica", "label", "stat"),
+        )
+        for replica in stats.replicas:
+            rid, label = str(replica.replica_id), replica.spec_label
+            replica_gauge.set(replica.utilization, replica=rid, label=label, stat="utilization")
+            replica_gauge.set(replica.busy_ms, replica=rid, label=label, stat="busy_ms")
+            replica_gauge.set(replica.batches_served, replica=rid, label=label, stat="batches")
+            replica_gauge.set(replica.requests_served, replica=rid, label=label, stat="requests")
+
+    def _fill_alert_metrics(self, reg: MetricsRegistry) -> None:
+        """Final alert state and transition totals from the evaluator."""
+
+        firing = reg.gauge(
+            "repro_alerts_firing",
+            "Burn-rate alerts currently firing (1) or quiet (0), by rule.",
+            labels=("alert",),
+        )
+        for name, is_firing in sorted(self.alerts.firing().items()):
+            firing.set(1.0 if is_firing else 0.0, alert=name)
+        transitions = reg.counter(
+            "repro_alert_transitions_total",
+            "Alert fire/resolve transitions over the run, by rule.",
+            labels=("alert", "action"),
+        )
+        for name, (fires, resolves) in sorted(self.alerts.transition_counts().items()):
+            if fires:
+                transitions.inc(fires, alert=name, action="fire")
+            if resolves:
+                transitions.inc(resolves, alert=name, action="resolve")
 
     def _mttr_ms(self) -> float:
         """Mean-time-to-recovery from the closed goodput window series.

@@ -54,10 +54,19 @@ def _format_value(value: float) -> str:
 
     Integral values print without a fractional part; everything else uses
     Python's shortest round-trip ``repr`` — a pure function of the double,
-    so identical floats always render identically.
+    so identical floats always render identically.  Non-finite values use
+    the canonical Prometheus spellings (``NaN``, ``+Inf``, ``-Inf``),
+    which Python's ``float()`` parses straight back — the round trip is
+    pinned by the registry tests.
     """
 
     number = float(value)
+    if number != number:
+        return "NaN"
+    if number == float("inf"):
+        return "+Inf"
+    if number == float("-inf"):
+        return "-Inf"
     if number == int(number) and abs(number) < 1e15:
         return str(int(number))
     return repr(number)
@@ -188,6 +197,25 @@ class Histogram:
         self.total = total
         self.count += len(values)
 
+    def load(self, counts: Sequence[int], total: float, count: int) -> None:
+        """Replace the histogram contents wholesale.
+
+        ``counts`` is per-bucket (one slot per boundary plus the trailing
+        ``+Inf`` slot).  Used by callers that already hold exact bucket
+        counts — the observer fills the latency histogram from the run's
+        quantile sketch this way, with boundaries equal to the sketch's
+        own slot edges.
+        """
+
+        if len(counts) != len(self.buckets) + 1:
+            raise ValueError(
+                f"histogram {self.name} expects {len(self.buckets) + 1} "
+                f"bucket counts, got {len(counts)}"
+            )
+        self.counts = [int(c) for c in counts]
+        self.total = float(total)
+        self.count = int(count)
+
     def render(self) -> List[str]:
         lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} histogram"]
         cumulative = 0
@@ -255,16 +283,65 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
 
+def _check_label_escapes(name_part: str, lineno: int) -> None:
+    """Reject malformed label syntax, naming the offending position.
+
+    Validates the ``{...}`` portion of a sample name: quoted label values
+    may only escape ``\\``, ``\"``, and ``\\n`` (the Prometheus text
+    format's full escape set); quotes and braces must balance.  Columns
+    are 1-based offsets into the sample line.
+    """
+
+    brace = name_part.find("{")
+    if brace < 0:
+        return
+    if not name_part.endswith("}"):
+        raise ValueError(
+            f"line {lineno}, col {brace + 1}: unclosed label braces in "
+            f"{name_part!r}"
+        )
+    in_quotes = False
+    i = brace + 1
+    end = len(name_part) - 1  # closing brace
+    while i < end:
+        ch = name_part[i]
+        if in_quotes:
+            if ch == "\\":
+                if i + 1 >= end or name_part[i + 1] not in ('\\', '"', "n"):
+                    raise ValueError(
+                        f"line {lineno}, col {i + 1}: bad label escape "
+                        f"{name_part[i:i + 2]!r} (only \\\\, \\\", \\n allowed)"
+                    )
+                i += 2
+                continue
+            if ch == '"':
+                in_quotes = False
+        elif ch == '"':
+            in_quotes = True
+        i += 1
+    if in_quotes:
+        raise ValueError(
+            f"line {lineno}, col {end + 1}: unterminated label value in "
+            f"{name_part!r}"
+        )
+
+
 def parse_prometheus(text: str) -> Dict[str, Dict[str, float]]:
     """Parse a Prometheus text dump into ``{family: {sample_key: value}}``.
 
     Only the subset emitted by :meth:`MetricsRegistry.render` is supported;
-    used by the ``repro.cli metrics`` renderer and the test suite to make
-    assertions about dumps without string-scraping.
+    used by the ``repro.cli metrics`` renderer, ``repro.cli obs``, and the
+    test suite to make assertions about dumps without string-scraping.
+
+    Strict where it matters for analysis: a duplicate series (same sample
+    name and labels appearing twice) and malformed label escapes raise
+    ``ValueError`` naming the line (and column, for escapes) — silently
+    letting the last write win would make ``obs diff`` attribute a
+    regression to whichever copy survived.
     """
 
     families: Dict[str, Dict[str, float]] = {}
-    for line in text.splitlines():
+    for lineno, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
         if not line:
             continue
@@ -275,7 +352,8 @@ def parse_prometheus(text: str) -> Dict[str, Dict[str, float]]:
             continue
         name_part, _, value_part = line.rpartition(" ")
         if not name_part:
-            raise ValueError(f"malformed sample line: {line!r}")
+            raise ValueError(f"line {lineno}: malformed sample line: {line!r}")
+        _check_label_escapes(name_part, lineno)
         base = name_part.split("{", 1)[0]
         for suffix in ("_bucket", "_sum", "_count"):
             if base.endswith(suffix) and base[: -len(suffix)] in families:
@@ -283,5 +361,10 @@ def parse_prometheus(text: str) -> Dict[str, Dict[str, float]]:
                 break
         else:
             family = base
-        families.setdefault(family, {})[name_part] = float(value_part)
+        samples = families.setdefault(family, {})
+        if name_part in samples:
+            raise ValueError(
+                f"line {lineno}: duplicate series {name_part!r}"
+            )
+        samples[name_part] = float(value_part)
     return families

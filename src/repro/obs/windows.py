@@ -8,10 +8,11 @@ emitted as JSONL lines — during the run when a stream is attached, and in
 full via :attr:`WindowTracker.lines` after :meth:`flush_all`.
 
 Determinism contract: every per-window aggregate is a pure function of
-the *multiset* of records in that window (counts are summed; latencies
-are sorted before p99/mean/sum), and windows are flushed in ascending
-index order.  Two engines that record the same events in different orders
-therefore emit byte-identical JSONL.
+the *multiset* of records in that window (counts are summed; latency
+percentiles come from a :class:`~repro.obs.analysis.sketch.QuantileSketch`
+built at close, whose merge is exactly order-independent), and windows
+are flushed in ascending index order.  Two engines that record the same
+events in different orders therefore emit byte-identical JSONL.
 
 Flush safety rides the watermark invariant: ``flush(T)`` only closes
 windows whose end lies at or before ``T``, and callers only advance the
@@ -23,10 +24,11 @@ loop advances after draining due work; the columnar engine advances to
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..serve.metrics import percentile_sorted
+from .analysis.sketch import QuantileSketch
 
 __all__ = ["WindowTracker"]
 
@@ -59,12 +61,15 @@ class _Win:
 
 
 class WindowTracker:
-    def __init__(self, window_ms: float = 20.0, stream=None, on_flush=None) -> None:
+    def __init__(self, window_ms: float = 20.0, stream=None, on_close=None) -> None:
         if window_ms <= 0:
             raise ValueError(f"window_ms must be positive, got {window_ms}")
         self.window_ms = float(window_ms)
         self.stream = stream
-        self.on_flush = on_flush  # callable(sorted_latencies) at each flush
+        # callable(index, win, sketch, shed_total), invoked as each window
+        # closes — the observer hangs the run-level sketch merge and the
+        # burn-rate alert evaluator off this seam.
+        self.on_close = on_close
         self._closed: List[tuple] = []  # flushed, not yet rendered to JSON
         self._lines: List[str] = []
         self._live: Dict[int, _Win] = {}
@@ -211,32 +216,48 @@ class WindowTracker:
         while (self._next_flush + 1) * self.window_ms <= watermark_ms:
             self._flush_one(self._next_flush)
 
-    def flush_all(self) -> None:
+    def flush_all(self, horizon_ms: Optional[float] = None) -> None:
+        """Close every remaining window.
+
+        Without a horizon, closes through the last window holding any
+        record.  With ``horizon_ms`` (the run duration), also emits
+        explicit empty records for trailing event-free windows up to the
+        horizon — so two runs of the same duration always align window
+        index for window index, which is what ``obs diff`` keys on.  A
+        horizon landing exactly on a window boundary closes the window
+        ending there and nothing past it.
+        """
         self._drain_live()
+        target = -1
         if self._master:
             target = max(self._master)
-            while self._next_flush <= target:
-                self._flush_one(self._next_flush)
+        if horizon_ms is not None and horizon_ms > 0:
+            last = int(math.ceil(horizon_ms / self.window_ms)) - 1
+            if last > target:
+                target = last
+        while self._next_flush <= target:
+            self._flush_one(self._next_flush)
 
     def _flush_one(self, index: int) -> None:
-        """Close one window: carry the queue depth, feed ``on_flush``, and
-        park the aggregates for JSON rendering.
+        """Close one window: carry the queue depth, build the latency
+        sketch, feed ``on_close``, and park the aggregates for rendering.
 
         Rendering the JSONL document is pure export work, so without an
         attached stream it is deferred to the first :attr:`lines` access —
-        closing windows inside an observed run costs a sort and a few
-        counter folds, nothing more.  With a stream the document must leave
-        now (that is what streaming means), so it renders immediately.
+        closing windows inside an observed run costs one sketch build and
+        a few counter folds, nothing more.  With a stream the document
+        must leave now (that is what streaming means), so it renders
+        immediately.
         """
 
         win = self._master.pop(index, None) or _Win()
-        ordered = sorted(win.latencies)
+        sketch = QuantileSketch.of(win.latencies)
         shed_total = sum(win.shed.values())
         self._depth += win.arrivals - shed_total - win.completions
         self.goodput_series.append((index, win.slo_met / (self.window_ms / 1000.0)))
-        self._closed.append((index, win, ordered, shed_total, self._depth))
-        if self.on_flush is not None:
-            self.on_flush(ordered)
+        self._closed.append((index, win, sketch, shed_total, self._depth))
+        if self.on_close is not None:
+            self.on_close(index, win, sketch, shed_total)
         self._next_flush = index + 1
         if self.stream is not None:
             self._render_pending()
@@ -251,7 +272,7 @@ class WindowTracker:
     def _render_pending(self) -> None:
         closed, self._closed = self._closed, []
         window_s = self.window_ms / 1000.0
-        for index, win, ordered, shed_total, depth in closed:
+        for index, win, sketch, shed_total, depth in closed:
             doc = {
                 "index": index,
                 "start_ms": index * self.window_ms,
@@ -262,9 +283,9 @@ class WindowTracker:
                 "shed": {reason: win.shed[reason] for reason in sorted(win.shed)},
                 "shed_total": shed_total,
                 "shed_rate": (shed_total / win.arrivals) if win.arrivals else 0.0,
-                "latency_p99_ms": percentile_sorted(ordered, 99) if ordered else 0.0,
-                "latency_mean_ms": (sum(ordered) / len(ordered)) if ordered else 0.0,
-                "latency_max_ms": ordered[-1] if ordered else 0.0,
+                "latency_p99_ms": sketch.quantile(99.0) if sketch.count else 0.0,
+                "latency_mean_ms": sketch.mean,
+                "latency_max_ms": sketch.maximum if sketch.count else 0.0,
                 "throughput_rps": win.completions / window_s,
                 "goodput_rps": win.slo_met / window_s,
                 "queue_depth": depth,

@@ -769,6 +769,110 @@ def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
             "refusing to benchmark"
         )
 
+    # --- the alert-stream equivalence gate: engines x shard counts ------
+    # The chaos drill fires real burn-rate alerts (the observer evaluates
+    # the policy in-run, on the simulated clock).  Replay the identical
+    # drill through the columnar engine at several shard counts and demand
+    # byte-identical streams — the Prometheus dump, the window JSONL, and
+    # the trace with its alert-fire/alert-resolve instants.  A drill that
+    # stops firing makes the gate vacuous, so that refuses too.
+    alert_transitions = list(chaos_obs.alerts.transitions)
+    if not alert_transitions:
+        raise RuntimeError(
+            "the chaos drill fired no burn-rate alerts — the alert "
+            "equivalence gate would be vacuous; refusing to benchmark"
+        )
+    chaos_streams = (
+        chaos_obs.render_prometheus(),
+        chaos_obs.window_lines(),
+        chaos_obs.trace_json(),
+    )
+    for alert_shards in (1, 2, 5):
+        shard_obs = FleetObserver()
+        run_scenario_columnar(
+            "steady",
+            model,
+            tokenizer,
+            [weak_chaos_spec] * 3,
+            chaos_fleet_config,
+            seed=seed,
+            rate_scale=6.0,
+            duration_scale=4.0,
+            shards=alert_shards,
+            scale_spec=weak_chaos_spec,
+            autoscale=AutoscalePolicy(
+                min_replicas=1, max_replicas=6, interval_ms=50.0, cooldown_ticks=1
+            ),
+            chaos=chaos_plan,
+            resilience=chaos_policy,
+            obs=shard_obs,
+        )
+        shard_streams = (
+            shard_obs.render_prometheus(),
+            shard_obs.window_lines(),
+            shard_obs.trace_json(),
+        )
+        if shard_streams != chaos_streams:
+            raise RuntimeError(
+                f"the columnar engine at {alert_shards} shard(s) produced "
+                "different observability streams than the event-loop engine "
+                "on the alerting chaos drill — the byte-exact alert contract "
+                "is broken; refusing to benchmark"
+            )
+
+    # --- the regression-attribution gate: obs diff flags the gray -------
+    # Inject a known 2x gray slowdown on replica 1 and demand the offline
+    # diff rank that replica's service phase first — the causal signal an
+    # operator would chase, surfaced from nothing but the artifacts.
+    from ..obs import RunArtifacts, diff_runs
+
+    def run_attribution(chaos):
+        attribution_obs = FleetObserver()
+        run_scenario(
+            "steady",
+            model,
+            tokenizer,
+            specs,
+            fleet_config,
+            seed=seed,
+            rate_scale=eq_rate,
+            analytic=True,
+            chaos=chaos,
+            obs=attribution_obs,
+        )
+        return RunArtifacts.from_strings(
+            prom_text=attribution_obs.render_prometheus(),
+            windows_text="".join(
+                line + "\n" for line in attribution_obs.window_lines()
+            ),
+            trace_text=attribution_obs.trace_json(),
+        )
+
+    gray_plan = ChaosPlan(
+        name="bench-gray-2x",
+        grays=(
+            GrayWindow(replica_id=1, start_ms=60.0, end_ms=200.0, slowdown=2.0),
+        ),
+    )
+    attribution = diff_runs(
+        run_attribution(None), run_attribution(gray_plan)
+    ).top_attribution()
+    if (
+        attribution is None
+        or not attribution.subject.startswith("replica 1 ")
+        or attribution.metric != "service"
+    ):
+        got = (
+            f"{attribution.subject} {attribution.metric}"
+            if attribution
+            else "nothing"
+        )
+        raise RuntimeError(
+            "obs diff attributed the injected 2x gray slowdown on replica 1 "
+            f"to {got} instead of replica 1's service phase — the "
+            "attribution contract is broken; refusing to benchmark"
+        )
+
     # --- the chaos overhead gate: zero-cost when disabled ---------------
     # Same interleaved floor-vs-floor protocol as the observability gate;
     # the disabled policy exercises every chaos seam the engines grew
@@ -941,6 +1045,12 @@ def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
         "sim_chaos_recovery_goodput_frac": _metric(
             chaos_recovery_frac, "", higher_is_better=True
         ),
+        # Deterministic burn-rate transition count on the chaos drill —
+        # held byte-equal across engines and shard counts by the hard
+        # gate above; this pins the count itself against drift.
+        "sim_alert_transitions": _metric(
+            len(alert_transitions), "", higher_is_better=False
+        ),
         "chaos_off_wall_ms": _metric(
             chaos_off_best, "ms", higher_is_better=False, gated=False
         ),
@@ -1036,6 +1146,10 @@ def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
                 "duration_scale": obs_duration_scale,
                 "submitted": obs_captured["plain"].stats.submitted,
                 "byte_identical": True,
+                # the observer evaluates the burn-rate alert policy and
+                # builds the run quantile sketch in-line, so the ceiling
+                # now covers alerting + sketching too
+                "alerts_enabled": True,
                 "overhead_ceiling": 1.10,
             },
             "chaos": {
@@ -1054,6 +1168,13 @@ def run_fleet_suite(quick: bool = False, seed: int = 0) -> Dict:
                 "mttr_ms": mttr_ms,
                 "recovery_floor": 0.9,
                 "disabled_overhead_ceiling": 1.05,
+            },
+            "alerting": {
+                "policy": "default burn-rate (page/ticket slo, page shed)",
+                "drill_transitions": len(alert_transitions),
+                "byte_identical_shards": [1, 2, 5],
+                "attribution": "2x gray on replica 1 -> top diff row is "
+                "replica 1 service",
             },
             "giga": {
                 "scenario": "flash-crowd",

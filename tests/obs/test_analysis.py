@@ -1,0 +1,239 @@
+"""Offline obs analysis: loaders, critical paths, report/diff determinism.
+
+The acceptance contracts from the analysis PR:
+
+- ``RunArtifacts`` round-trips the three artifact formats;
+- ``render_report`` is a pure function of the artifact bytes (two
+  identical runs render byte-identical reports);
+- ``diff_runs`` of a clean run against one with an injected gray
+  slowdown ranks the affected replica's service phase first;
+- the chaos + alerting differential: both engines, at several shard
+  counts, emit byte-identical streams *with alert transitions in them*.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet import (
+    ChaosPlan,
+    GrayWindow,
+    ResiliencePolicy,
+    run_scenario,
+    run_scenario_columnar,
+)
+from repro.obs import FleetObserver, RunArtifacts, diff_runs, render_diff, render_report
+from repro.obs.analysis import CriticalPath, critical_paths, replica_phases, tenant_table
+
+PROM_TEXT = """\
+# HELP repro_slo_attainment x
+# TYPE repro_slo_attainment gauge
+repro_slo_attainment 0.9
+# HELP repro_tenant_latency_ms x
+# TYPE repro_tenant_latency_ms gauge
+repro_tenant_latency_ms{stat="p99",tenant="acme"} 12.5
+repro_tenant_latency_ms{stat="mean",tenant="acme"} 4.0
+# HELP repro_tenant_shed_rate x
+# TYPE repro_tenant_shed_rate gauge
+repro_tenant_shed_rate{tenant="acme"} 0.25
+"""
+
+
+def _trace(events):
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
+
+
+def _batch(tid, ts_us, dur_us, wl, wr, wb, wq, bucket=16, size=2):
+    return {
+        "ph": "X", "name": "batch", "pid": 1, "tid": tid,
+        "ts": ts_us, "dur": dur_us,
+        "args": {"bucket": bucket, "size": size,
+                 "wl": wl, "wr": wr, "wb": wb, "wq": wq},
+    }
+
+
+def _meta(tid, name):
+    return {"ph": "M", "name": "thread_name", "pid": 1, "tid": tid,
+            "args": {"name": name}}
+
+
+class TestLoaders:
+    def test_from_strings_round_trips_all_three(self):
+        windows_text = (
+            json.dumps({"index": 0, "end_ms": 20.0, "arrivals": 1,
+                        "completions": 1, "slo_met": 1, "shed_total": 0}) + "\n"
+        )
+        art = RunArtifacts.from_strings(
+            prom_text=PROM_TEXT,
+            windows_text=windows_text,
+            trace_text=_trace([_meta(0, "replica-0 [weak]")]),
+        )
+        assert art.gauge("repro_slo_attainment") == 0.9
+        assert art.gauge("repro_tenant_shed_rate", tenant="acme") == 0.25
+        assert art.gauge("repro_tenant_shed_rate", tenant="ghost") is None
+        assert art.windows[0]["index"] == 0
+        assert art.trace[0]["name"] == "thread_name"
+
+    def test_partial_artifacts_are_fine(self):
+        art = RunArtifacts.from_strings()
+        assert art.gauge("anything") is None
+        assert art.alert_replay() is None
+        assert render_report(art) == "\n"
+
+    def test_tenant_table_slices_families(self):
+        art = RunArtifacts.from_strings(prom_text=PROM_TEXT)
+        table = tenant_table(art.prom)
+        assert table == {"acme": {"p99": 12.5, "mean": 4.0, "shed_rate": 0.25}}
+
+
+class TestCriticalPaths:
+    TRACE = [
+        _meta(0, "replica-0 [weak]"),
+        _meta(1, "replica-1 [strong]"),
+        _batch(0, 1000, 2000, wl=9.0, wr=1.0, wb=2.0, wq=4.0),
+        _batch(1, 5000, 1000, wl=30.0, wr=20.0, wb=3.0, wq=6.0),
+        _batch(0, 9000, 500, wl=4.0, wr=0.0, wb=1.0, wq=2.5),
+    ]
+
+    def test_ranked_by_worst_request_latency(self):
+        paths = critical_paths(self.TRACE, top=2)
+        assert [p.latency_ms for p in paths] == [30.0, 9.0]
+        worst = paths[0]
+        assert (worst.replica, worst.label) == (1, "strong")
+        assert dict(worst.phases) == {
+            "retry-hedge": 20.0, "batch-wait": 3.0, "queue-wait": 6.0,
+            "service": 1.0,
+        }
+
+    def test_spans_without_decomposition_are_skipped(self):
+        legacy = [{"ph": "X", "name": "batch", "tid": 0, "ts": 0, "dur": 100,
+                   "args": {"bucket": 16, "size": 1}}]
+        assert critical_paths(legacy) == []
+
+    def test_replica_phases_fold_means(self):
+        phases = replica_phases(self.TRACE)
+        weak = phases[0]
+        assert (weak.label, weak.batches) == ("weak", 2)
+        assert weak.mean_ms("service") == pytest.approx((2.0 + 0.5) / 2)
+        assert weak.mean_ms("queue-wait") == pytest.approx((4.0 + 2.5) / 2)
+
+
+# one injected 2x gray slowdown on replica 1, mid-run
+GRAY = ChaosPlan(
+    name="gray-slowdown",
+    grays=(GrayWindow(replica_id=1, start_ms=20.0, end_ms=100.0, slowdown=2.0),),
+)
+
+
+def _observed_run(cluster_model, hash_tokenizer, specs, fleet_config, **kw):
+    obs = FleetObserver()
+    run_scenario(
+        "steady", cluster_model, hash_tokenizer, specs, fleet_config,
+        analytic=True, obs=obs, **kw,
+    )
+    return RunArtifacts.from_strings(
+        prom_text=obs.render_prometheus(),
+        windows_text="".join(line + "\n" for line in obs.window_lines()),
+        trace_text=obs.trace_json(),
+    )
+
+
+class TestReportAndDiff:
+    KW = dict(seed=2, rate_scale=0.4, duration_scale=0.5)
+
+    def test_report_is_deterministic_across_reruns(
+        self, cluster_model, hash_tokenizer, hetero_specs, fleet_config
+    ):
+        reports = [
+            render_report(_observed_run(
+                cluster_model, hash_tokenizer, hetero_specs, fleet_config, **self.KW
+            ))
+            for _ in range(2)
+        ]
+        assert reports[0] == reports[1]
+        assert "== overview ==" in reports[0]
+        assert "== replica phases (ms/batch) ==" in reports[0]
+        assert "== critical paths (worst requests) ==" in reports[0]
+
+    def test_diff_attributes_injected_gray_slowdown(
+        self, cluster_model, hash_tokenizer, hetero_specs, fleet_config
+    ):
+        clean = _observed_run(
+            cluster_model, hash_tokenizer, hetero_specs, fleet_config, **self.KW
+        )
+        gray = _observed_run(
+            cluster_model, hash_tokenizer, hetero_specs, fleet_config,
+            chaos=GRAY, **self.KW,
+        )
+        report = diff_runs(clean, gray)
+        top = report.top_attribution()
+        assert top is not None
+        assert top.subject.startswith("replica 1 ")
+        assert top.metric == "service"
+        assert top.after > top.before
+        rendered = render_diff(report)
+        first = rendered.splitlines()[1]
+        assert first.startswith("1. replica 1 ") and " service:" in first
+        # the window streams must align index-for-index (same duration)
+        assert report.windows_before == report.windows_after
+        assert report.first_divergence is not None
+
+    def test_diff_of_identical_runs_is_quiet(
+        self, cluster_model, hash_tokenizer, hetero_specs, fleet_config
+    ):
+        a = _observed_run(
+            cluster_model, hash_tokenizer, hetero_specs, fleet_config, **self.KW
+        )
+        b = _observed_run(
+            cluster_model, hash_tokenizer, hetero_specs, fleet_config, **self.KW
+        )
+        report = diff_runs(a, b)
+        assert report.replica_rows == []
+        assert report.metric_rows == []
+        assert report.first_divergence is None
+        assert "streams identical" in render_diff(report)
+
+
+# harsh enough to burn the error budget: one replica grayed 8x while the
+# other handles a timeout-constrained overload with retries
+HARSH = ChaosPlan(
+    name="harsh",
+    grays=(GrayWindow(replica_id=0, start_ms=20.0, end_ms=110.0, slowdown=8.0),),
+)
+HARSH_POLICY = ResiliencePolicy(
+    max_retries=2, retry_budget_ratio=1.0, timeout_ms=10.0
+)
+
+
+class TestAlertDifferential:
+    """Alert streams byte-equal across engines x shard counts, with the
+    chaos plan actually driving transitions (a vacuous pass is a bug)."""
+
+    KW = dict(
+        seed=2, rate_scale=8.0, duration_scale=0.5,
+        chaos=HARSH, resilience=HARSH_POLICY,
+    )
+
+    def _streams(self, obs):
+        return (obs.render_prometheus(), obs.window_lines(), obs.trace_json())
+
+    def test_alert_streams_byte_equal_across_engines_and_shards(
+        self, cluster_model, hash_tokenizer, hetero_specs, fleet_config
+    ):
+        ref_obs = FleetObserver()
+        run_scenario(
+            "steady", cluster_model, hash_tokenizer, hetero_specs, fleet_config,
+            analytic=True, obs=ref_obs, **self.KW,
+        )
+        fires = [t for t in ref_obs.alerts.transitions if t[2] == "fire"]
+        assert fires, "chaos plan failed to trigger any alert (vacuous test)"
+        ref_streams = self._streams(ref_obs)
+        assert any('"name": "alert-fire"' in line for line in ref_streams[2].splitlines())
+        for shards in (1, 2, 5):
+            col_obs = FleetObserver()
+            run_scenario_columnar(
+                "steady", cluster_model, hash_tokenizer, hetero_specs,
+                fleet_config, shards=shards, obs=col_obs, **self.KW,
+            )
+            assert self._streams(col_obs) == ref_streams
+            assert col_obs.alerts.transitions == ref_obs.alerts.transitions

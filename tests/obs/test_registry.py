@@ -140,3 +140,89 @@ class TestParseRoundTrip:
         assert families["shed_total"]['shed_total{reason="overload"}'] == 2.0
         assert families["lat_ms"]['lat_ms_bucket{le="+Inf"}'] == 2.0
         assert families["lat_ms"]["lat_ms_count"] == 2.0
+
+
+class TestParseHardening:
+    """The satellite contract: strict parsing with position-naming errors."""
+
+    def test_duplicate_series_rejected_with_line_number(self):
+        text = "a_total 1\nb_total 2\na_total 3\n"
+        with pytest.raises(ValueError, match=r"line 3: duplicate series 'a_total'"):
+            parse_prometheus(text)
+
+    def test_duplicate_labelled_series_rejected(self):
+        text = (
+            'shed_total{reason="overload"} 1\n'
+            'shed_total{reason="timeout"} 2\n'
+            'shed_total{reason="overload"} 3\n'
+        )
+        with pytest.raises(ValueError, match="line 3: duplicate series"):
+            parse_prometheus(text)
+
+    def test_distinct_labels_are_not_duplicates(self):
+        text = 'x{t="a"} 1\nx{t="b"} 2\n'
+        assert parse_prometheus(text)["x"] == {'x{t="a"}': 1.0, 'x{t="b"}': 2.0}
+
+    def test_bad_escape_rejected_with_position(self):
+        text = 'x{t="a\\qb"} 1\n'
+        with pytest.raises(ValueError, match=r"line 1, col 7: bad label escape"):
+            parse_prometheus(text)
+
+    def test_trailing_backslash_rejected(self):
+        # escape with nothing after it before the closing brace
+        with pytest.raises(ValueError, match="bad label escape"):
+            parse_prometheus('x{t="ab\\} 1')
+
+    def test_unterminated_label_value_rejected(self):
+        with pytest.raises(ValueError, match="unterminated label value"):
+            parse_prometheus('x{t="open} 1\n')
+
+    def test_unclosed_braces_rejected(self):
+        with pytest.raises(ValueError, match="unclosed label braces"):
+            parse_prometheus('x{t="a" 1\n')
+
+    def test_valid_escapes_accepted(self):
+        text = 'x{t="a\\\\b\\"c\\nd"} 5\n'
+        (key,) = parse_prometheus(text)["x"]
+        assert key == 'x{t="a\\\\b\\"c\\nd"}'
+
+
+class TestNonFiniteRoundTrip:
+    """NaN and infinities render canonically and parse back."""
+
+    def test_format_canonical_spellings(self):
+        assert _format_value(float("nan")) == "NaN"
+        assert _format_value(float("inf")) == "+Inf"
+        assert _format_value(float("-inf")) == "-Inf"
+
+    def test_gauge_round_trips_non_finite(self):
+        import math
+
+        reg = MetricsRegistry()
+        g = reg.gauge("weird", "W.", labels=("kind",))
+        g.set(float("nan"), kind="nan")
+        g.set(float("inf"), kind="pinf")
+        g.set(float("-inf"), kind="ninf")
+        samples = parse_prometheus(reg.render())["weird"]
+        assert math.isnan(samples['weird{kind="nan"}'])
+        assert samples['weird{kind="pinf"}'] == float("inf")
+        assert samples['weird{kind="ninf"}'] == float("-inf")
+
+
+class TestHistogramLoad:
+    def test_load_replaces_contents_wholesale(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_ms", "L.", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.load([2, 3, 1], total=25.0, count=6)
+        families = parse_prometheus(reg.render())
+        assert families["lat_ms"]['lat_ms_bucket{le="1"}'] == 2.0
+        assert families["lat_ms"]['lat_ms_bucket{le="10"}'] == 5.0
+        assert families["lat_ms"]['lat_ms_bucket{le="+Inf"}'] == 6.0
+        assert families["lat_ms"]["lat_ms_sum"] == 25.0
+
+    def test_load_wrong_arity_rejected(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_ms", "L.", buckets=(1.0, 10.0))
+        with pytest.raises(ValueError, match="bucket counts"):
+            h.load([1, 2], total=3.0, count=3)

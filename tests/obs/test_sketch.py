@@ -1,0 +1,154 @@
+"""Quantile sketch: exact merge algebra + documented error bounds.
+
+The hypothesis suite is the satellite contract from the analysis PR:
+merge is bit-exactly commutative and associative, and the sketched p99
+always sits inside the guaranteed ``quantile_bounds`` interval together
+with the exact sorted-list percentile, on adversarial distributions
+(heavy tails, duplicates, zeros, near-boundary values).
+"""
+
+import json
+import math
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import QuantileSketch
+from repro.obs.analysis.sketch import RESOLUTION, _slot_edges, _slot_of
+from repro.serve.metrics import percentile
+
+# Adversarial-ish sample strategy: zeros, exact powers of two (bucket
+# edges), huge and tiny magnitudes, and plain floats.
+_sample = st.one_of(
+    st.just(0.0),
+    st.sampled_from([2.0 ** e for e in range(-20, 40, 7)]),
+    st.floats(min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False),
+    st.floats(min_value=1e-12, max_value=1.0, allow_nan=False, allow_infinity=False),
+)
+_samples = st.lists(_sample, min_size=1, max_size=200)
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=200, deadline=None)
+    @given(_samples, _samples)
+    def test_merge_commutes(self, xs, ys):
+        a, b = QuantileSketch.of(xs), QuantileSketch.of(ys)
+        assert a.merge(b) == b.merge(a)
+
+    @settings(max_examples=200, deadline=None)
+    @given(_samples, _samples, _samples)
+    def test_merge_associates(self, xs, ys, zs):
+        a, b, c = (QuantileSketch.of(v) for v in (xs, ys, zs))
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left == right
+        # not just dataclass-equal: identical quantile estimates too
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert left.quantile(q) == right.quantile(q)
+
+    @settings(max_examples=100, deadline=None)
+    @given(_samples)
+    def test_split_anywhere_equals_whole(self, xs):
+        whole = QuantileSketch.of(xs)
+        cut = len(xs) // 2
+        split = QuantileSketch.of(xs[:cut]).merge(QuantileSketch.of(xs[cut:]))
+        assert split == whole
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(_sample, min_size=32, max_size=300))
+    def test_bulk_extend_matches_scalar_adds(self, xs):
+        # the vectorized flush path must land every sample exactly where
+        # the scalar path does (slots, extrema, fixed-point sum)
+        bulk = QuantileSketch()
+        bulk.extend(xs)
+        scalar = QuantileSketch()
+        for x in xs:
+            scalar.add(x)
+        assert bulk == scalar
+
+    def test_bulk_extend_rejects_bad_domain(self):
+        for bad in (-1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                QuantileSketch.of([1.0] * 40 + [bad])
+
+    def test_empty_is_identity(self):
+        s = QuantileSketch.of([1.0, 2.0, 3.0])
+        assert s.merge(QuantileSketch()) == s
+        assert QuantileSketch().merge(s) == s
+
+
+class TestErrorBounds:
+    @settings(max_examples=200, deadline=None)
+    @given(_samples, st.sampled_from([50.0, 90.0, 99.0]))
+    def test_exact_percentile_inside_bounds(self, xs, q):
+        sketch = QuantileSketch.of(xs)
+        lo, hi = sketch.quantile_bounds(q)
+        exact = percentile(xs, q)
+        estimate = sketch.quantile(q)
+        assert lo <= exact <= hi
+        assert lo <= estimate <= hi
+
+    @settings(max_examples=200, deadline=None)
+    @given(_samples, st.sampled_from([50.0, 99.0]))
+    def test_bounds_width_is_documented_resolution(self, xs, q):
+        lo, hi = QuantileSketch.of(xs).quantile_bounds(q)
+        assert hi <= lo * (1.0 + RESOLUTION) + 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(_samples)
+    def test_mean_tracks_exact_sum(self, xs):
+        # fixed-point resolution is 2**-20 per sample, so the mean error
+        # is bounded by half that scale regardless of length
+        sketch = QuantileSketch.of(xs)
+        assert sketch.mean == pytest.approx(
+            math.fsum(xs) / len(xs), abs=1e-6, rel=1e-9
+        )
+
+
+class TestExactShapes:
+    def test_single_value_is_exact(self):
+        assert QuantileSketch.of([4.0]).quantile(99.0) == 4.0
+        assert QuantileSketch.of([4.0]).quantile_bounds(99.0) == (4.0, 4.0)
+
+    def test_constant_window_is_exact(self):
+        s = QuantileSketch.of([7.5] * 10)
+        assert s.quantile(0.0) == 7.5
+        assert s.quantile(100.0) == 7.5
+        assert s.minimum == s.maximum == 7.5
+
+    def test_zeros_only(self):
+        s = QuantileSketch.of([0.0, 0.0, 0.0])
+        assert s.quantile(99.0) == 0.0
+        assert s.mean == 0.0
+
+    def test_extremes_are_exact(self):
+        s = QuantileSketch.of([1.0, 2.0, 3000.0])
+        assert s.quantile(0.0) == 1.0
+        assert s.quantile(100.0) == 3000.0
+
+    def test_domain_rejections(self):
+        s = QuantileSketch()
+        for bad in (-1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                s.add(bad)
+        with pytest.raises(ValueError):
+            QuantileSketch.of([1.0]).quantile(101.0)
+        with pytest.raises(ValueError):
+            QuantileSketch().quantile(50.0)
+
+    def test_slot_edges_bracket_their_values(self):
+        for value in (0.001, 0.5, 1.0, 3.7, 50.0, 1e9):
+            lo, hi = _slot_edges(_slot_of(value))
+            assert lo <= value < hi
+            assert hi <= lo * (1.0 + RESOLUTION) + 1e-12
+
+    def test_pickle_round_trip(self):
+        s = QuantileSketch.of([0.0, 1.0, 2.5, 1e6])
+        assert pickle.loads(pickle.dumps(s)) == s
+
+    def test_to_dict_is_json_ready(self):
+        d = QuantileSketch.of([1.0, 2.0]).to_dict()
+        assert json.loads(json.dumps(d)) == d
+        assert d["total"] == 2

@@ -6,7 +6,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.obs import WindowTracker
+from repro.obs import QuantileSketch, WindowTracker
 
 
 def _docs(tracker):
@@ -135,6 +135,64 @@ class TestDegenerateWindows:
         assert split.lines == whole.lines
 
 
+class TestFlushHorizon:
+    """The zero-length-window satellite: trailing event-free windows up
+    to the run horizon are emitted as explicit empty records."""
+
+    def test_trailing_empty_windows_emitted_to_horizon(self):
+        w = WindowTracker(window_ms=10.0)
+        w.record_arrival(5.0)
+        w.flush_all(horizon_ms=45.0)
+        docs = _docs(w)
+        assert [d["index"] for d in docs] == [0, 1, 2, 3, 4]
+        for doc in docs[1:]:
+            assert doc["arrivals"] == 0
+            assert doc["completions"] == 0
+            assert doc["shed"] == {}
+            assert doc["latency_p99_ms"] == 0.0
+
+    def test_horizon_on_boundary_closes_boundary_window_only(self):
+        # horizon exactly at a window edge: the window ending there is
+        # flushed, nothing past it
+        w = WindowTracker(window_ms=10.0)
+        w.record_arrival(5.0)
+        w.flush_all(horizon_ms=30.0)
+        assert [d["index"] for d in _docs(w)] == [0, 1, 2]
+
+    def test_empty_run_with_horizon_emits_empty_records(self):
+        w = WindowTracker(window_ms=10.0)
+        w.flush_all(horizon_ms=25.0)
+        docs = _docs(w)
+        assert [d["index"] for d in docs] == [0, 1, 2]
+        assert all(d["arrivals"] == 0 for d in docs)
+
+    def test_horizon_never_truncates_recorded_windows(self):
+        # records past the horizon still flush (horizon only extends)
+        w = WindowTracker(window_ms=10.0)
+        w.record_arrival(55.0)
+        w.flush_all(horizon_ms=20.0)
+        assert [d["index"] for d in _docs(w)] == [0, 1, 2, 3, 4, 5]
+
+    def test_no_horizon_behavior_unchanged(self):
+        w = WindowTracker(window_ms=10.0)
+        w.record_arrival(5.0)
+        w.flush_all()
+        assert [d["index"] for d in _docs(w)] == [0]
+
+    def test_two_equal_duration_runs_align_window_for_window(self):
+        # the property obs diff keys on: same horizon, same indices,
+        # regardless of where the last event landed
+        early = WindowTracker(window_ms=10.0)
+        early.record_arrival(5.0)
+        early.flush_all(horizon_ms=50.0)
+        late = WindowTracker(window_ms=10.0)
+        late.record_arrival(45.0)
+        late.flush_all(horizon_ms=50.0)
+        assert [d["index"] for d in _docs(early)] == [
+            d["index"] for d in _docs(late)
+        ]
+
+
 class TestFlushWatermark:
     def test_flush_closes_only_elapsed_windows(self):
         w = WindowTracker(window_ms=10.0)
@@ -154,13 +212,25 @@ class TestFlushWatermark:
         w.flush(10.0)
         assert stream.getvalue() == w.lines[0] + "\n"
 
-    def test_on_flush_gets_sorted_latencies(self):
+    def test_on_close_gets_window_sketch(self):
         seen = []
-        w = WindowTracker(window_ms=10.0, on_flush=seen.append)
+        w = WindowTracker(
+            window_ms=10.0,
+            on_close=lambda index, win, sketch, shed_total: seen.append(
+                (index, sketch, shed_total)
+            ),
+        )
         w.record_completion(5.0, 3.0, True)
         w.record_completion(6.0, 1.0, True)
+        w.record_shed(7.0, "overload")
         w.flush_all()
-        assert seen == [[1.0, 3.0]]
+        assert len(seen) == 1
+        index, sketch, shed_total = seen[0]
+        assert index == 0
+        assert shed_total == 1
+        assert sketch.count == 2
+        assert (sketch.minimum, sketch.maximum) == (1.0, 3.0)
+        assert sketch == QuantileSketch.of([3.0, 1.0])  # order-free
 
 
 class TestBulkPaths:
